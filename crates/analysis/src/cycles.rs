@@ -1,0 +1,197 @@
+//! Cycle-freedom analysis (paper §3.2, Figures 8/9).
+//!
+//! "Our (conservative) algorithm traverses the heap graphs rooted at the
+//! arguments of the call instruction and records the allocation numbers it
+//! has already encountered. Once an allocation number is seen twice, we
+//! assume that the argument graph may contain a cycle."
+//!
+//! Seen-twice covers three situations: a true cycle (self reference,
+//! Fig. 9), sharing within one argument graph, and the same node reachable
+//! from two arguments (Fig. 8). All three require the runtime handle table,
+//! so the conservative merge is exactly what the serializer needs.
+//!
+//! The paper notes (§7) that acyclic linked lists are mistakenly flagged —
+//! one allocation site in a loop creates a self-edge in the graph. The
+//! [`CycleOptions::assume_acyclic_self_lists`] extension implements the
+//! "more precise heap graph representation" the paper calls future work:
+//! a node whose only repetition is a direct self-edge through a single
+//! field is treated as a (possibly unbounded, but acyclic) list spine.
+//! This is an opt-in ablation; it is unsound for genuinely cyclic lists
+//! and is benchmarked as such.
+
+use std::collections::HashMap;
+
+use crate::graph::{HeapGraph, NodeId, NodeSet};
+
+/// Options for the cycle analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleOptions {
+    /// Extension (paper §7 future work): treat a pure self-recursive
+    /// single-field spine as acyclic.
+    pub assume_acyclic_self_lists: bool,
+}
+
+/// May the object graph rooted at `roots` (one points-to set per argument)
+/// contain a cycle or sharing, requiring runtime cycle detection?
+pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
+    let mut arrivals: HashMap<NodeId, u32> = HashMap::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+
+    let mut arrive = |n: NodeId, stack: &mut Vec<NodeId>| -> bool {
+        let c = arrivals.entry(n).or_insert(0);
+        *c += 1;
+        if *c == 1 {
+            stack.push(n);
+            false
+        } else {
+            true
+        }
+    };
+
+    let mut seen_twice = false;
+    for set in roots {
+        for &n in set {
+            if arrive(n, &mut stack) {
+                seen_twice = true;
+            }
+        }
+    }
+
+    while let Some(n) = stack.pop() {
+        let node = g.node(n);
+        for (slot, set) in node.fields.iter().enumerate() {
+            for &t in set {
+                if opts.assume_acyclic_self_lists && t == n && is_single_recursive_field(g, n, slot)
+                {
+                    continue;
+                }
+                if arrive(t, &mut stack) {
+                    seen_twice = true;
+                }
+            }
+        }
+        for &t in &node.elems {
+            if arrive(t, &mut stack) {
+                seen_twice = true;
+            }
+        }
+    }
+    seen_twice
+}
+
+/// Is `slot` the only field of `n` that points back to `n` itself, with no
+/// other route reaching `n`? (The linked-list spine pattern.)
+fn is_single_recursive_field(g: &HeapGraph, n: NodeId, slot: usize) -> bool {
+    let node = g.node(n);
+    // exactly one self edge, through `slot`, and that edge targets only n
+    node.fields
+        .iter()
+        .enumerate()
+        .all(|(s, set)| if s == slot { set.len() == 1 && set.contains(&n) } else { !set.contains(&n) })
+        && !node.elems.contains(&n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corm_ir::{AllocSiteId, ClassId, Ty};
+
+    fn obj(g: &mut HeapGraph, site: u32, nfields: usize) -> NodeId {
+        g.add_node(AllocSiteId(site), Ty::Class(ClassId(1)), nfields, None)
+    }
+
+    #[test]
+    fn tree_is_acyclic() {
+        let mut g = HeapGraph::default();
+        let root = obj(&mut g, 0, 2);
+        let l = obj(&mut g, 1, 0);
+        let r = obj(&mut g, 2, 0);
+        g.add_field_edge(root, 0, &NodeSet::from([l]));
+        g.add_field_edge(root, 1, &NodeSet::from([r]));
+        assert!(!may_cycle(&g, &[NodeSet::from([root])], CycleOptions::default()));
+    }
+
+    /// Paper Figure 8: the same object passed as both arguments.
+    #[test]
+    fn fig8_same_node_two_args() {
+        let mut g = HeapGraph::default();
+        let b = obj(&mut g, 3, 0);
+        assert!(may_cycle(
+            &g,
+            &[NodeSet::from([b]), NodeSet::from([b])],
+            CycleOptions::default()
+        ));
+    }
+
+    /// Paper Figure 9: self-referencing object.
+    #[test]
+    fn fig9_self_reference() {
+        let mut g = HeapGraph::default();
+        let b = obj(&mut g, 4, 1);
+        g.add_field_edge(b, 0, &NodeSet::from([b]));
+        assert!(may_cycle(&g, &[NodeSet::from([b])], CycleOptions::default()));
+    }
+
+    /// Paper §7: a linked list (one allocation site in a loop) is
+    /// conservatively flagged as may-cycle.
+    #[test]
+    fn linked_list_flagged_conservatively() {
+        let mut g = HeapGraph::default();
+        let node = obj(&mut g, 5, 1);
+        g.add_field_edge(node, 0, &NodeSet::from([node])); // next -> same site
+        assert!(may_cycle(&g, &[NodeSet::from([node])], CycleOptions::default()));
+    }
+
+    /// The §7 extension lifts the linked-list imprecision.
+    #[test]
+    fn list_extension_treats_spine_as_acyclic() {
+        let mut g = HeapGraph::default();
+        let node = obj(&mut g, 5, 1);
+        g.add_field_edge(node, 0, &NodeSet::from([node]));
+        let opts = CycleOptions { assume_acyclic_self_lists: true };
+        assert!(!may_cycle(&g, &[NodeSet::from([node])], opts));
+    }
+
+    /// The extension must NOT fire when the node is additionally shared.
+    #[test]
+    fn list_extension_still_flags_shared_spine() {
+        let mut g = HeapGraph::default();
+        let node = obj(&mut g, 5, 2);
+        g.add_field_edge(node, 0, &NodeSet::from([node]));
+        g.add_field_edge(node, 1, &NodeSet::from([node])); // second route
+        let opts = CycleOptions { assume_acyclic_self_lists: true };
+        assert!(may_cycle(&g, &[NodeSet::from([node])], opts));
+    }
+
+    #[test]
+    fn shared_subobject_within_one_arg() {
+        let mut g = HeapGraph::default();
+        let root = obj(&mut g, 0, 2);
+        let shared = obj(&mut g, 1, 0);
+        g.add_field_edge(root, 0, &NodeSet::from([shared]));
+        g.add_field_edge(root, 1, &NodeSet::from([shared]));
+        assert!(may_cycle(&g, &[NodeSet::from([root])], CycleOptions::default()));
+    }
+
+    #[test]
+    fn nested_arrays_acyclic() {
+        let mut g = HeapGraph::default();
+        let outer = g.add_node(AllocSiteId(0), Ty::Double.array_of().array_of(), 0, None);
+        let inner = g.add_node(AllocSiteId(1), Ty::Double.array_of(), 0, None);
+        g.add_elem_edge(outer, &NodeSet::from([inner]));
+        assert!(!may_cycle(&g, &[NodeSet::from([outer])], CycleOptions::default()));
+    }
+
+    #[test]
+    fn alternatives_in_points_to_set_count_as_arrivals() {
+        // Conservative: two nodes in one root set arriving at a common
+        // child flag sharing even though only one exists at runtime.
+        let mut g = HeapGraph::default();
+        let a = obj(&mut g, 0, 1);
+        let b = obj(&mut g, 1, 1);
+        let child = obj(&mut g, 2, 0);
+        g.add_field_edge(a, 0, &NodeSet::from([child]));
+        g.add_field_edge(b, 0, &NodeSet::from([child]));
+        assert!(may_cycle(&g, &[NodeSet::from([a, b])], CycleOptions::default()));
+    }
+}

@@ -1,0 +1,240 @@
+//! RMI-specific escape analysis (paper §3.3, Figures 10/11).
+//!
+//! An argument object graph deserialized on the callee side can be reused
+//! by the next invocation of the same unmarshaler iff no object of the
+//! graph outlives the remote method. The paper's rule: "an object also
+//! escapes if recursively any of the objects it refers to escapes."
+//!
+//! We compute, per function `F`, the set of *escaping* heap nodes:
+//! everything reachable from
+//!   * static variables (Fig. 11's `d = a.d`),
+//!   * the queue blob (values handed to other threads),
+//!   * remote-class instances (a store into a field of the remote `this`
+//!     keeps the value alive across calls),
+//!   * `F`'s return values (the value leaves the invocation).
+//!
+//! A parameter is reusable iff nothing reachable from its points-to set is
+//! escaping. Return-value reuse at a call site applies the same rule in
+//! the *caller*: the deserialized result graph must not escape the calling
+//! function.
+
+use corm_ir::{FuncId, Module, Ty};
+
+use crate::graph::{HeapGraph, NodeSet};
+use crate::points_to::PointsTo;
+
+/// Escape summary for one function: the nodes that escape it.
+#[derive(Debug, Clone)]
+pub struct EscapeSummary {
+    pub escaping: NodeSet,
+}
+
+/// Nodes that escape *every* function: reachable from statics, the queue
+/// blob, or any remote-class instance's fields.
+pub fn global_escape_roots(m: &Module, g: &HeapGraph) -> NodeSet {
+    let mut roots = NodeSet::new();
+    for s in &g.statics {
+        roots.extend(s.iter().copied());
+    }
+    roots.extend(g.blob.iter().copied());
+    for n in &g.nodes {
+        if let Ty::Class(c) = &n.ty {
+            if m.table.class(*c).is_remote {
+                // fields of remote instances survive across invocations
+                for set in &n.fields {
+                    roots.extend(set.iter().copied());
+                }
+            }
+        }
+    }
+    roots
+}
+
+/// Compute the escaping-node set for function `f`.
+pub fn escaping_nodes(m: &Module, pt: &PointsTo, f: FuncId) -> EscapeSummary {
+    let mut roots = global_escape_roots(m, &pt.graph);
+    roots.extend(pt.ret_pts[f.index()].iter().copied());
+    EscapeSummary { escaping: pt.graph.reachable(roots) }
+}
+
+/// Is the graph rooted at `pts` free of escaping nodes (and therefore
+/// reusable between invocations)?
+pub fn is_reusable(g: &HeapGraph, pts: &NodeSet, escaping: &NodeSet) -> bool {
+    let reach = g.reachable(pts.iter().copied());
+    reach.is_disjoint(escaping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points_to::analyze_points_to;
+    use corm_ir::ssa::build_module_ssa;
+    use corm_ir::compile_frontend;
+
+    fn setup(src: &str) -> (Module, Vec<corm_ir::ssa::SsaFunction>, PointsTo) {
+        let m = compile_frontend(src).unwrap();
+        let ssa = build_module_ssa(&m);
+        let pt = analyze_points_to(&m, &ssa);
+        (m, ssa, pt)
+    }
+
+    fn method_func(m: &Module, class: &str, method: &str) -> FuncId {
+        m.table
+            .class_named(class)
+            .and_then(|c| m.table.find_method(c, method))
+            .and_then(|mm| m.func_of_method(mm))
+            .unwrap()
+    }
+
+    /// Paper Figure 10: `foo(double[] a)` only reads `a` — reusable.
+    #[test]
+    fn fig10_array_param_reusable() {
+        let src = r#"
+            remote class Foo {
+                double sum;
+                void foo(double[] a) { this.sum = a[0] + a[1]; }
+            }
+            class M {
+                static void main() {
+                    Foo f = new Foo();
+                    double[] a = new double[2];
+                    f.foo(a);
+                }
+            }
+        "#;
+        let (m, ssa, pt) = setup(src);
+        let f = method_func(&m, "Foo", "foo");
+        let esc = escaping_nodes(&m, &pt, f);
+        let param = pt.param_pts(f, &ssa, 1);
+        assert!(!param.is_empty());
+        assert!(is_reusable(&pt.graph, param, &esc.escaping), "Fig 10: `a` never escapes");
+    }
+
+    /// Paper Figure 11: `d = a.d` stores into a static — `a` escapes.
+    #[test]
+    fn fig11_static_store_escapes() {
+        let src = r#"
+            class Data { int v; }
+            class Bar { Data d; }
+            remote class Foo {
+                static Data d;
+                void foo(Bar a) { Foo.d = a.d; }
+            }
+            class M {
+                static void main() {
+                    Bar b = new Bar();
+                    b.d = new Data();
+                    Foo f = new Foo();
+                    f.foo(b);
+                }
+            }
+        "#;
+        let (m, ssa, pt) = setup(src);
+        let f = method_func(&m, "Foo", "foo");
+        let esc = escaping_nodes(&m, &pt, f);
+        let param = pt.param_pts(f, &ssa, 1);
+        assert!(
+            !is_reusable(&pt.graph, param, &esc.escaping),
+            "Fig 11: `d` escapes, therefore `a` escapes as well"
+        );
+    }
+
+    /// Storing into a field of the remote `this` keeps the argument alive.
+    #[test]
+    fn store_into_remote_this_escapes() {
+        let src = r#"
+            class Data { int v; }
+            remote class Foo {
+                Data keep;
+                void foo(Data a) { this.keep = a; }
+            }
+            class M {
+                static void main() {
+                    Foo f = new Foo();
+                    f.foo(new Data());
+                }
+            }
+        "#;
+        let (m, ssa, pt) = setup(src);
+        let f = method_func(&m, "Foo", "foo");
+        let esc = escaping_nodes(&m, &pt, f);
+        let param = pt.param_pts(f, &ssa, 1);
+        assert!(!is_reusable(&pt.graph, param, &esc.escaping));
+    }
+
+    /// Returning the argument makes it escape the invocation.
+    #[test]
+    fn returned_param_escapes() {
+        let src = r#"
+            class Data { int v; }
+            remote class Foo {
+                Data foo(Data a) { return a; }
+            }
+            class M {
+                static void main() {
+                    Foo f = new Foo();
+                    Data d = f.foo(new Data());
+                }
+            }
+        "#;
+        let (m, ssa, pt) = setup(src);
+        let f = method_func(&m, "Foo", "foo");
+        let esc = escaping_nodes(&m, &pt, f);
+        let param = pt.param_pts(f, &ssa, 1);
+        assert!(!is_reusable(&pt.graph, param, &esc.escaping));
+    }
+
+    /// Values put into a Queue escape (another thread will take them).
+    #[test]
+    fn queue_put_escapes() {
+        let src = r#"
+            class Item { int v; }
+            remote class Tester {
+                Queue q;
+                void submit(Item i) { this.q.put(i); }
+            }
+            class M {
+                static void main() {
+                    Tester t = new Tester();
+                    t.submit(new Item());
+                }
+            }
+        "#;
+        let (m, ssa, pt) = setup(src);
+        let f = method_func(&m, "Tester", "submit");
+        let esc = escaping_nodes(&m, &pt, f);
+        let param = pt.param_pts(f, &ssa, 1);
+        assert!(!is_reusable(&pt.graph, param, &esc.escaping));
+    }
+
+    /// A local store inside the callee (into a fresh, dying object) does
+    /// not make the parameter escape.
+    #[test]
+    fn store_into_local_temp_does_not_escape() {
+        let src = r#"
+            class Data { int v; }
+            class Holder { Data d; }
+            remote class Foo {
+                int foo(Data a) {
+                    Holder h = new Holder();
+                    h.d = a;
+                    return h.d.v;
+                }
+            }
+            class M {
+                static void main() {
+                    Foo f = new Foo();
+                    int x = f.foo(new Data());
+                }
+            }
+        "#;
+        let (m, ssa, pt) = setup(src);
+        let f = method_func(&m, "Foo", "foo");
+        let esc = escaping_nodes(&m, &pt, f);
+        let param = pt.param_pts(f, &ssa, 1);
+        assert!(
+            is_reusable(&pt.graph, param, &esc.escaping),
+            "a store into a non-escaping local holder is harmless"
+        );
+    }
+}

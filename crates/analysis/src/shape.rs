@@ -1,0 +1,392 @@
+//! Static shapes of argument/return object graphs (input to call-site-
+//! specific code generation, paper §3.1).
+//!
+//! "By performing heap analysis, we can often detect what type of object
+//! is pointed to by a reference field at compile time and generate
+//! specialized code to serialize the fields of the pointed-to object."
+//!
+//! A [`Shape`] is the compiler's statically-proven structure of a value:
+//! where it is `Exact`/`ArrayPrim`/`ArrayRef`, the generated serializer
+//! can inline field copies and omit wire type information; where it
+//! degrades to `Dynamic`, the serializer falls back to tagged per-class
+//! dispatch (the `class` baseline behaviour).
+
+use corm_ir::{ClassId, ClassKind, FieldId, Module, Ty};
+
+use crate::graph::{HeapGraph, NodeSet};
+
+/// Statically-known structure of one field of an [`Shape::Exact`] object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldShape {
+    pub field: FieldId,
+    pub slot: u32,
+    pub ty: Ty,
+    pub shape: Shape,
+}
+
+/// The statically-known structure of a serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// Primitive — copied by value, no protocol bytes at all.
+    Prim(Ty),
+    /// String — length + bytes (+ null bit), no type tag needed.
+    Str,
+    /// Reference to a `remote class` instance — serialized by reference
+    /// (machine id + object id), never deep-copied.
+    Remote(ClassId),
+    /// Unique concrete class proven by heap analysis; fields are inlined
+    /// recursively ("Derived1 is inferred by compiler analysis!").
+    Exact { class: ClassId, fields: Vec<FieldShape> },
+    /// One-dimensional primitive array: length + bulk payload.
+    ArrayPrim { elem: Ty },
+    /// Reference array with a statically-known element shape.
+    ArrayRef { elem_ty: Ty, elem: Box<Shape> },
+    /// Statically unknown — the serializer emits a type tag and dispatches
+    /// to the per-class serializer at runtime.
+    Dynamic(Ty),
+    /// Monomorphic recursion: this position re-enters the enclosing shape
+    /// `up` levels above (1 = innermost enclosing object/array). The
+    /// paper inlines "often even for referred-to objects" — a linked list
+    /// whose nodes all come from one allocation site serializes with no
+    /// per-node type information, only presence bits (and handles when
+    /// the cycle table is on).
+    Rec { up: u32 },
+}
+
+impl Shape {
+    /// Does serializing this shape ever need dynamic dispatch?
+    pub fn fully_static(&self) -> bool {
+        match self {
+            Shape::Prim(_)
+            | Shape::Str
+            | Shape::Remote(_)
+            | Shape::ArrayPrim { .. }
+            | Shape::Rec { .. } => true,
+            Shape::Exact { fields, .. } => fields.iter().all(|f| f.shape.fully_static()),
+            Shape::ArrayRef { elem, .. } => elem.fully_static(),
+            Shape::Dynamic(_) => false,
+        }
+    }
+
+    /// Short description for reports.
+    pub fn describe(&self, m: &Module) -> String {
+        match self {
+            Shape::Prim(t) => m.table.ty_name(t),
+            Shape::Str => "String".into(),
+            Shape::Remote(c) => format!("remote {}", m.table.class(*c).name),
+            Shape::Exact { class, fields } => {
+                let fs: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}: {}", m.table.field(f.field).name, f.shape.describe(m)))
+                    .collect();
+                format!("{}{{{}}}", m.table.class(*class).name, fs.join(", "))
+            }
+            Shape::ArrayPrim { elem } => format!("{}[] (bulk)", m.table.ty_name(elem)),
+            Shape::ArrayRef { elem, .. } => format!("[{}]", elem.describe(m)),
+            Shape::Dynamic(t) => format!("dynamic<{}>", m.table.ty_name(t)),
+            Shape::Rec { up } => format!("rec^{up}"),
+        }
+    }
+}
+
+/// Maximum inlining depth before degrading to `Dynamic` (guards against
+/// pathological deep static structures).
+const MAX_DEPTH: usize = 32;
+
+/// Compute the shape of a value of declared type `ty` whose points-to set
+/// is `pts`.
+pub fn shape_of(m: &Module, g: &HeapGraph, ty: &Ty, pts: &NodeSet) -> Shape {
+    let mut path = Vec::new();
+    shape_rec(m, g, ty, pts, &mut path, 0)
+}
+
+fn shape_rec(
+    m: &Module,
+    g: &HeapGraph,
+    ty: &Ty,
+    pts: &NodeSet,
+    path: &mut Vec<(NodeSet, Ty)>,
+    depth: usize,
+) -> Shape {
+    match ty {
+        Ty::Bool | Ty::Int | Ty::Long | Ty::Double => return Shape::Prim(ty.clone()),
+        Ty::Str => return Shape::Str,
+        Ty::Void | Ty::Null => return Shape::Dynamic(ty.clone()),
+        _ => {}
+    }
+    if depth > MAX_DEPTH || pts.is_empty() {
+        return Shape::Dynamic(ty.clone());
+    }
+    // Recursion: re-encountering *exactly* the node set of an enclosing
+    // position is monomorphic recursion — the sub-graph serializes by
+    // re-entering the enclosing (inlined) program, with no type info.
+    // Partial overlap is statically unbounded in an irregular way and
+    // degrades to dynamic serialization.
+    if let Some(idx) = path.iter().rposition(|(set, t)| set == pts && t == ty) {
+        return Shape::Rec { up: (path.len() - idx) as u32 };
+    }
+    if pts.iter().any(|n| path.iter().any(|(set, _)| set.contains(n))) {
+        return Shape::Dynamic(ty.clone());
+    }
+
+    match ty {
+        Ty::Array(_) | Ty::Class(_) => {}
+        _ => return Shape::Dynamic(ty.clone()),
+    }
+
+    // All nodes must agree on one concrete allocated type.
+    let mut node_tys: Vec<&Ty> = pts.iter().map(|&n| &g.node(n).ty).collect();
+    node_tys.dedup();
+    let first = node_tys[0].clone();
+    if !node_tys.iter().all(|t| **t == first) {
+        return Shape::Dynamic(ty.clone());
+    }
+
+    match first {
+        Ty::Class(c) => {
+            let cls = m.table.class(c);
+            if cls.is_remote {
+                return Shape::Remote(c);
+            }
+            if cls.kind == ClassKind::NativeInstance {
+                return Shape::Dynamic(ty.clone());
+            }
+            path.push((pts.clone(), ty.clone()));
+            let fields = cls
+                .layout
+                .clone()
+                .iter()
+                .map(|&fid| {
+                    let fld = m.table.field(fid);
+                    let slot = fld.slot;
+                    let fshape = if fld.ty.is_ref() {
+                        let mut targets = NodeSet::new();
+                        for &n in pts {
+                            if let Some(set) = g.node(n).fields.get(slot) {
+                                targets.extend(set.iter().copied());
+                            }
+                        }
+                        shape_rec(m, g, &fld.ty, &targets, path, depth + 1)
+                    } else {
+                        Shape::Prim(fld.ty.clone())
+                    };
+                    FieldShape { field: fid, slot: slot as u32, ty: fld.ty.clone(), shape: fshape }
+                })
+                .collect();
+            path.pop();
+            Shape::Exact { class: c, fields }
+        }
+        Ty::Array(elem) => {
+            if matches!(*elem, Ty::Bool | Ty::Int | Ty::Long | Ty::Double) {
+                return Shape::ArrayPrim { elem: (*elem).clone() };
+            }
+            path.push((pts.clone(), ty.clone()));
+            let mut targets = NodeSet::new();
+            for &n in pts {
+                targets.extend(g.node(n).elems.iter().copied());
+            }
+            let inner = shape_rec(m, g, &elem, &targets, path, depth + 1);
+            path.pop();
+            Shape::ArrayRef { elem_ty: (*elem).clone(), elem: Box::new(inner) }
+        }
+        _ => Shape::Dynamic(ty.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points_to::analyze_points_to;
+    use corm_ir::ssa::build_module_ssa;
+    use corm_ir::compile_frontend;
+
+    fn site_arg_shape(src: &str, method: &str, arg: usize) -> (Module, Shape) {
+        let m = compile_frontend(src).unwrap();
+        let ssa = build_module_ssa(&m);
+        let pt = analyze_points_to(&m, &ssa);
+        let cs = m
+            .remote_call_sites()
+            .find(|cs| {
+                cs.method
+                    .map(|mm| m.table.method(mm).name == method)
+                    .unwrap_or(false)
+            })
+            .expect("remote call site");
+        let info = &pt.site_info[&cs.id];
+        let mid = cs.method.unwrap();
+        let pty = m.table.method(mid).params[arg - 1].clone();
+        let shape = shape_of(&m, &pt.graph, &pty, &info.args[arg]);
+        (m, shape)
+    }
+
+    /// Paper Figure 5/6: the compiler infers Derived1/Derived2 at the two
+    /// call sites even though the declared parameter type is Base.
+    #[test]
+    fn fig5_call_site_specific_types() {
+        let src = r#"
+            class Base { }
+            class Derived1 extends Base { int data; }
+            class Derived2 extends Base { Derived1 p; Derived2() { this.p = new Derived1(); } }
+            remote class Work {
+                void foo(Base b) { }
+            }
+            class M {
+                static void main() {
+                    Work w = new Work();
+                    Base b1 = new Derived1();
+                    w.foo(b1);
+                    Base b2 = new Derived2();
+                    w.foo(b2);
+                }
+            }
+        "#;
+        let m = compile_frontend(src).unwrap();
+        let ssa = build_module_ssa(&m);
+        let pt = analyze_points_to(&m, &ssa);
+        let sites: Vec<_> = m
+            .remote_call_sites()
+            .filter(|cs| {
+                cs.method
+                    .map(|mm| m.table.method(mm).name == "foo")
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert_eq!(sites.len(), 2);
+        let base = m.table.class_named("Base").unwrap();
+        let d1 = m.table.class_named("Derived1").unwrap();
+        let d2 = m.table.class_named("Derived2").unwrap();
+        let shapes: Vec<Shape> = sites
+            .iter()
+            .map(|cs| {
+                let info = &pt.site_info[&cs.id];
+                shape_of(&m, &pt.graph, &Ty::Class(base), &info.args[1])
+            })
+            .collect();
+        match &shapes[0] {
+            Shape::Exact { class, .. } => assert_eq!(*class, d1, "site 1 infers Derived1"),
+            other => panic!("expected Exact(Derived1), got {other:?}"),
+        }
+        match &shapes[1] {
+            Shape::Exact { class, fields } => {
+                assert_eq!(*class, d2, "site 2 infers Derived2");
+                // Derived2.p must itself be Exact(Derived1) — the recursive
+                // serializer call is eliminated (Fig. 6 second marshaler).
+                assert!(matches!(&fields[0].shape, Shape::Exact { class, .. } if *class == d1));
+            }
+            other => panic!("expected Exact(Derived2), got {other:?}"),
+        }
+    }
+
+    /// Paper Figure 12: a 16x16 double[][] is fully static.
+    #[test]
+    fn fig12_array_shape() {
+        let src = r#"
+            remote class Foo {
+                void send(double[][] arr) { }
+            }
+            class M {
+                static void main() {
+                    double[][] arr = new double[16][16];
+                    Foo f = new Foo();
+                    f.send(arr);
+                }
+            }
+        "#;
+        let (_m, shape) = site_arg_shape(src, "send", 1);
+        match &shape {
+            Shape::ArrayRef { elem, .. } => {
+                assert_eq!(**elem, Shape::ArrayPrim { elem: Ty::Double });
+            }
+            other => panic!("expected ArrayRef(ArrayPrim), got {other:?}"),
+        }
+        assert!(shape.fully_static());
+    }
+
+    /// A recursive structure (linked list) becomes a recursive inline
+    /// program, not a dynamic fallback.
+    #[test]
+    fn linked_list_shape_is_mono_recursive() {
+        let src = r#"
+            class LinkedList {
+                LinkedList next;
+                LinkedList(LinkedList next) { this.next = next; }
+            }
+            remote class Foo {
+                void send(LinkedList l) { }
+            }
+            class M {
+                static void main() {
+                    LinkedList head = null;
+                    for (int i = 0; i < 100; i++) { head = new LinkedList(head); }
+                    Foo f = new Foo();
+                    f.send(head);
+                }
+            }
+        "#;
+        let (m, shape) = site_arg_shape(src, "send", 1);
+        let ll = m.table.class_named("LinkedList").unwrap();
+        match &shape {
+            Shape::Exact { class, fields } => {
+                assert_eq!(*class, ll);
+                // monomorphic recursion: `next` re-enters the enclosing
+                // program — no type information per node (paper §1:
+                // "inlined ... often even for referred-to objects")
+                assert_eq!(fields[0].shape, Shape::Rec { up: 1 }, "next is mono-recursive");
+            }
+            other => panic!("expected Exact(LinkedList), got {other:?}"),
+        }
+        assert!(shape.fully_static(), "recursive inline plans are fully static");
+    }
+
+    /// Two different classes reaching one call site force Dynamic.
+    #[test]
+    fn mixed_classes_dynamic() {
+        let src = r#"
+            class A { }
+            class B { }
+            remote class R { void f(Object o) { } }
+            class M {
+                static void main() {
+                    R r = new R();
+                    Object o = new A();
+                    if (Cluster.machines() > 1) { o = new B(); }
+                    r.f(o);
+                }
+            }
+        "#;
+        let (_m, shape) = site_arg_shape(src, "f", 1);
+        assert!(matches!(shape, Shape::Dynamic(_)));
+    }
+
+    /// Remote references keep their by-reference shape.
+    #[test]
+    fn remote_ref_shape() {
+        let src = r#"
+            remote class Peer { void ping() { } }
+            remote class R { void f(Peer p) { } }
+            class M {
+                static void main() {
+                    R r = new R();
+                    Peer p = new Peer();
+                    r.f(p);
+                }
+            }
+        "#;
+        let (m, shape) = site_arg_shape(src, "f", 1);
+        let peer = m.table.class_named("Peer").unwrap();
+        assert_eq!(shape, Shape::Remote(peer));
+    }
+
+    /// Strings are static leaves.
+    #[test]
+    fn string_shape() {
+        let src = r#"
+            remote class R { void f(String s) { } }
+            class M {
+                static void main() { R r = new R(); r.f("hi"); }
+            }
+        "#;
+        let (_m, shape) = site_arg_shape(src, "f", 1);
+        assert_eq!(shape, Shape::Str);
+    }
+}

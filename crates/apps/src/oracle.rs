@@ -1,0 +1,220 @@
+//! Host-side reference implementations ("oracles") of the five paper
+//! applications. Each oracle reproduces the MiniParty program's output
+//! bit-for-bit — including the VM's splitmix64 PRNG streams and the exact
+//! floating-point operation order — so integration tests can verify that
+//! every optimization configuration computes the right answer, not merely
+//! the same answer.
+
+/// The VM's `Rng` builtin: splitmix64 seeded as `seed ^ GOLDEN`.
+pub struct Rng {
+    state: u64,
+}
+
+const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
+impl Rng {
+    pub fn new(seed: i64) -> Self {
+        Rng { state: (seed as u64) ^ GOLDEN }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_int(&mut self, bound: i32) -> i32 {
+        (self.next_u64() % bound as u64) as i32
+    }
+
+    pub fn next_double(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Table 1 workload: the list sum printed by `Foo.check()`.
+pub fn linked_list_output(elems: i64, _reps: i64) -> String {
+    let sum: i64 = (0..elems).sum();
+    format!("{sum}\n")
+}
+
+/// Table 2 workload: the checksum printed by `ArrayBench.check()`.
+pub fn array2d_output(n: i64, reps: i64) -> String {
+    // last repetition stores arr[0][0] = reps-1; the far corner holds its
+    // initializer (n-1)*100 + (n-1)
+    let corner = (n - 1) as f64 * 100.0 + (n - 1) as f64;
+    let checksum = (reps - 1) as f64 + corner;
+    format!("{checksum}\n")
+}
+
+/// Tables 3/4 workload: sequential LU with the identical initialization,
+/// elimination order and accumulation order as the MiniParty program.
+pub fn lu_output(n: i64, seed: i64) -> String {
+    let n = n as usize;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut rng = Rng::new(seed);
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = rng.next_double();
+        }
+        a[i][i] += n as f64;
+    }
+    for k in 0..n {
+        let pivot = a[k].clone();
+        let pkk = pivot[k];
+        for i in (k + 1)..n {
+            let l = a[i][k] / pkk;
+            a[i][k] = l;
+            for j in (k + 1)..n {
+                a[i][j] -= l * pivot[j];
+            }
+        }
+    }
+    let trace: f64 = { let mut t = 0.0; for i in 0..n { t += a[i][i]; } t };
+    let mut checksum = 0.0f64;
+    for row in &a {
+        for &v in row {
+            checksum += v.abs();
+        }
+    }
+    format!("{trace}\n{checksum}\n")
+}
+
+/// Tables 5/6 workload: re-run the enumeration and the per-tester
+/// deterministic equivalence testing, including the early-exit RNG
+/// consumption pattern of the MiniParty tester loop.
+pub fn superopt_output(max_len: i64, nregs: i64, nops: i64, trials: i64, seed: i64, machines: usize) -> String {
+    let (max_len, nregs, nops, trials) =
+        (max_len as usize, nregs as usize, nops as usize, trials as usize);
+
+    type Instr = (i32, usize, usize);
+
+    fn exec(prog: &[Instr], regs: &mut [i32]) {
+        for &(op, a, b) in prog {
+            match op {
+                0 => regs[a] = regs[b],
+                1 => regs[a] = regs[a].wrapping_add(regs[b]),
+                2 => regs[a] = regs[a].wrapping_sub(regs[b]),
+                3 => regs[a] &= regs[b],
+                4 => regs[a] |= regs[b],
+                5 => regs[a] ^= regs[b],
+                6 => regs[a] = 0i32.wrapping_sub(regs[a]),
+                _ => regs[a] = regs[a].wrapping_shl(1),
+            }
+        }
+    }
+
+    // target: XOR r0,r0 ; ADD r0,r1 ; ADD r0,r1
+    let target: Vec<Instr> = vec![(5, 0, 0), (1, 0, 1), (1, 0, 1)];
+
+    // Enumerate in the program's order, assigning round-robin.
+    let per_slot = nops * nregs * nregs;
+    let mut per_tester: Vec<Vec<Vec<Instr>>> = vec![Vec::new(); machines];
+    let mut next = 0usize;
+    for len in 1..=max_len {
+        let mut slots = vec![0usize; len];
+        loop {
+            let prog: Vec<Instr> = slots
+                .iter()
+                .map(|&e| {
+                    let op = (e / (nregs * nregs)) as i32;
+                    let rest = e % (nregs * nregs);
+                    (op, rest / nregs, rest % nregs)
+                })
+                .collect();
+            per_tester[next % machines].push(prog);
+            next += 1;
+            // odometer
+            let mut d = len as i64 - 1;
+            while d >= 0 {
+                slots[d as usize] += 1;
+                if slots[d as usize] < per_slot {
+                    break;
+                }
+                slots[d as usize] = 0;
+                d -= 1;
+            }
+            if d < 0 {
+                break;
+            }
+        }
+    }
+
+    let mut tested = 0u64;
+    let mut found = 0u64;
+    for (t, progs) in per_tester.iter().enumerate() {
+        let mut rng = Rng::new(seed + t as i64);
+        let mut r1 = vec![0i32; nregs];
+        let mut r2 = vec![0i32; nregs];
+        for prog in progs {
+            tested += 1;
+            let mut equal = true;
+            for _ in 0..trials {
+                for i in 0..nregs {
+                    let v = rng.next_int(2000) - 1000;
+                    r1[i] = v;
+                    r2[i] = v;
+                }
+                exec(&target, &mut r1);
+                exec(prog, &mut r2);
+                for i in 0..nregs {
+                    if r1[i] != r2[i] {
+                        equal = false;
+                    }
+                }
+                if !equal {
+                    break;
+                }
+            }
+            if equal {
+                found += 1;
+            }
+        }
+    }
+    format!("{tested}\n{found}\n")
+}
+
+/// Tables 7/8 workload: total/misses/hits printed by the master.
+pub fn webserver_output(npages: i64, page_size: i64, requests: i64, stride: i64) -> String {
+    let mut total = 0i64;
+    for r in 0..requests {
+        let pg = (r * stride + 3) % npages;
+        total += pg + page_size;
+    }
+    format!("{total}\n0\n{requests}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linked_list_sum() {
+        assert_eq!(linked_list_output(100, 100), "4950\n");
+    }
+
+    #[test]
+    fn lu_is_stable() {
+        // deterministic: same seed → same string
+        assert_eq!(lu_output(16, 42), lu_output(16, 42));
+        assert_ne!(lu_output(16, 42), lu_output(16, 43));
+    }
+
+    #[test]
+    fn superopt_finds_the_known_equivalent() {
+        // with enough trials, length-2 search must find at least
+        // MOV r0,r1; ADD r0,r1  ≡  r0 = 2*r1
+        let out = superopt_output(2, 2, 6, 8, 42, 2);
+        let found: u64 = out.lines().nth(1).unwrap().parse().unwrap();
+        assert!(found >= 1, "no equivalent found: {out}");
+    }
+
+    #[test]
+    fn webserver_totals() {
+        let out = webserver_output(10, 16, 5, 7);
+        // pgs: 3, 0, 7, 4, 1 → total = 15 + 5*16 = 95
+        assert_eq!(out, "95\n0\n5\n");
+    }
+}

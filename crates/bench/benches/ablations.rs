@@ -1,0 +1,141 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * serializer-engine ablation: introspection vs class-specific vs
+//!   call-site specific (the paper only tables `class` vs `site`);
+//! * the §7 list-shape extension (removes Table 1's leftover cycle table);
+//! * reuse-cache defeat: varying array sizes break the size check of
+//!   Figure 13, so reuse buys nothing;
+//! * cost-model sensitivity: the ordering of configurations must be
+//!   stable under a slower/faster modeled network.
+
+use corm::{CostModel, OptConfig, RunOptions};
+use corm_apps::{ARRAY2D, LINKED_LIST};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn engine_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_ablation_array2d");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("introspect", OptConfig::INTROSPECT),
+        ("class", OptConfig::CLASS),
+        ("site", OptConfig::SITE),
+    ] {
+        let compiled = ARRAY2D.compile(cfg);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = corm::run(
+                    &compiled,
+                    RunOptions { machines: 2, args: vec![16, 25], ..Default::default() },
+                );
+                assert!(out.error.is_none());
+                out.stats.wire_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+fn list_extension(c: &mut Criterion) {
+    let mut g = c.benchmark_group("list_extension_linkedlist");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("all", OptConfig::ALL),
+        ("all+list-ext", OptConfig { list_extension: true, ..OptConfig::ALL }),
+    ] {
+        let compiled = LINKED_LIST.compile(cfg);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = corm::run(
+                    &compiled,
+                    RunOptions { machines: 2, args: vec![100, 20], ..Default::default() },
+                );
+                assert!(out.error.is_none());
+                out.stats.cycle_lookups
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Reuse-cache defeat: a program whose array size changes on every RMI.
+/// Figure 13 reallocates on size mismatch, so `site+reuse` degenerates to
+/// `site`.
+fn reuse_mismatch(c: &mut Criterion) {
+    const SRC: &str = r#"
+        remote class Sink {
+            double acc;
+            void take(double[] a) { this.acc = this.acc + a[0]; }
+        }
+        class M {
+            static void main() {
+                int reps = (int) Cluster.arg(0);
+                Sink s = new Sink() @ 1;
+                for (int i = 0; i < reps; i++) {
+                    // size alternates: the cached buffer never matches
+                    double[] a = new double[8 + (i % 2) * 8];
+                    a[0] = i;
+                    s.take(a);
+                }
+            }
+        }
+    "#;
+    let mut g = c.benchmark_group("reuse_mismatch");
+    g.sample_size(10);
+    for (name, cfg) in [("site+cycle", OptConfig::SITE_CYCLE), ("all", OptConfig::ALL)] {
+        let compiled = corm::compile(SRC, cfg).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = corm::run(
+                    &compiled,
+                    RunOptions { machines: 2, args: vec![50], ..Default::default() },
+                );
+                assert!(out.error.is_none());
+                // alternating sizes defeat the cache entirely
+                assert_eq!(out.stats.reused_objs, 0);
+                out.stats.deser_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+fn cost_model_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_model_sweep_array2d");
+    g.sample_size(10);
+    let models = [
+        ("myrinet", CostModel::default()),
+        (
+            "fast-net",
+            CostModel { latency_ns: 2_000, bandwidth_bytes_per_sec: 1_250_000_000, ..CostModel::default() },
+        ),
+        (
+            "slow-net",
+            CostModel { latency_ns: 100_000, bandwidth_bytes_per_sec: 12_500_000, ..CostModel::default() },
+        ),
+    ];
+    for (mname, model) in models {
+        let class = ARRAY2D.compile(OptConfig::CLASS);
+        let all = ARRAY2D.compile(OptConfig::ALL);
+        g.bench_function(BenchmarkId::from_parameter(mname), |b| {
+            b.iter(|| {
+                let run = |compiled| {
+                    corm::run(
+                        compiled,
+                        RunOptions { machines: 2, args: vec![16, 10], cost: model, ..Default::default() },
+                    )
+                };
+                let o1 = run(&class);
+                let o2 = run(&all);
+                assert!(o1.error.is_none() && o2.error.is_none());
+                // shape stability: the full stack never loses to class on
+                // modeled time, regardless of the network model
+                assert!(o2.modeled <= o1.modeled);
+                o2.stats.wire_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_ablation, list_extension, reuse_mismatch, cost_model_sweep);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Compiler-side benches: front end, heap analysis and plan generation
+//! throughput on the largest application sources. These measure the
+//! static machinery of the paper (SSA + heap analysis + codegen), which
+//! the evaluation section treats as free (compile-time).
+
+use corm::OptConfig;
+use corm_apps::ALL_APPS;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_frontend");
+    for app in ALL_APPS {
+        g.bench_function(BenchmarkId::from_parameter(app.name), |b| {
+            b.iter(|| corm_ir_frontend(app.source))
+        });
+    }
+    g.finish();
+}
+
+fn corm_ir_frontend(src: &str) -> usize {
+    let m = corm::compile(src, OptConfig::CLASS).unwrap();
+    m.module.funcs.len()
+}
+
+fn full_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_full_site_mode");
+    for app in ALL_APPS {
+        g.bench_function(BenchmarkId::from_parameter(app.name), |b| {
+            b.iter(|| {
+                let compiled = corm::compile(app.source, OptConfig::ALL).unwrap();
+                compiled.plans.sites.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, frontend, full_compile);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Table 1: LinkedList transmission under the five
+//! optimization configurations. The measured quantity is real wall time
+//! of the simulated cluster run; the `tables` binary additionally reports
+//! modeled (Myrinet + managed-runtime) seconds.
+
+use corm::OptConfig;
+use corm_apps::LINKED_LIST;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_linkedlist");
+    g.sample_size(10);
+    for (name, cfg) in OptConfig::TABLE_ROWS {
+        let compiled = LINKED_LIST.compile(cfg);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = corm::run(
+                    &compiled,
+                    corm::RunOptions { machines: 2, args: vec![100, 20], ..Default::default() },
+                );
+                assert!(out.error.is_none());
+                out.stats.wire_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

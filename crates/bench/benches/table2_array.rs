@@ -1,0 +1,27 @@
+//! Criterion bench for Table 2: 16x16 double[][] transmission.
+
+use corm::OptConfig;
+use corm_apps::ARRAY2D;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_array");
+    g.sample_size(10);
+    for (name, cfg) in OptConfig::TABLE_ROWS {
+        let compiled = ARRAY2D.compile(cfg);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = corm::run(
+                    &compiled,
+                    corm::RunOptions { machines: 2, args: vec![16, 25], ..Default::default() },
+                );
+                assert!(out.error.is_none());
+                out.stats.wire_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Table 3: distributed LU factorization.
+
+use corm::OptConfig;
+use corm_apps::LU;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_lu");
+    g.sample_size(10);
+    for (name, cfg) in OptConfig::TABLE_ROWS {
+        let compiled = LU.compile(cfg);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = corm::run(
+                    &compiled,
+                    corm::RunOptions { machines: 2, args: vec![48, 42], ..Default::default() },
+                );
+                assert!(out.error.is_none());
+                out.stats.remote_rpcs
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Table 5: the parallel superoptimizer's exhaustive
+//! search (scaled to length-2 sequences for benchable iteration times).
+
+use corm::OptConfig;
+use corm_apps::SUPEROPT;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_superopt");
+    g.sample_size(10);
+    for (name, cfg) in OptConfig::TABLE_ROWS {
+        let compiled = SUPEROPT.compile(cfg);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = corm::run(
+                    &compiled,
+                    corm::RunOptions {
+                        machines: 2,
+                        args: vec![2, 3, 6, 4, 42],
+                        ..Default::default()
+                    },
+                );
+                assert!(out.error.is_none(), "{:?}", out.error);
+                out.stats.cycle_lookups
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

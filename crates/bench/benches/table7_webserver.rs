@@ -1,0 +1,33 @@
+//! Criterion bench for Table 7: webserver page retrieval latency.
+
+use corm::OptConfig;
+use corm_apps::WEBSERVER;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_webserver");
+    g.sample_size(10);
+    let requests = 400u64;
+    g.throughput(Throughput::Elements(requests));
+    for (name, cfg) in OptConfig::TABLE_ROWS {
+        let compiled = WEBSERVER.compile(cfg);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = corm::run(
+                    &compiled,
+                    corm::RunOptions {
+                        machines: 2,
+                        args: vec![50, 256, requests as i64, 7],
+                        ..Default::default()
+                    },
+                );
+                assert!(out.error.is_none());
+                out.stats.reused_objs
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Regenerate every table of the paper's evaluation (§5) and print them
+//! in the paper's format, with the published numbers alongside.
+//!
+//! Usage:
+//!   cargo run --release -p corm-bench --bin tables             # default scale
+//!   cargo run --release -p corm-bench --bin tables -- --quick  # CI scale
+//!   cargo run --release -p corm-bench --bin tables -- --reps 3
+
+use corm_apps::{ARRAY2D, LINKED_LIST, LU, SUPEROPT, WEBSERVER};
+use corm_bench::{
+    format_stats_table, format_time_table, measure_table, shape_verdicts, MeasuredRow,
+    PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE5, PAPER_TABLE7,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+
+    println!("# COR-RMI: reproduction of the paper's Tables 1-8");
+    println!();
+    println!(
+        "Scale: {} | repetitions per cell: {reps} | machines: 2 (as in the paper)",
+        if quick { "quick" } else { "default" }
+    );
+    println!();
+
+    let mut verdicts: Vec<(String, bool)> = Vec::new();
+
+    // Table 1 + the linked-list workload.
+    let t1_args = if quick { LINKED_LIST.quick_args } else { LINKED_LIST.default_args };
+    let t1 = measure_table(&LINKED_LIST, t1_args, 2, reps);
+    println!(
+        "{}",
+        format_time_table(
+            &format!("Table 1: LinkedList, {} elements, {} reps, 2 CPUs", t1_args[0], t1_args[1]),
+            &PAPER_TABLE1,
+            &t1
+        )
+    );
+    verdicts.extend(shape_verdicts("T1", &t1));
+    verdicts.push((
+        "T1: cycle elimination does not help the (conservatively cyclic) list".into(),
+        (t1[2].seconds - t1[1].seconds).abs() / t1[1].seconds < 0.10,
+    ));
+    verdicts.push(("T1: reuse adds a large gain over site".into(), t1[3].seconds < t1[1].seconds));
+
+    // Table 2.
+    let t2_args = if quick { ARRAY2D.quick_args } else { ARRAY2D.default_args };
+    let t2 = measure_table(&ARRAY2D, t2_args, 2, reps);
+    println!(
+        "{}",
+        format_time_table(
+            &format!("Table 2: 2D array transmission, {0}x{0}, {1} reps, 2 CPUs", t2_args[0], t2_args[1]),
+            &PAPER_TABLE2,
+            &t2
+        )
+    );
+    verdicts.extend(shape_verdicts("T2", &t2));
+    verdicts.push(("T2: cycle elimination helps the array".into(), t2[2].seconds < t2[1].seconds));
+
+    // Tables 3 and 4.
+    let t3_args = if quick { LU.quick_args } else { LU.default_args };
+    let t3 = measure_table(&LU, t3_args, 2, reps);
+    println!(
+        "{}",
+        format_time_table(
+            &format!("Table 3: LU runtime, {0}x{0} matrix, 2 CPUs", t3_args[0]),
+            &PAPER_TABLE3,
+            &t3
+        )
+    );
+    println!("{}", format_stats_table("Table 4: LU runtime statistics", &t3));
+    verdicts.extend(shape_verdicts("T3", &t3));
+    verdicts.push(("T4: cycle elimination removes (almost) all lookups".into(), t3[4].stats.cycle_lookups * 100 < t3[0].stats.cycle_lookups.max(1)));
+    verdicts.push(("T4: reuse cuts deserialization MBytes".into(), t3[4].stats.deser_bytes < t3[2].stats.deser_bytes));
+
+    // Tables 5 and 6.
+    let t5_args = if quick { SUPEROPT.quick_args } else { SUPEROPT.default_args };
+    let t5 = measure_table(&SUPEROPT, t5_args, 2, reps);
+    println!(
+        "{}",
+        format_time_table(
+            &format!(
+                "Table 5: superoptimizer exhaustive search (len<={}, {} regs, {} ops), 2 CPUs",
+                t5_args[0], t5_args[1], t5_args[2]
+            ),
+            &PAPER_TABLE5,
+            &t5
+        )
+    );
+    println!("{}", format_stats_table("Table 6: superoptimizer runtime statistics", &t5));
+    verdicts.extend(shape_verdicts("T5", &t5));
+    verdicts.push(("T6: queued programs are not reusable".into(), t5[4].stats.reused_objs <= 2));
+    verdicts.push(("T6: cycle lookups drop to ~0".into(), t5[4].stats.cycle_lookups * 100 < t5[0].stats.cycle_lookups.max(1)));
+
+    // Tables 7 and 8. The paper reports µs per webpage retrieval.
+    let t7_args = if quick { WEBSERVER.quick_args } else { WEBSERVER.default_args };
+    let t7_raw = measure_table(&WEBSERVER, t7_args, 2, reps);
+    let requests = t7_args[2] as f64;
+    let t7: Vec<MeasuredRow> = t7_raw
+        .iter()
+        .map(|r| MeasuredRow {
+            seconds: r.seconds * 1e6 / requests, // µs / page
+            wall: r.wall * 1e6 / requests,
+            ..r.clone()
+        })
+        .collect();
+    println!(
+        "{}",
+        format_time_table(
+            &format!(
+                "Table 7: webserver, us per webpage retrieval ({} pages, {} requests), 2 CPUs",
+                t7_args[0], t7_args[2]
+            ),
+            &PAPER_TABLE7,
+            &t7
+        )
+    );
+    println!("{}", format_stats_table("Table 8: webserver runtime statistics", &t7_raw));
+    verdicts.extend(shape_verdicts("T7", &t7));
+    verdicts.push(("T8: returned pages are reused".into(), t7_raw[4].stats.reused_objs > 0));
+    verdicts.push((
+        "T8: reuse eliminates most deserialization allocation".into(),
+        t7_raw[4].stats.deser_bytes * 2 < t7_raw[2].stats.deser_bytes,
+    ));
+
+    // Shape summary.
+    println!("### Shape verdicts (measured vs paper's qualitative claims)");
+    println!();
+    let mut ok = 0;
+    for (claim, pass) in &verdicts {
+        println!("- [{}] {}", if *pass { "PASS" } else { "FAIL" }, claim);
+        if *pass {
+            ok += 1;
+        }
+    }
+    println!();
+    println!("{ok}/{} shape claims hold", verdicts.len());
+}

@@ -1,0 +1,30 @@
+//! # corm-codegen — serializer code generation (paper §3.1, §4)
+//!
+//! Translates the static shapes proven by `corm-analysis` into executable
+//! serializer programs:
+//!
+//! * **Site mode** (the paper's contribution): one [`MarshalPlan`] per
+//!   remote call site. Statically-known sub-graphs are *inlined* — no
+//!   per-object dynamic dispatch, no wire type information, only a
+//!   one-byte presence bit per nullable reference. The cycle-detection
+//!   handle table is omitted when §3.2 proves the argument graph acyclic,
+//!   and reuse caches are enabled where §3.3 proves non-escaping.
+//! * **Class mode** (the `class` baseline, KaRMI/Manta style): one
+//!   precompiled serializer per class ([`ClassSerInfo`]), invoked through
+//!   dynamic dispatch with a type tag per object and an always-on cycle
+//!   table.
+//! * **Introspect mode** (Sun-RMI style baseline): no precompiled
+//!   serializers at all; the engine walks class metadata reflectively for
+//!   every object.
+//!
+//! The [`engine`] module executes these programs against a `corm-heap`
+//! heap, updating the `corm-wire` statistics counters.
+
+pub mod engine;
+pub mod plan;
+
+pub use engine::{DeserOutcome, SerError, Serializer};
+pub use plan::{
+    describe_plan, generate_plans, ClassSerInfo, EngineMode, MarshalPlan, OptConfig, Plans,
+    PrimKind, SerNode, SlotKind,
+};

@@ -1,0 +1,591 @@
+//! Serializer program representation and generation.
+
+use std::collections::HashMap;
+
+use corm_analysis::{AnalysisResult, Shape};
+use corm_ir::{CallSiteId, ClassId, FieldId, MethodId, Module, Ty};
+
+/// Primitive payload kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimKind {
+    Bool,
+    I32,
+    I64,
+    F64,
+}
+
+impl PrimKind {
+    pub fn of(ty: &Ty) -> Option<PrimKind> {
+        Some(match ty {
+            Ty::Bool => PrimKind::Bool,
+            Ty::Int => PrimKind::I32,
+            Ty::Long => PrimKind::I64,
+            Ty::Double => PrimKind::F64,
+            _ => return None,
+        })
+    }
+
+    pub fn elem_code(self) -> u8 {
+        match self {
+            PrimKind::Bool => corm_wire::ELEM_BOOL,
+            PrimKind::I32 => corm_wire::ELEM_I32,
+            PrimKind::I64 => corm_wire::ELEM_I64,
+            PrimKind::F64 => corm_wire::ELEM_F64,
+        }
+    }
+}
+
+/// A compiled serializer program node. Site-mode plans are trees of
+/// statically-resolved nodes; `Dynamic` is the tagged fall-back (and the
+/// entire program in class/introspect modes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SerNode {
+    /// Copy a primitive by value — zero protocol bytes.
+    Prim(PrimKind),
+    /// Length + UTF-8 bytes behind a presence bit; no type tag.
+    Str,
+    /// Remote handle: machine + object id + class id, by reference.
+    Remote,
+    /// Statically-known concrete class: presence bit, then fields inlined
+    /// in slot order. No type tag, no dispatch ("serialization code can be
+    /// inlined at the RMI call site", §1).
+    Inline {
+        class: ClassId,
+        /// Total slots to allocate at deserialization.
+        nfields: u32,
+        /// (field, slot, program) for every slot in layout order.
+        fields: Vec<(FieldId, u32, SerNode)>,
+    },
+    /// Primitive array: presence bit, u32 length, bulk payload.
+    ArrPrim { elem: PrimKind },
+    /// Reference array with statically-known element program.
+    ArrRef { elem_ty: Ty, elem: Box<SerNode> },
+    /// Tagged dynamic serialization (type info on the wire, per-class
+    /// serializer dispatch at runtime).
+    Dynamic,
+    /// Monomorphic recursion: re-enter the `Inline`/`ArrRef` program `up`
+    /// levels above this position. Lets recursive types (linked lists,
+    /// trees over one allocation site) serialize with zero type info —
+    /// "inlined ... often even for referred-to objects" (paper §1).
+    Recur { up: u32 },
+}
+
+/// Per-slot classification of a class layout, used by the per-class
+/// serializers of class mode and by dynamic deserialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    Prim(PrimKind),
+    Ref,
+}
+
+/// A precompiled per-class serializer (the `class` baseline of the
+/// evaluation; also the target of `Dynamic` dispatch in site mode).
+#[derive(Debug, Clone)]
+pub struct ClassSerInfo {
+    pub class: ClassId,
+    /// One entry per layout slot, in slot order.
+    pub slots: Vec<SlotKind>,
+    /// Classes that cannot cross the wire (native instances).
+    pub serializable: bool,
+}
+
+/// The complete marshaling strategy for one remote call site.
+#[derive(Debug, Clone)]
+pub struct MarshalPlan {
+    pub site: CallSiteId,
+    pub method: MethodId,
+    /// Serializer programs for the arguments (receiver excluded).
+    pub args: Vec<SerNode>,
+    /// Serializer program for the return value (None when void).
+    pub ret: Option<SerNode>,
+    /// Runtime cycle table needed while (de)serializing arguments.
+    pub args_cycle_table: bool,
+    /// Runtime cycle table needed for the return value.
+    pub ret_cycle_table: bool,
+    /// Per-argument reuse-cache enablement (callee side).
+    pub arg_reuse: Vec<bool>,
+    /// Return-value reuse-cache enablement (caller side).
+    pub ret_reuse: bool,
+    /// Reply degrades to a bare ack (return value ignored by the caller).
+    pub ret_ignored: bool,
+    pub is_spawn: bool,
+}
+
+/// Which serializer engine generates/executes the plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Sun-RMI style runtime introspection (slowest baseline).
+    Introspect,
+    /// KaRMI/Manta-style class-specific serializers — the paper's `class`
+    /// baseline.
+    #[default]
+    Class,
+    /// Call-site-specific marshalers — the paper's contribution (§3.1).
+    Site,
+}
+
+/// The optimization switchboard matching the paper's evaluation legend:
+/// `class`, `site`, `site+cycle`, `site+reuse`, `site+reuse+cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptConfig {
+    pub engine: EngineMode,
+    /// §3.2: elide the cycle table where the heap analysis proves
+    /// acyclicity. Without this flag the table is always used.
+    pub cycle_elim: bool,
+    /// §3.3: reuse argument/return object graphs where escape analysis
+    /// allows.
+    pub reuse: bool,
+    /// §7 extension: treat single-field self-recursive spines (linked
+    /// lists) as acyclic in the cycle analysis. Ablation only.
+    pub list_extension: bool,
+}
+
+impl OptConfig {
+    /// `class` row of the tables.
+    pub const CLASS: OptConfig = OptConfig {
+        engine: EngineMode::Class,
+        cycle_elim: false,
+        reuse: false,
+        list_extension: false,
+    };
+    /// `site` row.
+    pub const SITE: OptConfig = OptConfig {
+        engine: EngineMode::Site,
+        cycle_elim: false,
+        reuse: false,
+        list_extension: false,
+    };
+    /// `site + cycle` row.
+    pub const SITE_CYCLE: OptConfig = OptConfig {
+        engine: EngineMode::Site,
+        cycle_elim: true,
+        reuse: false,
+        list_extension: false,
+    };
+    /// `site + reuse` row.
+    pub const SITE_REUSE: OptConfig = OptConfig {
+        engine: EngineMode::Site,
+        cycle_elim: false,
+        reuse: true,
+        list_extension: false,
+    };
+    /// `site + reuse + cycle` row.
+    pub const ALL: OptConfig = OptConfig {
+        engine: EngineMode::Site,
+        cycle_elim: true,
+        reuse: true,
+        list_extension: false,
+    };
+    /// Pure-introspection baseline (not in the paper's tables; ablation).
+    pub const INTROSPECT: OptConfig = OptConfig {
+        engine: EngineMode::Introspect,
+        cycle_elim: false,
+        reuse: false,
+        list_extension: false,
+    };
+
+    /// The five configurations of the paper's tables, in table order.
+    pub const TABLE_ROWS: [(&'static str, OptConfig); 5] = [
+        ("class", OptConfig::CLASS),
+        ("site", OptConfig::SITE),
+        ("site + cycle", OptConfig::SITE_CYCLE),
+        ("site + reuse", OptConfig::SITE_REUSE),
+        ("site + reuse + cycle", OptConfig::ALL),
+    ];
+
+    pub fn label(&self) -> String {
+        for (name, cfg) in Self::TABLE_ROWS {
+            if cfg == *self {
+                return name.to_string();
+            }
+        }
+        format!("{self:?}")
+    }
+}
+
+/// All compiled serializer programs for a module under one configuration.
+#[derive(Debug, Clone)]
+pub struct Plans {
+    pub config: OptConfig,
+    pub sites: HashMap<CallSiteId, MarshalPlan>,
+    /// Indexed by `ClassId`.
+    pub class_sers: Vec<ClassSerInfo>,
+}
+
+impl Plans {
+    pub fn class_ser(&self, c: ClassId) -> &ClassSerInfo {
+        &self.class_sers[c.index()]
+    }
+
+    pub fn plan(&self, site: CallSiteId) -> Option<&MarshalPlan> {
+        self.sites.get(&site)
+    }
+}
+
+/// Generate all serializer programs for `m` under `config`, consuming the
+/// analysis summary.
+pub fn generate_plans(m: &Module, analysis: &AnalysisResult, config: OptConfig) -> Plans {
+    let class_sers = m
+        .table
+        .classes
+        .iter()
+        .map(|c| ClassSerInfo {
+            class: c.id,
+            slots: c
+                .layout
+                .iter()
+                .map(|&fid| {
+                    let ty = &m.table.field(fid).ty;
+                    match PrimKind::of(ty) {
+                        Some(k) => SlotKind::Prim(k),
+                        None => SlotKind::Ref,
+                    }
+                })
+                .collect(),
+            serializable: c.kind != corm_ir::ClassKind::NativeInstance,
+        })
+        .collect();
+
+    let mut sites = HashMap::new();
+    for cs in m.remote_call_sites() {
+        let Some(info) = analysis.sites.get(&cs.id) else { continue };
+        let meth = m.table.method(info.method);
+
+        let site_mode = config.engine == EngineMode::Site;
+        let args: Vec<SerNode> = if site_mode {
+            info.arg_shapes.iter().map(node_of_shape).collect()
+        } else {
+            // class/introspect baseline: the stub knows the method
+            // signature (rmic-style) but every object is serialized
+            // dynamically with full wire type information.
+            meth.params.iter().map(|t| shallow_node_of_ty(m, t)).collect()
+        };
+        let ret = match (&meth.ret, &info.ret_shape) {
+            (Ty::Void, _) => None,
+            (_, Some(shape)) if site_mode => Some(node_of_shape(shape)),
+            (rty, _) => Some(shallow_node_of_ty(m, rty)),
+        };
+
+        // Cycle table: always on unless the cycle-elimination optimization
+        // is enabled AND the analysis proves acyclicity. Only site mode
+        // has per-call-site knowledge ('class' cannot know the call site).
+        let args_cycle_table = if config.cycle_elim && site_mode {
+            info.args_may_cycle
+        } else {
+            args_need_table(&args)
+        };
+        let ret_cycle_table = if config.cycle_elim && site_mode {
+            info.ret_may_cycle
+        } else {
+            ret.as_ref().map(node_needs_table).unwrap_or(false)
+        };
+
+        // Reuse: per-argument, only where escape analysis allows; the
+        // paper evaluates reuse only together with site-specific
+        // unmarshalers (a per-call-site cache slot), so we require site
+        // mode as well.
+        let arg_reuse: Vec<bool> = if config.reuse && site_mode {
+            info.arg_reusable.clone()
+        } else {
+            vec![false; meth.params.len()]
+        };
+        let ret_reuse = config.reuse && site_mode && info.ret_reusable;
+
+        sites.insert(
+            cs.id,
+            MarshalPlan {
+                site: cs.id,
+                method: info.method,
+                args,
+                ret,
+                args_cycle_table,
+                ret_cycle_table,
+                arg_reuse,
+                ret_reuse,
+                ret_ignored: info.ret_ignored,
+                is_spawn: info.is_spawn,
+            },
+        );
+    }
+
+    Plans { config, sites, class_sers }
+}
+
+/// Does any sub-program require the handle table (i.e., contain references
+/// that could alias)? Pure primitives/strings never do.
+fn args_need_table(args: &[SerNode]) -> bool {
+    args.iter().any(node_needs_table)
+}
+
+fn node_needs_table(n: &SerNode) -> bool {
+    match n {
+        SerNode::Prim(_) | SerNode::Str | SerNode::Remote | SerNode::Recur { .. } => false,
+        // Without the cycle-elimination optimization every object-graph
+        // serialization uses the table (the `class`/`site` rows).
+        SerNode::Inline { .. } | SerNode::ArrPrim { .. } | SerNode::ArrRef { .. }
+        | SerNode::Dynamic => true,
+    }
+}
+
+/// Signature-level serializer node for the class/introspect baselines:
+/// primitives and strings directly (rmic stubs do the same), remote
+/// classes by reference, everything else fully dynamic.
+fn shallow_node_of_ty(m: &Module, ty: &Ty) -> SerNode {
+    if let Some(k) = PrimKind::of(ty) {
+        return SerNode::Prim(k);
+    }
+    match ty {
+        Ty::Str => SerNode::Str,
+        Ty::Class(c) if m.table.class(*c).is_remote => SerNode::Remote,
+        _ => SerNode::Dynamic,
+    }
+}
+
+fn node_of_shape(s: &Shape) -> SerNode {
+    match s {
+        Shape::Prim(t) => SerNode::Prim(PrimKind::of(t).expect("prim shape")),
+        Shape::Str => SerNode::Str,
+        Shape::Remote(_) => SerNode::Remote,
+        Shape::Exact { class, fields } => SerNode::Inline {
+            class: *class,
+            nfields: fields.len() as u32,
+            fields: fields
+                .iter()
+                .map(|f| (f.field, f.slot, node_of_shape(&f.shape)))
+                .collect(),
+        },
+        Shape::ArrayPrim { elem } => {
+            SerNode::ArrPrim { elem: PrimKind::of(elem).expect("prim array") }
+        }
+        Shape::ArrayRef { elem_ty, elem } => {
+            SerNode::ArrRef { elem_ty: elem_ty.clone(), elem: Box::new(node_of_shape(elem)) }
+        }
+        Shape::Dynamic(_) => SerNode::Dynamic,
+        Shape::Rec { up } => SerNode::Recur { up: *up },
+    }
+}
+
+/// Pseudo-code dump of a marshal plan, in the style of the paper's
+/// Figures 6, 7 and 13.
+pub fn describe_plan(m: &Module, plan: &MarshalPlan) -> String {
+    use std::fmt::Write;
+    let meth = m.table.method(plan.method);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "// call site {}: marshaler {}.{} ({})",
+        plan.site.0,
+        m.table.class(meth.owner).name,
+        meth.name,
+        if plan.args_cycle_table { "with cycle table" } else { "NO cycle table" }
+    );
+    let _ = writeln!(s, "message m = new message();");
+    for (i, a) in plan.args.iter().enumerate() {
+        describe_node(m, a, &format!("arg{}", i + 1), &mut s, 0);
+    }
+    let _ = writeln!(s, "m.send();");
+    if plan.is_spawn {
+        let _ = writeln!(s, "// one-way (spawn): no reply expected");
+    } else if plan.ret_ignored {
+        let _ = writeln!(s, "wait_for_ack(); // return value ignored at this site");
+    } else if let Some(r) = &plan.ret {
+        let _ = writeln!(s, "wait_for_return_value();");
+        describe_node(m, r, "ret", &mut s, 0);
+    } else {
+        let _ = writeln!(s, "wait_for_ack();");
+    }
+    for (i, &ru) in plan.arg_reuse.iter().enumerate() {
+        if ru {
+            let _ = writeln!(
+                s,
+                "// unmarshaler keeps arg{} cached between calls (object reuse)",
+                i + 1
+            );
+        }
+    }
+    if plan.ret_reuse {
+        let _ = writeln!(s, "// caller keeps the deserialized return value cached (object reuse)");
+    }
+    s
+}
+
+fn describe_node(m: &Module, n: &SerNode, path: &str, s: &mut String, depth: usize) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    match n {
+        SerNode::Prim(k) => {
+            let _ = writeln!(s, "{pad}m.write_{}({path});", prim_name(*k));
+        }
+        SerNode::Str => {
+            let _ = writeln!(s, "{pad}m.write_string({path}); // length + bytes, no type tag");
+        }
+        SerNode::Remote => {
+            let _ = writeln!(s, "{pad}m.write_remote_ref({path});");
+        }
+        SerNode::Inline { class, fields, .. } => {
+            let cname = &m.table.class(*class).name;
+            let _ = writeln!(s, "{pad}// NOTE: {cname} is inferred by compiler analysis!");
+            for (fid, _, node) in fields {
+                let fname = &m.table.field(*fid).name;
+                describe_node(m, node, &format!("{path}.{fname}"), s, depth);
+            }
+        }
+        SerNode::ArrPrim { elem } => {
+            let _ = writeln!(s, "{pad}m.write_int({path}.length);");
+            let _ = writeln!(s, "{pad}m.write_{}_array({path}); // bulk copy", prim_name(*elem));
+        }
+        SerNode::ArrRef { elem, .. } => {
+            let _ = writeln!(s, "{pad}m.write_int({path}.length);");
+            let _ = writeln!(s, "{pad}for (int i = 0; i < {path}.length; i++) {{");
+            describe_node(m, elem, &format!("{path}[i]"), s, depth + 1);
+            let _ = writeln!(s, "{pad}}}");
+        }
+        SerNode::Dynamic => {
+            let _ = writeln!(
+                s,
+                "{pad}serialize_dynamic({path}); // type tag + class serializer dispatch"
+            );
+        }
+        SerNode::Recur { up } => {
+            let _ = writeln!(
+                s,
+                "{pad}write_recursive({path}); // re-enter enclosing serializer ({up} up), no type info"
+            );
+        }
+    }
+}
+
+fn prim_name(k: PrimKind) -> &'static str {
+    match k {
+        PrimKind::Bool => "boolean",
+        PrimKind::I32 => "int",
+        PrimKind::I64 => "long",
+        PrimKind::F64 => "double",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corm_analysis::{analyze_module, AnalysisOptions};
+    use corm_ir::compile_frontend;
+
+    fn plans_for(src: &str, config: OptConfig) -> (Module, Plans) {
+        let m = compile_frontend(src).unwrap();
+        let opts = AnalysisOptions {
+            cycle: corm_analysis::cycles::CycleOptions {
+                assume_acyclic_self_lists: config.list_extension,
+            },
+        };
+        let a = analyze_module(&m, opts);
+        let p = generate_plans(&m, &a, config);
+        (m, p)
+    }
+
+    const ARRAY_SRC: &str = r#"
+        remote class Foo {
+            void send(double[][] arr) { }
+        }
+        class M {
+            static void main() {
+                double[][] arr = new double[16][16];
+                Foo f = new Foo();
+                f.send(arr);
+            }
+        }
+    "#;
+
+    #[test]
+    fn site_mode_array_is_static() {
+        let (_m, p) = plans_for(ARRAY_SRC, OptConfig::ALL);
+        let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+        match &plan.args[0] {
+            SerNode::ArrRef { elem, .. } => {
+                assert_eq!(**elem, SerNode::ArrPrim { elem: PrimKind::F64 })
+            }
+            other => panic!("expected static array program, got {other:?}"),
+        }
+        assert!(!plan.args_cycle_table, "cycle analysis proves acyclic (paper §4)");
+        assert!(plan.arg_reuse[0], "escape analysis enables reuse (Fig 13)");
+        assert!(plan.ret_ignored);
+    }
+
+    #[test]
+    fn site_without_cycle_elim_keeps_table() {
+        let (_m, p) = plans_for(ARRAY_SRC, OptConfig::SITE);
+        let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+        assert!(plan.args_cycle_table, "'site' row keeps the cycle table");
+        assert!(!plan.arg_reuse[0], "'site' row has no reuse");
+    }
+
+    #[test]
+    fn class_mode_is_all_dynamic() {
+        let (_m, p) = plans_for(ARRAY_SRC, OptConfig::CLASS);
+        let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+        assert_eq!(plan.args[0], SerNode::Dynamic);
+        assert!(plan.args_cycle_table);
+    }
+
+    #[test]
+    fn prim_args_never_need_cycle_table() {
+        let src = r#"
+            remote class R { void f(int x, double y) { } }
+            class M { static void main() { R r = new R(); r.f(1, 2.0); } }
+        "#;
+        let (_m, p) = plans_for(src, OptConfig::SITE);
+        let plan = p.sites.values().find(|pl| pl.args.len() == 2).unwrap();
+        assert!(!plan.args_cycle_table, "scalars cannot alias");
+    }
+
+    #[test]
+    fn linked_list_cycle_table_depends_on_extension() {
+        let src = r#"
+            class LinkedList {
+                LinkedList next;
+                LinkedList(LinkedList next) { this.next = next; }
+            }
+            remote class Foo { void send(LinkedList l) { } }
+            class M {
+                static void main() {
+                    LinkedList head = null;
+                    for (int i = 0; i < 10; i++) { head = new LinkedList(head); }
+                    Foo f = new Foo();
+                    f.send(head);
+                }
+            }
+        "#;
+        let (_m, p) = plans_for(src, OptConfig::ALL);
+        let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+        assert!(plan.args_cycle_table, "paper §7: lists conservatively keep the table");
+
+        let ext = OptConfig { list_extension: true, ..OptConfig::ALL };
+        let (_m, p) = plans_for(src, ext);
+        let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+        assert!(!plan.args_cycle_table, "§7 extension removes the table");
+    }
+
+    #[test]
+    fn class_sers_cover_all_classes() {
+        let (m, p) = plans_for(ARRAY_SRC, OptConfig::CLASS);
+        assert_eq!(p.class_sers.len(), m.table.classes.len());
+        let rng = m.table.class_named("Rng").unwrap();
+        assert!(!p.class_ser(rng).serializable);
+    }
+
+    #[test]
+    fn describe_matches_fig13_style() {
+        let (m, p) = plans_for(ARRAY_SRC, OptConfig::ALL);
+        let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+        let text = describe_plan(&m, plan);
+        assert!(text.contains("NO cycle table"));
+        assert!(text.contains("bulk copy"));
+        assert!(text.contains("object reuse"));
+        assert!(text.contains("wait_for_ack"));
+    }
+
+    #[test]
+    fn preset_labels() {
+        assert_eq!(OptConfig::CLASS.label(), "class");
+        assert_eq!(OptConfig::ALL.label(), "site + reuse + cycle");
+    }
+}

@@ -1,0 +1,189 @@
+//! `corm` — command-line driver for the COR-RMI compiler and simulated
+//! cluster.
+//!
+//! ```text
+//! corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--stats]
+//! corm analyze <file.mp> [--config CFG]     # analysis report + marshalers
+//! corm ir <file.mp>                         # lowered IR + SSA dump
+//! corm graph <file.mp>                      # points-to heap graph
+//! ```
+//!
+//! CFG ∈ class | site | site-cycle | site-reuse | all | introspect
+//! (optionally suffixed with `+list-ext` for the §7 ablation).
+
+use std::process::ExitCode;
+
+use corm::{compile, run, OptConfig, RunOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--stats] [--trace] [--quiet]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config(s: &str) -> Option<OptConfig> {
+    let (base, ext) = match s.strip_suffix("+list-ext") {
+        Some(b) => (b, true),
+        None => (s, false),
+    };
+    let mut cfg = match base {
+        "class" => OptConfig::CLASS,
+        "site" => OptConfig::SITE,
+        "site-cycle" => OptConfig::SITE_CYCLE,
+        "site-reuse" => OptConfig::SITE_REUSE,
+        "all" => OptConfig::ALL,
+        "introspect" => OptConfig::INTROSPECT,
+        _ => return None,
+    };
+    cfg.list_extension = ext;
+    Some(cfg)
+}
+
+struct Cli {
+    command: String,
+    file: String,
+    config: OptConfig,
+    machines: usize,
+    args: Vec<i64>,
+    stats: bool,
+    quiet: bool,
+    trace: bool,
+}
+
+fn parse_cli() -> Cli {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 2 {
+        usage();
+    }
+    let mut cli = Cli {
+        command: argv[0].clone(),
+        file: argv[1].clone(),
+        config: OptConfig::ALL,
+        machines: 2,
+        args: Vec::new(),
+        stats: false,
+        quiet: false,
+        trace: false,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--config" => {
+                i += 1;
+                let Some(cfg) = argv.get(i).and_then(|s| parse_config(s)) else {
+                    eprintln!("bad --config value");
+                    usage();
+                };
+                cli.config = cfg;
+            }
+            "--machines" => {
+                i += 1;
+                cli.machines = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--args" => {
+                i += 1;
+                let Some(list) = argv.get(i) else { usage() };
+                cli.args = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--stats" => cli.stats = true,
+            "--quiet" => cli.quiet = true,
+            "--trace" => cli.trace = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let src = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", cli.file);
+            return ExitCode::from(2);
+        }
+    };
+    let compiled = match compile(&src, cli.config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: compile error: {e}", cli.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cli.command.as_str() {
+        "run" => {
+            let outcome = run(
+                &compiled,
+                RunOptions {
+                    machines: cli.machines,
+                    args: cli.args.clone(),
+                    echo: !cli.quiet,
+                    trace: cli.trace,
+                    ..Default::default()
+                },
+            );
+            if cli.trace {
+                eprintln!("--- RMI timeline ---");
+                eprint!("{}", corm::render_timeline(&outcome.trace));
+            }
+            if cli.stats {
+                let st = &outcome.stats;
+                eprintln!("--- run statistics ({}) ---", cli.config.label());
+                eprintln!("wall            : {:?}", outcome.wall);
+                eprintln!("modeled         : {:.3} ms", outcome.modeled.as_secs_f64() * 1e3);
+                eprintln!("local rpcs      : {}", st.local_rpcs);
+                eprintln!("remote rpcs     : {}", st.remote_rpcs);
+                eprintln!("messages        : {}", st.messages);
+                eprintln!("wire bytes      : {}", st.wire_bytes);
+                eprintln!("type-info bytes : {}", st.type_info_bytes);
+                eprintln!("cycle lookups   : {}", st.cycle_lookups);
+                eprintln!("ser invocations : {}", st.ser_invocations);
+                eprintln!("reused objects  : {}", st.reused_objs);
+                eprintln!("deser MBytes    : {:.2}", st.new_mbytes());
+                eprintln!("GC runs         : {}", outcome.heap.gc_runs);
+            }
+            if let Some(e) = outcome.error {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        "analyze" => {
+            println!("=== remote call site analysis ({}) ===", cli.config.label());
+            println!("{}", compiled.dump_analysis());
+            println!("=== generated marshalers ===");
+            println!("{}", compiled.dump_marshalers());
+            ExitCode::SUCCESS
+        }
+        "ir" => {
+            println!("{}", corm_ir_dump(&compiled));
+            ExitCode::SUCCESS
+        }
+        "graph" => {
+            println!("{}", compiled.dump_heap_graph());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn corm_ir_dump(compiled: &corm::Compiled) -> String {
+    use std::fmt::Write;
+    let mut s = corm_ir::pretty::print_module(&compiled.module);
+    let _ = writeln!(s, "=== SSA ===");
+    for f in &compiled.module.funcs {
+        let ssa = corm_ir::ssa::build_ssa(f);
+        s.push_str(&corm_ir::pretty::print_ssa(&compiled.module, &ssa));
+    }
+    s
+}

@@ -1,0 +1,23 @@
+//! # corm-heap — the managed object heap
+//!
+//! Java RMI's costs (reflective introspection, per-object allocation during
+//! deserialization, GC pressure) are properties of a managed runtime. Rust
+//! has no such runtime, so this crate provides one: a slab heap of tagged
+//! objects described by the `corm-ir` class table, with allocation
+//! accounting (the paper's "new MBytes" statistic, Table 4/6/8) and a
+//! stop-the-world mark–sweep collector.
+//!
+//! Each simulated machine owns one [`Heap`]. Object identity is an
+//! [`ObjRef`] index into the slab; cross-machine references are
+//! [`RemoteRef`]s and are never traced (exported remote objects are pinned
+//! on their owner).
+
+mod equal;
+mod gc;
+mod heap;
+mod value;
+
+pub use equal::{deep_equal, deep_equal_across, structure_digest};
+pub use gc::GcReport;
+pub use heap::{AllocAttribution, Heap, HeapError, HeapStats, NativeData, Obj, ObjBody};
+pub use value::{ObjRef, RemoteRef, Value};

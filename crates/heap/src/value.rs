@@ -1,0 +1,90 @@
+//! Runtime values.
+
+use corm_ir::ClassId;
+
+/// Index of an object within one machine's heap slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(pub u32);
+
+impl ObjRef {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// A reference to a `remote class` instance living on some machine.
+/// RMI passes these by reference (the paper's `serialize_remote_ref`),
+/// while ordinary objects are passed by deep copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteRef {
+    pub machine: u16,
+    pub obj: ObjRef,
+    pub class: ClassId,
+}
+
+/// A tagged runtime value. `Ref` is machine-local; `Remote` is a
+/// cross-machine remote-object handle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Int(i32),
+    Long(i64),
+    Double(f64),
+    Ref(ObjRef),
+    Remote(RemoteRef),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected bool, found {other:?}"),
+        }
+    }
+
+    pub fn as_int(&self) -> i32 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+
+    pub fn as_long(&self) -> i64 {
+        match self {
+            Value::Long(v) => *v,
+            Value::Int(v) => *v as i64,
+            other => panic!("expected long, found {other:?}"),
+        }
+    }
+
+    pub fn as_double(&self) -> f64 {
+        match self {
+            Value::Double(v) => *v,
+            Value::Int(v) => *v as f64,
+            Value::Long(v) => *v as f64,
+            other => panic!("expected double, found {other:?}"),
+        }
+    }
+
+    pub fn as_ref(&self) -> Option<ObjRef> {
+        match self {
+            Value::Ref(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+

@@ -1,0 +1,151 @@
+//! Abstract syntax tree for MiniParty.
+
+use crate::Span;
+
+/// A parsed compilation unit: an unordered set of class declarations.
+#[derive(Debug, Clone)]
+pub struct AstProgram {
+    pub classes: Vec<AstClass>,
+}
+
+/// A class declaration. `is_remote` corresponds to JavaParty's
+/// `remote class` keyword: all instance methods become remotely invokable.
+#[derive(Debug, Clone)]
+pub struct AstClass {
+    pub name: String,
+    pub is_remote: bool,
+    pub extends: Option<String>,
+    pub fields: Vec<AstField>,
+    pub methods: Vec<AstMethod>,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct AstField {
+    pub name: String,
+    pub ty: AstTy,
+    pub is_static: bool,
+    pub init: Option<Expr>,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct AstMethod {
+    pub name: String,
+    pub is_static: bool,
+    /// `true` for constructors (declared as `ClassName(params) { ... }`).
+    pub is_ctor: bool,
+    pub ret: AstTy,
+    pub params: Vec<(AstTy, String)>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// Source-level types (resolved against the class table later).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstTy {
+    Void,
+    Bool,
+    Int,
+    Long,
+    Double,
+    /// `String`
+    Str,
+    /// `Object`, the implicit root class
+    Object,
+    Named(String),
+    Array(Box<AstTy>),
+}
+
+impl AstTy {
+    pub fn array_of(self) -> AstTy {
+        AstTy::Array(Box::new(self))
+    }
+}
+
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    Block(Vec<Stmt>),
+    VarDecl { ty: AstTy, name: String, init: Option<Expr>, span: Span },
+    If { cond: Expr, then: Box<Stmt>, els: Option<Box<Stmt>> },
+    While { cond: Expr, body: Box<Stmt> },
+    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Expr>, body: Box<Stmt> },
+    Return { value: Option<Expr>, span: Span },
+    Expr(Expr),
+    /// `spawn recv.method(args);` — fire-and-forget asynchronous invocation
+    /// (one-way RMI for remote receivers, a new local thread otherwise).
+    Spawn { call: Expr, span: Span },
+    Break { span: Span },
+    Continue { span: Span },
+    Empty,
+}
+
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    IntLit(i64),
+    DoubleLit(f64),
+    BoolLit(bool),
+    StrLit(String),
+    Null,
+    This,
+    Ident(String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `target op= value`; `op == None` is plain assignment.
+    Assign { target: Box<Expr>, op: Option<BinOp>, value: Box<Expr> },
+    /// `++x`, `x--`, ... — `inc` is +1/-1, `pre` selects pre/post value.
+    IncDec { target: Box<Expr>, inc: i64, pre: bool },
+    Field { obj: Box<Expr>, name: String },
+    Index { arr: Box<Expr>, idx: Box<Expr> },
+    /// `recv.name(args)`; `recv == None` for unqualified calls (resolved to
+    /// `this.name(...)` or a static of the enclosing class). A receiver that
+    /// is a bare class name resolves to a static call during resolution.
+    Call { recv: Option<Box<Expr>>, name: String, args: Vec<Expr> },
+    /// `new C(args) [@ placement]` — `placement` selects a machine for
+    /// remote classes (JavaParty-style placement hint).
+    New { class: String, args: Vec<Expr>, placement: Option<Box<Expr>> },
+    /// `new T[d0][d1]...[]*` — `dims` are the sized dimensions, `extra_dims`
+    /// counts trailing unsized `[]` levels.
+    NewArray { elem: AstTy, dims: Vec<Expr>, extra_dims: usize },
+    Cast { ty: AstTy, expr: Box<Expr> },
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}

@@ -1,0 +1,172 @@
+//! Human-readable dumps of the CFG IR and SSA form, used by the examples
+//! (`examples/figures.rs` prints generated code the way the paper's
+//! Figures 6/7/13 do) and for debugging.
+
+use std::fmt::Write;
+
+use crate::cfg::*;
+use crate::classes::*;
+use crate::ssa::SsaFunction;
+
+/// Render one function as text.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "func {} ({} blocks) -> {}", f.name, f.blocks.len(), m.table.ty_name(&f.ret));
+    let params: Vec<String> = f.params.iter().map(|p| format!("{p}")).collect();
+    let _ = writeln!(s, "  params: [{}]", params.join(", "));
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(s, "  bb{bi}:");
+        for i in &b.instrs {
+            let _ = writeln!(s, "    {}", print_instr(m, i));
+        }
+        let _ = writeln!(s, "    {}", print_term(&b.term));
+    }
+    s
+}
+
+/// Render an SSA function as text.
+pub fn print_ssa(m: &Module, f: &SsaFunction) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "ssa func {}", f.name);
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(s, "  bb{bi}:");
+        for phi in &b.phis {
+            let args: Vec<String> =
+                phi.args.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
+            let _ = writeln!(s, "    {} = phi {}", phi.dst, args.join(", "));
+        }
+        for i in &b.instrs {
+            let _ = writeln!(s, "    {}", print_instr(m, i));
+        }
+        let _ = writeln!(s, "    {}", print_term(&b.term));
+    }
+    s
+}
+
+fn print_const(m: &Module, c: &Const) -> String {
+    match c {
+        Const::Null => "null".into(),
+        Const::Bool(b) => b.to_string(),
+        Const::Int(v) => v.to_string(),
+        Const::Long(v) => format!("{v}L"),
+        Const::Double(v) => format!("{v:?}"),
+        Const::Str(id) => format!("{:?}", m.str(*id)),
+    }
+}
+
+fn print_target(m: &Module, t: &CallTarget) -> String {
+    match t {
+        CallTarget::Static(mid) => format!("static {}", method_name(m, *mid)),
+        CallTarget::Virtual { decl, vslot } => {
+            format!("virtual {} (vslot {})", method_name(m, *decl), vslot)
+        }
+        CallTarget::Remote(mid) => format!("remote {}", method_name(m, *mid)),
+        CallTarget::Ctor(mid) => format!("ctor {}", method_name(m, *mid)),
+        CallTarget::Builtin(b) => format!("builtin {b:?}"),
+    }
+}
+
+fn method_name(m: &Module, mid: MethodId) -> String {
+    let meth = m.table.method(mid);
+    format!("{}.{}", m.table.class(meth.owner).name, meth.name)
+}
+
+/// Render a single instruction.
+pub fn print_instr(m: &Module, i: &Instr) -> String {
+    match i {
+        Instr::Const { dst, v } => format!("{dst} = const {}", print_const(m, v)),
+        Instr::Move { dst, src } => format!("{dst} = {src}"),
+        Instr::Un { dst, op, a } => format!("{dst} = {op:?} {a}"),
+        Instr::Bin { dst, op, a, b } => format!("{dst} = {op:?} {a}, {b}"),
+        Instr::Cast { dst, src, to } => format!("{dst} = cast {src} to {}", m.table.ty_name(to)),
+        Instr::New { dst, class, site, placement } => {
+            let p = placement.map(|r| format!(" @ {r}")).unwrap_or_default();
+            format!("{dst} = new {} (site {}){p}", m.table.class(*class).name, site.0)
+        }
+        Instr::NewArray { dst, elem, len, site } => {
+            format!("{dst} = newarray {}[{len}] (site {})", m.table.ty_name(elem), site.0)
+        }
+        Instr::GetField { dst, obj, field } => {
+            format!("{dst} = {obj}.{}", m.table.field(field.field).name)
+        }
+        Instr::SetField { obj, field, val } => {
+            format!("{obj}.{} = {val}", m.table.field(field.field).name)
+        }
+        Instr::GetStatic { dst, sid } => format!("{dst} = static#{}", sid.0),
+        Instr::SetStatic { sid, val } => format!("static#{} = {val}", sid.0),
+        Instr::ArrLoad { dst, arr, idx } => format!("{dst} = {arr}[{idx}]"),
+        Instr::ArrStore { arr, idx, val } => format!("{arr}[{idx}] = {val}"),
+        Instr::ArrLen { dst, arr } => format!("{dst} = {arr}.length"),
+        Instr::Call { dst, target, args, site } => {
+            let a: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            let d = dst.map(|d| format!("{d} = ")).unwrap_or_default();
+            format!("{d}call {} ({}) (site {})", print_target(m, target), a.join(", "), site.0)
+        }
+        Instr::Spawn { target, args, site } => {
+            let a: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            format!("spawn {} ({}) (site {})", print_target(m, target), a.join(", "), site.0)
+        }
+    }
+}
+
+fn print_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Branch { cond, t, f } => format!("branch {cond} ? {t} : {f}"),
+        Terminator::Ret(None) => "ret".into(),
+        Terminator::Ret(Some(v)) => format!("ret {v}"),
+    }
+}
+
+/// Render the whole module (class table summary + all functions).
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "=== classes ===");
+    for c in &m.table.classes {
+        if c.kind != ClassKind::User || c.id == OBJECT_CLASS {
+            continue;
+        }
+        let rem = if c.is_remote { "remote " } else { "" };
+        let sup = c
+            .super_class
+            .filter(|&s| s != OBJECT_CLASS)
+            .map(|s| format!(" extends {}", m.table.class(s).name))
+            .unwrap_or_default();
+        let _ = writeln!(s, "{rem}class {}{sup} {{", c.name);
+        for &f in &c.layout {
+            let fld = m.table.field(f);
+            let _ = writeln!(s, "  {} {}; // slot {}", m.table.ty_name(&fld.ty), fld.name, fld.slot);
+        }
+        let _ = writeln!(s, "}}");
+    }
+    let _ = writeln!(s, "=== functions ===");
+    for f in &m.funcs {
+        s.push_str(&print_function(m, f));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile_frontend;
+
+    #[test]
+    fn prints_without_panic() {
+        let m = compile_frontend(
+            r#"
+            class Data { int v; }
+            remote class R { void f(Data d) { } }
+            class M { static void main() { R r = new R(); Data d = new Data(); r.f(d); } }
+            "#,
+        )
+        .unwrap();
+        let text = super::print_module(&m);
+        assert!(text.contains("remote class R"));
+        assert!(text.contains("call remote R.f"));
+        let ssa = crate::ssa::build_module_ssa(&m);
+        for (f, s) in m.funcs.iter().zip(&ssa) {
+            let _ = super::print_function(&m, f);
+            let _ = super::print_ssa(&m, s);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Token definitions for the MiniParty lexer.
+
+use crate::Span;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// All token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals
+    IntLit(i64),
+    DoubleLit(f64),
+    StrLit(String),
+    Ident(String),
+
+    // Keywords
+    KwClass,
+    KwRemote,
+    KwExtends,
+    KwStatic,
+    KwVoid,
+    KwBoolean,
+    KwInt,
+    KwLong,
+    KwDouble,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwNew,
+    KwNull,
+    KwTrue,
+    KwFalse,
+    KwThis,
+    KwSpawn,
+    KwBreak,
+    KwContinue,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    At,
+
+    // Operators
+    Assign,       // =
+    PlusAssign,   // +=
+    MinusAssign,  // -=
+    StarAssign,   // *=
+    SlashAssign,  // /=
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        Some(match s {
+            "class" => TokenKind::KwClass,
+            "remote" => TokenKind::KwRemote,
+            "extends" => TokenKind::KwExtends,
+            "static" => TokenKind::KwStatic,
+            "void" => TokenKind::KwVoid,
+            "boolean" => TokenKind::KwBoolean,
+            "int" => TokenKind::KwInt,
+            "long" => TokenKind::KwLong,
+            "double" => TokenKind::KwDouble,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "new" => TokenKind::KwNew,
+            "null" => TokenKind::KwNull,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            "this" => TokenKind::KwThis,
+            "spawn" => TokenKind::KwSpawn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::IntLit(v) => format!("integer literal {v}"),
+            TokenKind::DoubleLit(v) => format!("double literal {v}"),
+            TokenKind::StrLit(_) => "string literal".to_string(),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}

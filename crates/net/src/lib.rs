@@ -1,0 +1,22 @@
+//! # corm-net — simulated cluster transport
+//!
+//! Substitutes the paper's testbed (1 GHz Pentium III nodes on Myrinet
+//! with the GM user-level communication system): N in-process machines
+//! exchange packets over lock-free channels. Serialization work is done
+//! for real by corm-codegen; only the wire transit itself is modeled, via
+//! a calibrated [`CostModel`] that accrues *modeled network time* from the
+//! actual byte counts. This keeps the evaluation's shape (who wins, by
+//! what factor) a function of real work performed, while replacing the
+//! unavailable hardware.
+//!
+//! The receive side mirrors the paper's GM setup: exactly one drainer per
+//! machine ("at any time only one thread can drain the network as
+//! required by our communication software") — the VM runs that loop.
+
+pub mod cost;
+pub mod packet;
+pub mod transport;
+
+pub use cost::CostModel;
+pub use packet::Packet;
+pub use transport::{ClusterBarrier, Mailbox, NetHandle};

@@ -1,0 +1,48 @@
+//! Packets exchanged between machines.
+
+/// A network packet. Payloads are serialized messages produced by
+/// corm-codegen; the transport treats them as opaque bytes.
+#[derive(Debug)]
+pub enum Packet {
+    /// An RMI request: invoke `site`'s target method on `target_obj`.
+    Request {
+        /// Reply routing key, unique per (machine, outstanding call).
+        req_id: u64,
+        /// Requesting machine (reply destination).
+        from: u16,
+        /// Call site id — selects the per-call-site unmarshaler.
+        site: u32,
+        /// The remote object the method is invoked on.
+        target_obj: u32,
+        /// Serialized arguments.
+        payload: Vec<u8>,
+        /// One-way (`spawn`) request: no reply is sent.
+        oneway: bool,
+    },
+    /// Reply carrying the serialized return value (empty for acks).
+    Reply {
+        req_id: u64,
+        payload: Vec<u8>,
+        /// Remote exception text, if the invocation failed.
+        err: Option<String>,
+    },
+    /// Request to instantiate a remote object of `class` on the receiver.
+    /// Replies with a `Reply` whose payload is the new object id.
+    NewRemote { req_id: u64, from: u16, class: u32 },
+    /// Orderly shutdown of the receive loop.
+    Shutdown,
+}
+
+impl Packet {
+    /// Payload bytes that count toward wire statistics.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Packet::Request { payload, .. } | Packet::Reply { payload, .. } => {
+                // 16 bytes of envelope (ids) + payload
+                16 + payload.len() as u64
+            }
+            Packet::NewRemote { .. } => 16,
+            Packet::Shutdown => 0,
+        }
+    }
+}

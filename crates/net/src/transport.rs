@@ -1,0 +1,202 @@
+//! Channel-based transport between simulated machines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use corm_wire::RmiStats;
+
+use crate::cost::CostModel;
+use crate::packet::Packet;
+
+/// Receiving end of one machine's network interface. The VM's drain loop
+/// owns this (GM-style single drainer).
+pub struct Mailbox {
+    pub machine: u16,
+    rx: Receiver<Packet>,
+}
+
+impl Mailbox {
+    /// Block until the next packet arrives.
+    pub fn recv(&self) -> Option<Packet> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll (the paper's "allow the runtime system to poll
+    /// for messages while the GM-poll-thread remains blocked").
+    pub fn try_recv(&self) -> Option<Packet> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Shared sending fabric: any thread can send to any machine.
+#[derive(Clone)]
+pub struct NetHandle {
+    senders: Arc<Vec<Sender<Packet>>>,
+    pub stats: Arc<RmiStats>,
+    pub cost: CostModel,
+    /// Accumulated modeled wire time over all messages, in nanoseconds.
+    modeled_ns: Arc<AtomicU64>,
+}
+
+impl NetHandle {
+    /// Create the fabric for `n` machines. Returns one mailbox per
+    /// machine plus the shared send handle.
+    pub fn new(n: usize, cost: CostModel, stats: Arc<RmiStats>) -> (Vec<Mailbox>, NetHandle) {
+        let mut senders = Vec::with_capacity(n);
+        let mut mailboxes = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            mailboxes.push(Mailbox { machine: i as u16, rx });
+        }
+        (
+            mailboxes,
+            NetHandle { senders: Arc::new(senders), stats, cost, modeled_ns: Arc::new(AtomicU64::new(0)) },
+        )
+    }
+
+    pub fn machines(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Send `packet` to `to`, accounting wire bytes and modeled time.
+    /// Loopback sends (local RPCs) are delivered but cost nothing on the
+    /// modeled wire.
+    pub fn send(&self, from: u16, to: u16, packet: Packet) {
+        let bytes = packet.wire_bytes();
+        if !matches!(packet, Packet::Shutdown) {
+            RmiStats::bump(&self.stats.messages, 1);
+            RmiStats::bump(&self.stats.wire_bytes, bytes);
+            if from != to {
+                self.modeled_ns.fetch_add(self.cost.message_ns(bytes), Ordering::Relaxed);
+            }
+        }
+        // A send to a machine whose drain loop already exited is dropped,
+        // matching a network whose peer powered down during shutdown.
+        let _ = self.senders[to as usize].send(packet);
+    }
+
+    pub fn modeled_ns(&self) -> u64 {
+        self.modeled_ns.load(Ordering::Relaxed)
+    }
+
+    /// Add modeled time from a non-message source (e.g. allocation costs).
+    pub fn add_modeled_ns(&self, ns: u64) {
+        self.modeled_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn reset_modeled(&self) {
+        self.modeled_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Cluster-wide barrier backing the `Cluster.barrier()` builtin: exactly
+/// one thread per machine participates (the paper's LU uses this
+/// pattern — per-machine workers synchronizing between phases).
+pub struct ClusterBarrier {
+    inner: std::sync::Barrier,
+}
+
+impl ClusterBarrier {
+    pub fn new(parties: usize) -> Self {
+        ClusterBarrier { inner: std::sync::Barrier::new(parties) }
+    }
+
+    pub fn wait(&self) {
+        self.inner.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> (Vec<Mailbox>, NetHandle) {
+        NetHandle::new(n, CostModel::default(), Arc::new(RmiStats::new()))
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let (mailboxes, net) = fabric(2);
+        net.send(
+            0,
+            1,
+            Packet::Request {
+                req_id: 7,
+                from: 0,
+                site: 3,
+                target_obj: 9,
+                payload: vec![1, 2, 3],
+                oneway: false,
+            },
+        );
+        match mailboxes[1].recv().unwrap() {
+            Packet::Request { req_id, site, payload, .. } => {
+                assert_eq!(req_id, 7);
+                assert_eq!(site, 3);
+                assert_eq!(payload, vec![1, 2, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(mailboxes[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn stats_and_modeled_time_accumulate() {
+        let (_mb, net) = fabric(2);
+        net.send(0, 1, Packet::Reply { req_id: 1, payload: vec![0; 1000], err: None });
+        let snap = net.stats.snapshot();
+        assert_eq!(snap.messages, 1);
+        assert_eq!(snap.wire_bytes, 1016);
+        assert_eq!(net.modeled_ns(), net.cost.message_ns(1016));
+    }
+
+    #[test]
+    fn loopback_counts_stats_but_not_wire_time() {
+        let (_mb, net) = fabric(2);
+        net.send(1, 1, Packet::Reply { req_id: 1, payload: vec![0; 100], err: None });
+        assert_eq!(net.stats.snapshot().messages, 1);
+        assert_eq!(net.modeled_ns(), 0, "local RPCs do not cross the wire");
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let b = Arc::new(ClusterBarrier::new(2));
+        let b2 = b.clone();
+        let t = std::thread::spawn(move || {
+            b2.wait();
+        });
+        b.wait();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn threaded_cross_send() {
+        let (mut mailboxes, net) = fabric(2);
+        let mb1 = mailboxes.remove(1);
+        let net2 = net.clone();
+        let t = std::thread::spawn(move || {
+            let mut got = 0;
+            while got < 100 {
+                if let Some(Packet::Request { req_id, from, .. }) = mb1.recv() {
+                    net2.send(1, from, Packet::Reply { req_id, payload: vec![], err: None });
+                    got += 1;
+                }
+            }
+        });
+        let mb0 = &mailboxes[0];
+        for i in 0..100u64 {
+            net.send(
+                0,
+                1,
+                Packet::Request { req_id: i, from: 0, site: 0, target_obj: 0, payload: vec![], oneway: false },
+            );
+            match mb0.recv().unwrap() {
+                Packet::Reply { req_id, .. } => assert_eq!(req_id, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        t.join().unwrap();
+    }
+}

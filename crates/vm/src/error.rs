@@ -1,0 +1,53 @@
+//! Runtime errors (MiniParty's stand-in for Java exceptions).
+
+/// A runtime failure: null dereference, bounds violation, bad cast,
+/// arithmetic fault, serialization failure or a propagated remote error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError {
+    pub message: String,
+    /// Function names from innermost to outermost at the raise point.
+    pub trace: Vec<String>,
+}
+
+impl VmError {
+    pub fn new(message: impl Into<String>) -> Self {
+        VmError { message: message.into(), trace: Vec::new() }
+    }
+
+    pub fn with_frame(mut self, frame: impl Into<String>) -> Self {
+        self.trace.push(frame.into());
+        self
+    }
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error: {}", self.message)?;
+        for t in &self.trace {
+            write!(f, "\n    at {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<corm_heap::HeapError> for VmError {
+    fn from(e: corm_heap::HeapError) -> Self {
+        VmError::new(e.0)
+    }
+}
+
+impl From<corm_codegen::SerError> for VmError {
+    fn from(e: corm_codegen::SerError) -> Self {
+        VmError::new(e.0)
+    }
+}
+
+impl From<corm_wire::WireError> for VmError {
+    fn from(e: corm_wire::WireError) -> Self {
+        VmError::new(e.0)
+    }
+}
+
+pub type VmResult<T> = Result<T, VmError>;

@@ -1,0 +1,692 @@
+//! The register-machine interpreter.
+//!
+//! One [`Interp`] per VM thread. The interpreter holds its machine's lock
+//! while executing and releases it at blocking points (RMI waits, queue
+//! operations, the cluster barrier) and periodically at safepoints so
+//! concurrent handlers can run. Frames live in an explicit stack, which
+//! both bounds recursion and gives the garbage collector exact roots.
+
+use std::sync::Arc;
+
+use corm_heap::{ObjBody, Value};
+use corm_ir::{
+    BinKind, BlockId, CallTarget, ClassKind, Const, FuncId, Instr, MethodId, Reg, Terminator, Ty,
+    UnKind,
+};
+use parking_lot::MutexGuard;
+
+use crate::builtins;
+use crate::error::{VmError, VmResult};
+use crate::machine::{zero_value, MachineShared, MachineState};
+use crate::rmi;
+use crate::runtime::Runtime;
+
+/// An activation record.
+pub struct Frame {
+    pub func: FuncId,
+    pub block: BlockId,
+    pub ip: usize,
+    pub regs: Vec<Value>,
+    /// Register in the *caller* frame receiving the return value.
+    pub ret_dst: Option<Reg>,
+}
+
+/// Interpreter state for one VM thread pinned to one machine.
+pub struct Interp {
+    pub rt: Arc<Runtime>,
+    pub machine: Arc<MachineShared>,
+    pub frames: Vec<Frame>,
+    steps: u64,
+}
+
+impl Interp {
+    pub fn new(rt: Arc<Runtime>, machine: u16) -> Self {
+        let machine = rt.machine(machine).clone();
+        Interp { rt, machine, frames: Vec::new(), steps: 0 }
+    }
+
+    pub fn machine_id(&self) -> u16 {
+        self.machine.id
+    }
+
+    /// Run `func` to completion as a fresh VM thread activity on this
+    /// machine (registers the thread in `active_threads`).
+    pub fn run_function(&mut self, func: FuncId, args: Vec<Value>) -> VmResult<Value> {
+        let machine = self.machine.clone();
+        let mut guard = machine.state.lock();
+        guard.active_threads += 1;
+        let result = self.call_in(&mut guard, func, args);
+        guard.active_threads -= 1;
+        machine.cv.notify_all();
+        result
+    }
+
+    /// Invoke `func` while already holding the machine lock (nested calls
+    /// from RMI handlers and local RPCs).
+    pub fn call_in(
+        &mut self,
+        guard: &mut MutexGuard<'_, MachineState>,
+        func: FuncId,
+        args: Vec<Value>,
+    ) -> VmResult<Value> {
+        let base = self.frames.len();
+        self.push_frame(func, args, None)?;
+        let res = self.run_loop(guard, base);
+        if res.is_err() {
+            // Unwind this activation's frames (error trace collected).
+            self.frames.truncate(base);
+        }
+        res
+    }
+
+    fn push_frame(&mut self, func: FuncId, args: Vec<Value>, ret_dst: Option<Reg>) -> VmResult<()> {
+        if self.frames.len() >= 4096 {
+            return Err(VmError::new("stack overflow (4096 frames)"));
+        }
+        let module = self.rt.module.clone();
+        let f = module.func(func);
+        let mut regs = vec![Value::Null; f.num_regs()];
+        if args.len() != f.params.len() {
+            return Err(VmError::new(format!(
+                "{} expects {} arguments, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            )));
+        }
+        for (&p, v) in f.params.iter().zip(args) {
+            regs[p.index()] = v;
+        }
+        self.frames.push(Frame { func, block: f.entry, ip: 0, regs, ret_dst });
+        Ok(())
+    }
+
+    /// GC roots of this thread: every register of every frame.
+    pub fn frame_roots(&self) -> Vec<corm_heap::ObjRef> {
+        let mut roots = Vec::new();
+        for fr in &self.frames {
+            for v in &fr.regs {
+                if let Value::Ref(r) = v {
+                    roots.push(*r);
+                }
+            }
+        }
+        roots
+    }
+
+    #[inline]
+    fn reg(&self, r: Reg) -> Value {
+        self.frames.last().unwrap().regs[r.index()]
+    }
+
+    #[inline]
+    fn set(&mut self, r: Reg, v: Value) {
+        self.frames.last_mut().unwrap().regs[r.index()] = v;
+    }
+
+    fn err(&self, msg: impl Into<String>) -> VmError {
+        let mut e = VmError::new(msg);
+        let module = &self.rt.module;
+        for fr in self.frames.iter().rev().take(8) {
+            e = e.with_frame(module.func(fr.func).name.clone());
+        }
+        e
+    }
+
+    /// Execute until the frame stack returns to `base` depth. Returns the
+    /// value produced by the activation that started at `base`.
+    pub fn run_loop(
+        &mut self,
+        guard: &mut MutexGuard<'_, MachineState>,
+        base: usize,
+    ) -> VmResult<Value> {
+        let module = self.rt.module.clone();
+        loop {
+            self.steps += 1;
+            if self.steps.is_multiple_of(512) {
+                // Safepoint: briefly release the machine lock so drain
+                // handlers and sibling threads can make progress. The
+                // quantum trades interpreter overhead against lock-handoff
+                // latency for concurrent RMI handlers; 512 keeps a
+                // machine responsive while a local compute thread spins.
+                MutexGuard::unlocked(guard, std::thread::yield_now);
+            }
+
+            let (func_id, block, ip) = {
+                let fr = self.frames.last().expect("active frame");
+                (fr.func, fr.block, fr.ip)
+            };
+            let f = module.func(func_id);
+            let blk = f.block(block);
+
+            if ip >= blk.instrs.len() {
+                match &blk.term {
+                    Terminator::Jump(t) => {
+                        let fr = self.frames.last_mut().unwrap();
+                        fr.block = *t;
+                        fr.ip = 0;
+                    }
+                    Terminator::Branch { cond, t, f: fb } => {
+                        let c = self.reg(*cond);
+                        let Value::Bool(b) = c else {
+                            return Err(self.err(format!("branch on non-boolean {c:?}")));
+                        };
+                        let fr = self.frames.last_mut().unwrap();
+                        fr.block = if b { *t } else { *fb };
+                        fr.ip = 0;
+                    }
+                    Terminator::Ret(v) => {
+                        let value = v.map(|r| self.reg(r)).unwrap_or(Value::Null);
+                        let frame = self.frames.pop().unwrap();
+                        if self.frames.len() == base {
+                            return Ok(value);
+                        }
+                        if let Some(dst) = frame.ret_dst {
+                            self.set(dst, value);
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // Clone the instruction handle (cheap: most variants are Copy;
+            // Call clones its arg vec).
+            let instr = blk.instrs[ip].clone();
+            self.frames.last_mut().unwrap().ip += 1;
+            self.exec(guard, &instr)?;
+        }
+    }
+
+    fn exec(
+        &mut self,
+        guard: &mut MutexGuard<'_, MachineState>,
+        instr: &Instr,
+    ) -> VmResult<()> {
+        match instr {
+            Instr::Const { dst, v } => {
+                let value = match v {
+                    Const::Null => Value::Null,
+                    Const::Bool(b) => Value::Bool(*b),
+                    Const::Int(x) => Value::Int(*x),
+                    Const::Long(x) => Value::Long(*x),
+                    Const::Double(x) => Value::Double(*x),
+                    Const::Str(id) => {
+                        // String literals are interned per machine.
+                        let obj = match guard.heap_lit(*id) {
+                            Some(o) => o,
+                            None => {
+                                let s = self.rt.module.str(*id).to_string();
+                                let o = guard.heap.alloc_str(s);
+                                guard.heap.pin(o);
+                                guard.set_lit(*id, o);
+                                o
+                            }
+                        };
+                        Value::Ref(obj)
+                    }
+                };
+                self.set(*dst, value);
+            }
+            Instr::Move { dst, src } => {
+                let v = self.reg(*src);
+                self.set(*dst, v);
+            }
+            Instr::Un { dst, op, a } => {
+                let v = self.reg(*a);
+                let out = match (op, v) {
+                    (UnKind::Neg, Value::Int(x)) => Value::Int(x.wrapping_neg()),
+                    (UnKind::Neg, Value::Long(x)) => Value::Long(x.wrapping_neg()),
+                    (UnKind::Neg, Value::Double(x)) => Value::Double(-x),
+                    (UnKind::Not, Value::Bool(b)) => Value::Bool(!b),
+                    (op, v) => return Err(self.err(format!("bad unary {op:?} on {v:?}"))),
+                };
+                self.set(*dst, out);
+            }
+            Instr::Bin { dst, op, a, b } => {
+                let out = self.binop(*op, self.reg(*a), self.reg(*b))?;
+                self.set(*dst, out);
+            }
+            Instr::Cast { dst, src, to } => {
+                let out = self.cast(guard, self.reg(*src), to)?;
+                self.set(*dst, out);
+            }
+            Instr::New { dst, class, site: _, placement } => {
+                let cls = self.rt.module.table.class(*class).clone();
+                let value = match cls.kind {
+                    ClassKind::NativeInstance => {
+                        let obj = guard.heap.alloc(ObjBody::Native {
+                            class: *class,
+                            data: corm_heap::NativeData::Uninit,
+                        });
+                        Value::Ref(obj)
+                    }
+                    _ if cls.is_remote => {
+                        let target = match placement {
+                            Some(p) => {
+                                let m = self.int_of(self.reg(*p))?;
+                                if m < 0 || m as usize >= self.rt.machines.len() {
+                                    return Err(self.err(format!(
+                                        "placement machine {m} out of range (cluster has {})",
+                                        self.rt.machines.len()
+                                    )));
+                                }
+                                m as u16
+                            }
+                            None => self.machine_id(),
+                        };
+                        rmi::new_remote(self, guard, *class, target)?
+                    }
+                    _ => {
+                        self.maybe_auto_gc(guard);
+                        let obj = guard.alloc_zeroed(&self.rt.module.table, *class);
+                        Value::Ref(obj)
+                    }
+                };
+                self.set(*dst, value);
+            }
+            Instr::NewArray { dst, elem, len, site: _ } => {
+                let n = self.int_of(self.reg(*len))?;
+                if n < 0 {
+                    return Err(self.err(format!("negative array size {n}")));
+                }
+                self.maybe_auto_gc(guard);
+                let obj = guard.heap.alloc_array(elem, n as usize);
+                self.set(*dst, Value::Ref(obj));
+            }
+            Instr::GetField { dst, obj, field } => {
+                let r = self.localize(self.reg(*obj))?;
+                let v = guard.heap.field(r, field.slot as usize).map_err(|e| self.err(e.0))?;
+                self.set(*dst, v);
+            }
+            Instr::SetField { obj, field, val } => {
+                let r = self.localize(self.reg(*obj))?;
+                let v = self.reg(*val);
+                guard.heap.set_field(r, field.slot as usize, v).map_err(|e| self.err(e.0))?;
+            }
+            Instr::GetStatic { dst, sid } => {
+                let v = guard.statics[sid.index()];
+                self.set(*dst, v);
+            }
+            Instr::SetStatic { sid, val } => {
+                guard.statics[sid.index()] = self.reg(*val);
+            }
+            Instr::ArrLoad { dst, arr, idx } => {
+                let r = self.obj_of(self.reg(*arr))?;
+                let i = self.int_of(self.reg(*idx))?;
+                if i < 0 {
+                    return Err(self.err(format!("negative index {i}")));
+                }
+                let v = guard.heap.array_get(r, i as usize).map_err(|e| self.err(e.0))?;
+                self.set(*dst, v);
+            }
+            Instr::ArrStore { arr, idx, val } => {
+                let r = self.obj_of(self.reg(*arr))?;
+                let i = self.int_of(self.reg(*idx))?;
+                if i < 0 {
+                    return Err(self.err(format!("negative index {i}")));
+                }
+                let v = self.reg(*val);
+                guard.heap.array_set(r, i as usize, v).map_err(|e| self.err(e.0))?;
+            }
+            Instr::ArrLen { dst, arr } => {
+                let r = self.obj_of(self.reg(*arr))?;
+                let n = guard.heap.array_len(r).map_err(|e| self.err(e.0))?;
+                self.set(*dst, Value::Int(n as i32));
+            }
+            Instr::Call { dst, target, args, site } => {
+                let argv: Vec<Value> = args.iter().map(|r| self.reg(*r)).collect();
+                match target {
+                    CallTarget::Builtin(b) => {
+                        let out = builtins::call(self, guard, *b, &argv)?;
+                        if let Some(d) = dst {
+                            self.set(*d, out);
+                        }
+                    }
+                    CallTarget::Static(mid) | CallTarget::Ctor(mid) => {
+                        let f = self.func_of(*mid)?;
+                        self.push_frame(f, argv, *dst)?;
+                    }
+                    CallTarget::Virtual { decl, vslot } => {
+                        let mid = self.dispatch(guard, &argv, *decl, *vslot)?;
+                        let f = self.func_of(mid)?;
+                        self.push_frame(f, argv, *dst)?;
+                    }
+                    CallTarget::Remote(mid) => {
+                        let out = rmi::remote_call(
+                            self,
+                            guard,
+                            *site,
+                            *mid,
+                            &argv,
+                            dst.is_some(),
+                            false,
+                        )?;
+                        if let Some(d) = dst {
+                            self.set(*d, out);
+                        }
+                    }
+                }
+            }
+            Instr::Spawn { target, args, site } => {
+                let argv: Vec<Value> = args.iter().map(|r| self.reg(*r)).collect();
+                match target {
+                    CallTarget::Remote(mid) => {
+                        rmi::remote_call(self, guard, *site, *mid, &argv, false, true)?;
+                    }
+                    CallTarget::Static(mid) | CallTarget::Ctor(mid) => {
+                        self.spawn_local(*mid, argv)?;
+                    }
+                    CallTarget::Virtual { decl, vslot } => {
+                        let mid = self.dispatch(guard, &argv, *decl, *vslot)?;
+                        self.spawn_local(mid, argv)?;
+                    }
+                    CallTarget::Builtin(_) => {
+                        return Err(self.err("cannot spawn a builtin"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a virtual call through the receiver's runtime class.
+    fn dispatch(
+        &self,
+        guard: &MutexGuard<'_, MachineState>,
+        argv: &[Value],
+        decl: MethodId,
+        vslot: u32,
+    ) -> VmResult<MethodId> {
+        let recv = argv.first().copied().unwrap_or(Value::Null);
+        let class = match recv {
+            Value::Ref(r) => guard
+                .heap
+                .body(r)
+                .map_err(|e| self.err(e.0))?
+                .class()
+                .ok_or_else(|| self.err("method call on non-object"))?,
+            Value::Remote(rr) => rr.class,
+            Value::Null => {
+                let m = self.rt.module.table.method(decl);
+                return Err(self.err(format!("null receiver calling {}", m.name)));
+            }
+            other => return Err(self.err(format!("method call on {other:?}"))),
+        };
+        let vt = &self.rt.module.table.class(class).vtable;
+        vt.get(vslot as usize)
+            .copied()
+            .ok_or_else(|| self.err("vtable slot out of range"))
+    }
+
+    pub fn func_of(&self, mid: MethodId) -> VmResult<FuncId> {
+        self.rt
+            .module
+            .func_of_method(mid)
+            .ok_or_else(|| self.err(format!("method {} has no body", self.rt.module.table.method(mid).name)))
+    }
+
+    fn spawn_local(&mut self, mid: MethodId, argv: Vec<Value>) -> VmResult<()> {
+        let f = self.func_of(mid)?;
+        let rt = self.rt.clone();
+        let machine = self.machine_id();
+        let handle = crate::runtime::spawn_vm_thread("corm-user-spawn", move || {
+            let mut interp = Interp::new(rt.clone(), machine);
+            if let Err(e) = interp.run_function(f, argv) {
+                rt.print(&format!("[machine {machine}] spawned thread failed: {e}\n"));
+            }
+        });
+        self.rt.spawned.lock().push(handle);
+        Ok(())
+    }
+
+    fn maybe_auto_gc(&mut self, guard: &mut MutexGuard<'_, MachineState>) {
+        const GC_STEP_BYTES: u64 = 64 * 1024 * 1024;
+        if !self.rt.auto_gc {
+            return;
+        }
+        if guard.heap.stats.alloc_bytes - guard.last_gc_bytes < GC_STEP_BYTES {
+            return;
+        }
+        self.collect(guard);
+    }
+
+    /// Run a collection if this thread is alone on the machine (otherwise
+    /// other threads' frames would be invisible roots).
+    pub fn collect(&mut self, guard: &mut MutexGuard<'_, MachineState>) -> bool {
+        if guard.active_threads != 1 {
+            return false;
+        }
+        let mut roots = self.frame_roots();
+        roots.extend(guard.external_roots());
+        let report = guard.heap.gc(roots);
+        guard.last_gc_bytes = guard.heap.stats.alloc_bytes;
+        self.rt.trace_event(
+            self.machine_id(),
+            crate::trace::TraceKind::Gc { freed: report.freed, live: report.live },
+        );
+        true
+    }
+
+    // ----- value helpers ---------------------------------------------------
+
+    pub fn int_of(&self, v: Value) -> VmResult<i32> {
+        match v {
+            Value::Int(x) => Ok(x),
+            other => Err(self.err(format!("expected int, found {other:?}"))),
+        }
+    }
+
+    /// A reference that must denote a local heap object.
+    pub fn obj_of(&self, v: Value) -> VmResult<corm_heap::ObjRef> {
+        match v {
+            Value::Ref(r) => Ok(r),
+            Value::Null => Err(self.err("null dereference")),
+            other => Err(self.err(format!("expected object, found {other:?}"))),
+        }
+    }
+
+    /// Resolve a reference for field access: local refs directly, remote
+    /// refs only when they live on this machine (`this` inside remote
+    /// methods).
+    fn localize(&self, v: Value) -> VmResult<corm_heap::ObjRef> {
+        match v {
+            Value::Ref(r) => Ok(r),
+            Value::Remote(rr) if rr.machine == self.machine_id() => Ok(rr.obj),
+            Value::Remote(_) => Err(self.err("field access on a remote object")),
+            Value::Null => Err(self.err("null dereference")),
+            other => Err(self.err(format!("expected object, found {other:?}"))),
+        }
+    }
+
+    fn binop(&self, op: BinKind, a: Value, b: Value) -> VmResult<Value> {
+        use BinKind::*;
+        // Numeric promotion (operands arrive same-typed from lowering,
+        // but mixed Int/Long appear via compound-assign narrowing paths).
+        let out = match (a, b) {
+            (Value::Int(x), Value::Int(y)) => match op {
+                Add => Value::Int(x.wrapping_add(y)),
+                Sub => Value::Int(x.wrapping_sub(y)),
+                Mul => Value::Int(x.wrapping_mul(y)),
+                Div => {
+                    if y == 0 {
+                        return Err(self.err("division by zero"));
+                    }
+                    Value::Int(x.wrapping_div(y))
+                }
+                Rem => {
+                    if y == 0 {
+                        return Err(self.err("division by zero"));
+                    }
+                    Value::Int(x.wrapping_rem(y))
+                }
+                Eq => Value::Bool(x == y),
+                Ne => Value::Bool(x != y),
+                Lt => Value::Bool(x < y),
+                Le => Value::Bool(x <= y),
+                Gt => Value::Bool(x > y),
+                Ge => Value::Bool(x >= y),
+                BitAnd => Value::Int(x & y),
+                BitOr => Value::Int(x | y),
+                BitXor => Value::Int(x ^ y),
+                Shl => Value::Int(x.wrapping_shl(y as u32 & 31)),
+                Shr => Value::Int(x.wrapping_shr(y as u32 & 31)),
+            },
+            (Value::Long(_), _) | (_, Value::Long(_))
+                if matches!(a, Value::Long(_) | Value::Int(_))
+                    && matches!(b, Value::Long(_) | Value::Int(_)) =>
+            {
+                let x = a.as_long();
+                let y = b.as_long();
+                match op {
+                    Add => Value::Long(x.wrapping_add(y)),
+                    Sub => Value::Long(x.wrapping_sub(y)),
+                    Mul => Value::Long(x.wrapping_mul(y)),
+                    Div => {
+                        if y == 0 {
+                            return Err(self.err("division by zero"));
+                        }
+                        Value::Long(x.wrapping_div(y))
+                    }
+                    Rem => {
+                        if y == 0 {
+                            return Err(self.err("division by zero"));
+                        }
+                        Value::Long(x.wrapping_rem(y))
+                    }
+                    Eq => Value::Bool(x == y),
+                    Ne => Value::Bool(x != y),
+                    Lt => Value::Bool(x < y),
+                    Le => Value::Bool(x <= y),
+                    Gt => Value::Bool(x > y),
+                    Ge => Value::Bool(x >= y),
+                    BitAnd => Value::Long(x & y),
+                    BitOr => Value::Long(x | y),
+                    BitXor => Value::Long(x ^ y),
+                    Shl => Value::Long(x.wrapping_shl(y as u32 & 63)),
+                    Shr => Value::Long(x.wrapping_shr(y as u32 & 63)),
+                }
+            }
+            (Value::Double(_) | Value::Int(_) | Value::Long(_), Value::Double(_))
+            | (Value::Double(_), Value::Int(_) | Value::Long(_)) => {
+                let x = a.as_double();
+                let y = b.as_double();
+                match op {
+                    Add => Value::Double(x + y),
+                    Sub => Value::Double(x - y),
+                    Mul => Value::Double(x * y),
+                    Div => Value::Double(x / y),
+                    Rem => Value::Double(x % y),
+                    Eq => Value::Bool(x == y),
+                    Ne => Value::Bool(x != y),
+                    Lt => Value::Bool(x < y),
+                    Le => Value::Bool(x <= y),
+                    Gt => Value::Bool(x > y),
+                    Ge => Value::Bool(x >= y),
+                    other => return Err(self.err(format!("bad double op {other:?}"))),
+                }
+            }
+            (Value::Bool(x), Value::Bool(y)) => match op {
+                Eq => Value::Bool(x == y),
+                Ne => Value::Bool(x != y),
+                other => return Err(self.err(format!("bad boolean op {other:?}"))),
+            },
+            // Reference identity.
+            (a, b) => match op {
+                Eq => Value::Bool(ref_eq(a, b)),
+                Ne => Value::Bool(!ref_eq(a, b)),
+                other => return Err(self.err(format!("bad operands for {other:?}: {a:?}, {b:?}"))),
+            },
+        };
+        Ok(out)
+    }
+
+    fn cast(
+        &self,
+        guard: &MutexGuard<'_, MachineState>,
+        v: Value,
+        to: &Ty,
+    ) -> VmResult<Value> {
+        Ok(match (v, to) {
+            // numeric conversions
+            (Value::Int(x), Ty::Int) => Value::Int(x),
+            (Value::Int(x), Ty::Long) => Value::Long(x as i64),
+            (Value::Int(x), Ty::Double) => Value::Double(x as f64),
+            (Value::Long(x), Ty::Int) => Value::Int(x as i32),
+            (Value::Long(x), Ty::Long) => Value::Long(x),
+            (Value::Long(x), Ty::Double) => Value::Double(x as f64),
+            (Value::Double(x), Ty::Int) => Value::Int(x as i32),
+            (Value::Double(x), Ty::Long) => Value::Long(x as i64),
+            (Value::Double(x), Ty::Double) => Value::Double(x),
+            // reference casts
+            (Value::Null, t) if t.is_ref() => Value::Null,
+            (Value::Ref(r), Ty::Class(c)) => {
+                let body = guard.heap.body(r).map_err(|e| self.err(e.0))?;
+                match body.class() {
+                    Some(actual) if self.rt.module.table.is_subclass(actual, *c) => Value::Ref(r),
+                    _ if *c == corm_ir::OBJECT_CLASS => Value::Ref(r),
+                    Some(actual) => {
+                        return Err(self.err(format!(
+                            "class cast: {} is not a {}",
+                            self.rt.module.table.class(actual).name,
+                            self.rt.module.table.class(*c).name
+                        )))
+                    }
+                    None => {
+                        if *c == corm_ir::OBJECT_CLASS {
+                            Value::Ref(r)
+                        } else {
+                            return Err(self.err("class cast on non-object"));
+                        }
+                    }
+                }
+            }
+            (Value::Ref(r), Ty::Str) => {
+                if matches!(guard.heap.body(r), Ok(ObjBody::Str(_))) {
+                    Value::Ref(r)
+                } else {
+                    return Err(self.err("class cast: not a String"));
+                }
+            }
+            (Value::Ref(r), Ty::Array(_)) => Value::Ref(r),
+            (Value::Remote(rr), Ty::Class(c)) => {
+                if self.rt.module.table.is_subclass(rr.class, *c) || *c == corm_ir::OBJECT_CLASS {
+                    Value::Remote(rr)
+                } else {
+                    return Err(self.err("class cast on remote reference"));
+                }
+            }
+            (v, t) => {
+                return Err(self.err(format!(
+                    "invalid cast of {v:?} to {}",
+                    self.rt.module.table.ty_name(t)
+                )))
+            }
+        })
+    }
+}
+
+fn ref_eq(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Ref(x), Value::Ref(y)) => x == y,
+        (Value::Remote(x), Value::Remote(y)) => x == y,
+        _ => false,
+    }
+}
+
+// Small extension trait on MachineState for the string-literal pool,
+// kept here to avoid widening the machine module's public surface.
+impl MachineState {
+    pub fn heap_lit(&self, id: corm_ir::StrId) -> Option<corm_heap::ObjRef> {
+        self.lit_strings.get(&id.0).copied()
+    }
+
+    pub fn set_lit(&mut self, id: corm_ir::StrId, obj: corm_heap::ObjRef) {
+        self.lit_strings.insert(id.0, obj);
+    }
+}
+
+/// Convenience for tests: default-value helper re-export.
+pub fn default_value(ty: &Ty) -> Value {
+    zero_value(ty)
+}

@@ -1,0 +1,29 @@
+//! # corm-vm — the MiniParty virtual machine
+//!
+//! A register-machine interpreter over the corm-ir CFG, executing on a
+//! simulated cluster:
+//!
+//! * each machine owns a managed heap, per-machine statics, native queue
+//!   table and the per-call-site reuse caches of §3.3;
+//! * a GM-style drain loop per machine receives packets (one drainer, as
+//!   in the paper's modified GM) and hands requests to a small worker
+//!   pool ("a new thread is created to invoke the user's code");
+//! * remote calls marshal through the corm-codegen serializer programs;
+//!   calls that happen to target a local object still clone their
+//!   arguments through serialization ("the same parameter passing
+//!   semantics are observed regardless of the location of the called
+//!   object", §1) and are counted as *local RPCs*;
+//! * `spawn` statements become one-way requests handled on dedicated
+//!   threads (the long-running tester threads of the superoptimizer).
+
+pub mod builtins;
+pub mod error;
+pub mod interp;
+pub mod machine;
+pub mod rmi;
+pub mod runtime;
+pub mod trace;
+
+pub use error::VmError;
+pub use runtime::{run_program, RunOptions, RunOutcome, Runtime};
+pub use trace::{render_timeline, to_json, TraceEvent, TraceKind};

@@ -1,0 +1,250 @@
+//! Per-machine state: heap, statics, native queues, outstanding-reply
+//! slots and the §3.3 reuse caches.
+
+use std::collections::{HashMap, VecDeque};
+
+use corm_heap::{Heap, ObjRef, Value};
+use corm_ir::{CallSiteId, ClassId, ClassTable, Ty};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{VmError, VmResult};
+
+/// A native blocking queue (`Queue` builtin).
+#[derive(Debug, Default)]
+pub struct VmQueue {
+    pub cap: usize,
+    pub items: VecDeque<Value>,
+}
+
+/// State of one outstanding RMI awaiting its reply.
+#[derive(Debug)]
+pub enum ReplySlot {
+    Waiting,
+    Ready(Result<Vec<u8>, String>),
+}
+
+/// Everything a machine owns, guarded by one lock (the per-machine "big
+/// lock"; blocking operations release it and wait on the condvar).
+pub struct MachineState {
+    pub heap: Heap,
+    pub statics: Vec<Value>,
+    pub queues: Vec<VmQueue>,
+    pub replies: HashMap<u64, ReplySlot>,
+    /// Callee-side argument reuse caches: per call site, one cached root
+    /// per argument (the paper's `temp_arr` static, Fig. 13).
+    pub arg_cache: HashMap<CallSiteId, Vec<Value>>,
+    /// Caller-side return-value reuse caches, per call site.
+    pub ret_cache: HashMap<CallSiteId, Value>,
+    pub next_req: u64,
+    /// VM threads currently executing (or blocked) on this machine; GC is
+    /// only safe when the requesting thread is alone.
+    pub active_threads: usize,
+    /// Allocated bytes at the last collection (auto-GC pacing).
+    pub last_gc_bytes: u64,
+    /// Interned string literals (pinned), keyed by `StrId`.
+    pub lit_strings: HashMap<u32, ObjRef>,
+}
+
+impl MachineState {
+    pub fn new(num_statics: usize) -> Self {
+        Self::with_statics(vec![Value::Null; num_statics])
+    }
+
+    /// Per-type zero defaults for every static variable of `table`.
+    pub fn static_defaults(table: &ClassTable) -> Vec<Value> {
+        let mut defaults = vec![Value::Null; table.num_statics];
+        for f in &table.fields {
+            if let Some(sid) = f.static_id {
+                defaults[sid.index()] = zero_value(&f.ty);
+            }
+        }
+        defaults
+    }
+
+    pub fn with_statics(statics: Vec<Value>) -> Self {
+        MachineState {
+            heap: Heap::new(),
+            statics,
+            queues: Vec::new(),
+            replies: HashMap::new(),
+            arg_cache: HashMap::new(),
+            ret_cache: HashMap::new(),
+            next_req: 1,
+            active_threads: 0,
+            last_gc_bytes: 0,
+            lit_strings: HashMap::new(),
+        }
+    }
+
+    pub fn fresh_req_id(&mut self) -> u64 {
+        let id = self.next_req;
+        self.next_req += 1;
+        id
+    }
+
+    /// Allocate a user-class instance with per-type zero defaults.
+    pub fn alloc_zeroed(&mut self, table: &ClassTable, class: ClassId) -> ObjRef {
+        let layout = &table.class(class).layout;
+        let obj = self.heap.alloc_obj(class, layout.len());
+        for (slot, &fid) in layout.iter().enumerate() {
+            let v = zero_value(&table.field(fid).ty);
+            // fresh objects always have valid slots
+            self.heap.set_field(obj, slot, v).expect("fresh object slot");
+        }
+        obj
+    }
+
+    /// Update one reuse-cache slot, maintaining GC pins on the roots.
+    pub fn set_arg_cache(&mut self, site: CallSiteId, idx: usize, nargs: usize, v: Value) {
+        let slots = self.arg_cache.entry(site).or_insert_with(|| vec![Value::Null; nargs]);
+        if slots.len() < nargs {
+            slots.resize(nargs, Value::Null);
+        }
+        let old = std::mem::replace(&mut slots[idx], v);
+        if let Value::Ref(r) = old {
+            if old != v {
+                self.heap.unpin(r);
+            }
+        }
+        if let Value::Ref(r) = v {
+            self.heap.pin(r);
+        }
+    }
+
+    /// Take (and clear) a reuse candidate — Fig. 13's `temp_arr = null`
+    /// guard against concurrent unmarshalers.
+    pub fn take_arg_cache(&mut self, site: CallSiteId, idx: usize) -> Value {
+        match self.arg_cache.get_mut(&site) {
+            Some(slots) if idx < slots.len() => std::mem::replace(&mut slots[idx], Value::Null),
+            _ => Value::Null,
+        }
+    }
+
+    pub fn set_ret_cache(&mut self, site: CallSiteId, v: Value) {
+        let old = self.ret_cache.insert(site, v);
+        if let Some(Value::Ref(r)) = old {
+            if old != Some(v) {
+                self.heap.unpin(r);
+            }
+        }
+        if let Value::Ref(r) = v {
+            self.heap.pin(r);
+        }
+    }
+
+    pub fn take_ret_cache(&mut self, site: CallSiteId) -> Value {
+        self.ret_cache.insert(site, Value::Null).unwrap_or(Value::Null)
+    }
+
+    // ----- native queues ----------------------------------------------------
+
+    pub fn new_queue(&mut self, cap: usize) -> u32 {
+        self.queues.push(VmQueue { cap: cap.max(1), items: VecDeque::new() });
+        self.queues.len() as u32 - 1
+    }
+
+    pub fn queue(&mut self, id: u32) -> VmResult<&mut VmQueue> {
+        self.queues
+            .get_mut(id as usize)
+            .ok_or_else(|| VmError::new(format!("bad queue handle {id}")))
+    }
+
+    /// GC roots outside thread frames: statics, queue contents and the
+    /// heap pin set (exports + reuse caches are pinned).
+    pub fn external_roots(&self) -> Vec<ObjRef> {
+        let mut roots = Vec::new();
+        for v in &self.statics {
+            if let Value::Ref(r) = v {
+                roots.push(*r);
+            }
+        }
+        for q in &self.queues {
+            for v in &q.items {
+                if let Value::Ref(r) = v {
+                    roots.push(*r);
+                }
+            }
+        }
+        roots
+    }
+}
+
+/// One simulated machine: its state plus the condvar used by all blocking
+/// operations (reply waits, queue waits).
+pub struct MachineShared {
+    pub id: u16,
+    pub state: Mutex<MachineState>,
+    pub cv: Condvar,
+}
+
+impl MachineShared {
+    pub fn new(id: u16, num_statics: usize) -> Self {
+        MachineShared { id, state: Mutex::new(MachineState::new(num_statics)), cv: Condvar::new() }
+    }
+
+    pub fn with_statics(id: u16, statics: Vec<Value>) -> Self {
+        MachineShared { id, state: Mutex::new(MachineState::with_statics(statics)), cv: Condvar::new() }
+    }
+}
+
+/// The zero/default value of a MiniParty type.
+pub fn zero_value(ty: &Ty) -> Value {
+    match ty {
+        Ty::Bool => Value::Bool(false),
+        Ty::Int => Value::Int(0),
+        Ty::Long => Value::Long(0),
+        Ty::Double => Value::Double(0.0),
+        _ => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corm_ir::CallSiteId;
+
+    #[test]
+    fn queue_handles() {
+        let mut st = MachineState::new(0);
+        let q = st.new_queue(2);
+        st.queue(q).unwrap().items.push_back(Value::Int(1));
+        assert_eq!(st.queue(q).unwrap().items.len(), 1);
+        assert!(st.queue(99).is_err());
+    }
+
+    #[test]
+    fn arg_cache_pins_roots() {
+        let mut st = MachineState::new(0);
+        let o = st.heap.alloc_obj(corm_ir::OBJECT_CLASS, 0);
+        st.set_arg_cache(CallSiteId(3), 0, 2, Value::Ref(o));
+        // pinned: survives GC with no roots
+        let rep = st.heap.gc([]);
+        assert_eq!(rep.live, 1);
+        // replacing the slot unpins the old root
+        let o2 = st.heap.alloc_obj(corm_ir::OBJECT_CLASS, 0);
+        st.set_arg_cache(CallSiteId(3), 0, 2, Value::Ref(o2));
+        let rep = st.heap.gc([]);
+        assert_eq!(rep.freed, 1);
+    }
+
+    #[test]
+    fn take_cache_clears_slot() {
+        let mut st = MachineState::new(0);
+        let o = st.heap.alloc_obj(corm_ir::OBJECT_CLASS, 0);
+        st.set_arg_cache(CallSiteId(1), 1, 2, Value::Ref(o));
+        assert_eq!(st.take_arg_cache(CallSiteId(1), 1), Value::Ref(o));
+        assert_eq!(st.take_arg_cache(CallSiteId(1), 1), Value::Null);
+    }
+
+    #[test]
+    fn external_roots_cover_statics_and_queues() {
+        let mut st = MachineState::new(2);
+        let a = st.heap.alloc_obj(corm_ir::OBJECT_CLASS, 0);
+        let b = st.heap.alloc_obj(corm_ir::OBJECT_CLASS, 0);
+        st.statics[0] = Value::Ref(a);
+        let q = st.new_queue(4);
+        st.queue(q).unwrap().items.push_back(Value::Ref(b));
+        let roots = st.external_roots();
+        assert!(roots.contains(&a) && roots.contains(&b));
+    }
+}

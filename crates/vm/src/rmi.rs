@@ -1,0 +1,376 @@
+//! The RMI dispatch path: marshal → send → unmarshal → invoke → reply,
+//! with the paper's local-RPC cloning semantics and the §3.3 reuse
+//! caches wired into (de)serialization.
+
+use corm_codegen::{MarshalPlan, Serializer};
+use corm_heap::{AllocAttribution, ObjRef, Value};
+use corm_ir::{CallSiteId, ClassId, MethodId};
+use corm_net::Packet;
+use corm_wire::{DeserTable, Message, RmiStats, SerCycleTable};
+use parking_lot::MutexGuard;
+
+use crate::error::{VmError, VmResult};
+use crate::interp::Interp;
+use crate::machine::{MachineState, ReplySlot};
+use crate::runtime::Runtime;
+
+/// Execute a remote (or local-RPC) call at `site`.
+pub fn remote_call(
+    interp: &mut Interp,
+    guard: &mut MutexGuard<'_, MachineState>,
+    site: CallSiteId,
+    mid: MethodId,
+    argv: &[Value],
+    _want_ret: bool,
+    oneway: bool,
+) -> VmResult<Value> {
+    let rt = interp.rt.clone();
+    let plans = rt.plans.clone();
+    let plan = plans
+        .plan(site)
+        .ok_or_else(|| VmError::new(format!("no marshal plan for call site {}", site.0)))?;
+    debug_assert_eq!(plan.method, mid);
+
+    let receiver = match argv[0] {
+        Value::Remote(rr) => rr,
+        Value::Null => {
+            let name = &rt.module.table.method(mid).name;
+            return Err(VmError::new(format!("null receiver calling remote {name}")));
+        }
+        other => return Err(VmError::new(format!("remote call on {other:?}"))),
+    };
+
+    // Marshal the arguments (Figure 1's `serialize_objects`).
+    let ser = Serializer::new(&plans, &rt.module.table, &rt.stats);
+    let mut msg = Message::new();
+    let mut ct = if plan.args_cycle_table { Some(SerCycleTable::new()) } else { None };
+    for (i, node) in plan.args.iter().enumerate() {
+        ser.serialize(&guard.heap, node, argv[i + 1], &mut ct, &mut msg)?;
+    }
+
+    if receiver.machine == interp.machine_id() {
+        local_rpc(interp, guard, plan, &ser, site, receiver, msg, oneway)
+    } else {
+        wire_rpc(interp, guard, plan, &ser, site, receiver, msg, oneway)
+    }
+}
+
+/// "If the remote object ... is (accidentally) located on the same machine
+/// as the invoking machine, the parameter and return value objects are
+/// cloned" (§1). The clone goes through the same serializer programs and
+/// reuse caches; only the wire transit is skipped.
+#[allow(clippy::too_many_arguments)]
+fn local_rpc(
+    interp: &mut Interp,
+    guard: &mut MutexGuard<'_, MachineState>,
+    plan: &MarshalPlan,
+    ser: &Serializer<'_>,
+    site: CallSiteId,
+    receiver: corm_heap::RemoteRef,
+    msg: Message,
+    oneway: bool,
+) -> VmResult<Value> {
+    let rt = interp.rt.clone();
+    RmiStats::bump(&rt.stats.local_rpcs, 1);
+    let t0 = rt.start.elapsed();
+
+    let reader_msg = msg;
+    let mut reader = reader_msg.reader();
+    let vals = deserialize_args(guard, ser, plan, site, &mut reader)?;
+
+    let f = interp.func_of(plan.method)?;
+    let mut args = vec![Value::Remote(receiver)];
+    args.extend(vals.iter().copied());
+
+    if oneway {
+        // spawn on a local object: run on a fresh local thread
+        let rt2 = rt.clone();
+        let machine = interp.machine_id();
+        let handle = crate::runtime::spawn_vm_thread("corm-local-spawn", move || {
+            let mut i2 = Interp::new(rt2.clone(), machine);
+            if let Err(e) = i2.run_function(f, args) {
+                rt2.print(&format!("[machine {machine}] spawned rmi failed: {e}\n"));
+            }
+        });
+        rt.spawned.lock().push(handle);
+        return Ok(Value::Null);
+    }
+
+    let ret = interp.call_in(guard, f, args)?;
+    update_arg_caches(guard, plan, site, &vals);
+    rt.trace_event(
+        interp.machine_id(),
+        crate::trace::TraceKind::LocalRpc {
+            site: site.0,
+            us: (rt.start.elapsed() - t0).as_micros() as u64,
+        },
+    );
+
+    // Clone the return value through serialization as well.
+    if plan.ret_ignored || plan.ret.is_none() {
+        return Ok(Value::Null);
+    }
+    let node = plan.ret.as_ref().unwrap();
+    let mut rmsg = Message::new();
+    let mut rct = if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
+    ser.serialize(&guard.heap, node, ret, &mut rct, &mut rmsg)?;
+    deserialize_ret(guard, ser, plan, site, rmsg.as_bytes())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn wire_rpc(
+    interp: &mut Interp,
+    guard: &mut MutexGuard<'_, MachineState>,
+    plan: &MarshalPlan,
+    ser: &Serializer<'_>,
+    site: CallSiteId,
+    receiver: corm_heap::RemoteRef,
+    msg: Message,
+    oneway: bool,
+) -> VmResult<Value> {
+    let rt = interp.rt.clone();
+    RmiStats::bump(&rt.stats.remote_rpcs, 1);
+    let t0 = rt.start.elapsed();
+
+    let req_id = guard.fresh_req_id();
+    if !oneway {
+        guard.replies.insert(req_id, ReplySlot::Waiting);
+    }
+    let my = interp.machine_id();
+    let payload = msg.into_bytes();
+    let net = rt.net.clone();
+    let bytes = payload.len() as u64;
+    let packet = Packet::Request {
+        req_id,
+        from: my,
+        site: site.0,
+        target_obj: receiver.obj.0,
+        payload,
+        oneway,
+    };
+    rt.trace_event(my, crate::trace::TraceKind::RmiSend {
+        site: site.0,
+        to: receiver.machine,
+        bytes,
+        oneway,
+    });
+    MutexGuard::unlocked(guard, || net.send(my, receiver.machine, packet));
+    if oneway {
+        return Ok(Value::Null);
+    }
+
+    // Figure 1's `wait(Machine 1)`.
+    let machine = interp.machine.clone();
+    let result = loop {
+        if matches!(guard.replies.get(&req_id), Some(ReplySlot::Ready(_))) {
+            match guard.replies.remove(&req_id) {
+                Some(ReplySlot::Ready(r)) => break r,
+                _ => unreachable!(),
+            }
+        }
+        machine.cv.wait(guard);
+    };
+
+    match result {
+        Err(remote_err) => Err(VmError::new(format!("remote exception: {remote_err}"))),
+        Ok(payload) => {
+            rt.trace_event(my, crate::trace::TraceKind::RmiReturn {
+                site: site.0,
+                us: (rt.start.elapsed() - t0).as_micros() as u64,
+                reply_bytes: payload.len() as u64,
+            });
+            if plan.ret_ignored || plan.ret.is_none() {
+                return Ok(Value::Null);
+            }
+            deserialize_ret(guard, ser, plan, site, &payload)
+        }
+    }
+}
+
+fn deserialize_args(
+    guard: &mut MutexGuard<'_, MachineState>,
+    ser: &Serializer<'_>,
+    plan: &MarshalPlan,
+    site: CallSiteId,
+    reader: &mut corm_wire::MessageReader<'_>,
+) -> VmResult<Vec<Value>> {
+    let mut dt = if plan.args_cycle_table { Some(DeserTable::new()) } else { None };
+    let prev = guard.heap.set_attribution(AllocAttribution::Deserialization);
+    let mut vals = Vec::with_capacity(plan.args.len());
+    let mut total_reused = 0;
+    let mut err = None;
+    for (i, node) in plan.args.iter().enumerate() {
+        let reuse =
+            if plan.arg_reuse[i] { guard.take_arg_cache(site, i) } else { Value::Null };
+        match ser.deserialize(&mut guard.heap, node, reader, &mut dt, reuse) {
+            Ok(out) => {
+                total_reused += out.reused;
+                vals.push(out.value);
+            }
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
+    guard.heap.set_attribution(prev);
+    if let Some(e) = err {
+        return Err(e.into());
+    }
+    RmiStats::bump(&ser.stats.reused_objs, total_reused);
+    Ok(vals)
+}
+
+/// After the invocation completes, stash the deserialized argument roots
+/// for the next call of this unmarshaler (Fig. 13's `temp_arr = t`).
+fn update_arg_caches(
+    guard: &mut MutexGuard<'_, MachineState>,
+    plan: &MarshalPlan,
+    site: CallSiteId,
+    vals: &[Value],
+) {
+    let n = plan.args.len();
+    for (i, &reuse) in plan.arg_reuse.iter().enumerate() {
+        if reuse {
+            guard.set_arg_cache(site, i, n, vals[i]);
+        }
+    }
+}
+
+fn deserialize_ret(
+    guard: &mut MutexGuard<'_, MachineState>,
+    ser: &Serializer<'_>,
+    plan: &MarshalPlan,
+    site: CallSiteId,
+    payload: &[u8],
+) -> VmResult<Value> {
+    let node = plan.ret.as_ref().expect("ret plan");
+    let msg = Message::from_bytes(payload.to_vec());
+    let mut reader = msg.reader();
+    let mut dt = if plan.ret_cycle_table { Some(DeserTable::new()) } else { None };
+    let reuse = if plan.ret_reuse { guard.take_ret_cache(site) } else { Value::Null };
+    let prev = guard.heap.set_attribution(AllocAttribution::Deserialization);
+    let out = ser.deserialize(&mut guard.heap, node, &mut reader, &mut dt, reuse);
+    guard.heap.set_attribution(prev);
+    let out = out?;
+    RmiStats::bump(&ser.stats.reused_objs, out.reused);
+    if plan.ret_reuse {
+        guard.set_ret_cache(site, out.value);
+    }
+    Ok(out.value)
+}
+
+/// Instantiate a remote-class object on `target`.
+pub fn new_remote(
+    interp: &mut Interp,
+    guard: &mut MutexGuard<'_, MachineState>,
+    class: ClassId,
+    target: u16,
+) -> VmResult<Value> {
+    let rt = interp.rt.clone();
+    let my = interp.machine_id();
+    if target == my {
+        let obj = guard.alloc_zeroed(&rt.module.table, class);
+        guard.heap.pin(obj); // exported
+        return Ok(Value::Remote(corm_heap::RemoteRef { machine: my, obj, class }));
+    }
+    let req_id = guard.fresh_req_id();
+    guard.replies.insert(req_id, ReplySlot::Waiting);
+    let net = rt.net.clone();
+    MutexGuard::unlocked(guard, || {
+        net.send(my, target, Packet::NewRemote { req_id, from: my, class: class.0 })
+    });
+    let machine = interp.machine.clone();
+    let result = loop {
+        if matches!(guard.replies.get(&req_id), Some(ReplySlot::Ready(_))) {
+            match guard.replies.remove(&req_id) {
+                Some(ReplySlot::Ready(r)) => break r,
+                _ => unreachable!(),
+            }
+        }
+        machine.cv.wait(guard);
+    };
+    let payload = result.map_err(|e| VmError::new(format!("remote allocation failed: {e}")))?;
+    let obj = ObjRef(u32::from_le_bytes(payload[..4].try_into().unwrap()));
+    Ok(Value::Remote(corm_heap::RemoteRef { machine: target, obj, class }))
+}
+
+/// Server-side execution of one incoming request (Figure 1's
+/// `Unmarshaler_Example.foo`).
+#[allow(clippy::too_many_arguments)]
+pub fn handle_request(
+    rt: &std::sync::Arc<Runtime>,
+    my: u16,
+    req_id: u64,
+    from: u16,
+    site: u32,
+    target_obj: u32,
+    payload: Vec<u8>,
+    oneway: bool,
+) {
+    let plans = rt.plans.clone();
+    let site = CallSiteId(site);
+    let machine = rt.machine(my).clone();
+    let mut interp = Interp::new(rt.clone(), my);
+    let t0 = rt.start.elapsed();
+    let reused_before = rt.stats.snapshot().reused_objs;
+
+    let result: VmResult<Vec<u8>> = (|| {
+        let plan = plans
+            .plan(site)
+            .ok_or_else(|| VmError::new(format!("no unmarshal plan for site {}", site.0)))?;
+        let ser = Serializer::new(&plans, &rt.module.table, &rt.stats);
+        let mut guard = machine.state.lock();
+        guard.active_threads += 1;
+
+        let run = (|| {
+            let msg = Message::from_bytes(payload);
+            let mut reader = msg.reader();
+            let vals = deserialize_args(&mut guard, &ser, plan, site, &mut reader)?;
+
+            let meth = rt.module.table.method(plan.method);
+            let this = Value::Remote(corm_heap::RemoteRef {
+                machine: my,
+                obj: ObjRef(target_obj),
+                class: meth.owner,
+            });
+            let f = interp.func_of(plan.method)?;
+            let mut args = vec![this];
+            args.extend(vals.iter().copied());
+
+            let ret = interp.call_in(&mut guard, f, args)?;
+            update_arg_caches(&mut guard, plan, site, &vals);
+
+            if oneway || plan.ret_ignored || plan.ret.is_none() {
+                return Ok(Vec::new()); // bare ack
+            }
+            let node = plan.ret.as_ref().unwrap();
+            let mut rmsg = Message::new();
+            let mut rct =
+                if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
+            ser.serialize(&guard.heap, node, ret, &mut rct, &mut rmsg)?;
+            Ok(rmsg.into_bytes())
+        })();
+
+        guard.active_threads -= 1;
+        machine.cv.notify_all();
+        run
+    })();
+
+    rt.trace_event(my, crate::trace::TraceKind::Handle {
+        site: site.0,
+        us: (rt.start.elapsed() - t0).as_micros() as u64,
+        reused: rt.stats.snapshot().reused_objs - reused_before,
+    });
+    if oneway {
+        if let Err(e) = result {
+            rt.print(&format!("[machine {my}] one-way request failed: {e}\n"));
+        }
+        return;
+    }
+    let packet = match result {
+        Ok(payload) => Packet::Reply { req_id, payload, err: None },
+        Err(e) => Packet::Reply { req_id, payload: Vec::new(), err: Some(e.message) },
+    };
+    rt.net.send(my, from, packet);
+}

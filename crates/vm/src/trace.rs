@@ -1,0 +1,152 @@
+//! RMI event tracing: an optional per-run event log of every marshal,
+//! wire crossing, unmarshal and collection, with a text timeline and a
+//! JSON export for external tooling.
+//!
+//! Enable with [`crate::RunOptions::trace`]; events land in
+//! [`crate::RunOutcome::trace`].
+
+use serde::Serialize;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TraceKind {
+    /// A request left this machine for `to`.
+    RmiSend { site: u32, to: u16, bytes: u64, oneway: bool },
+    /// The reply for `site` arrived back; `us` is the caller-observed
+    /// round-trip time.
+    RmiReturn { site: u32, us: u64, reply_bytes: u64 },
+    /// A request was executed on this (serving) machine.
+    Handle { site: u32, us: u64, reused: u64 },
+    /// A same-machine RMI executed with cloning semantics.
+    LocalRpc { site: u32, us: u64 },
+    /// A remote object was instantiated here on behalf of `from`.
+    NewRemote { class: u32, from: u16 },
+    /// A garbage collection ran here.
+    Gc { freed: u64, live: u64 },
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TraceEvent {
+    /// Microseconds since run start.
+    pub t_us: u64,
+    /// Machine the event was observed on.
+    pub machine: u16,
+    pub kind: TraceKind,
+}
+
+/// Render a run trace as a per-machine text timeline.
+pub fn render_timeline(events: &[TraceEvent]) -> String {
+    use std::fmt::Write;
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.t_us, e.machine));
+    let mut s = String::new();
+    for e in sorted {
+        let _ = write!(s, "{:>10.3} ms  m{} ", e.t_us as f64 / 1e3, e.machine);
+        let _ = match e.kind {
+            TraceKind::RmiSend { site, to, bytes, oneway } => writeln!(
+                s,
+                "send   site {site} -> m{to} ({bytes} B{})",
+                if oneway { ", one-way" } else { "" }
+            ),
+            TraceKind::RmiReturn { site, us, reply_bytes } => {
+                writeln!(s, "return site {site} ({us} us, {reply_bytes} B reply)")
+            }
+            TraceKind::Handle { site, us, reused } => {
+                writeln!(s, "handle site {site} ({us} us, {reused} reused)")
+            }
+            TraceKind::LocalRpc { site, us } => writeln!(s, "local  site {site} ({us} us)"),
+            TraceKind::NewRemote { class, from } => {
+                writeln!(s, "export class {class} (for m{from})")
+            }
+            TraceKind::Gc { freed, live } => writeln!(s, "gc     freed {freed}, live {live}"),
+        };
+    }
+    s
+}
+
+/// Hand-rolled JSON export (no serde_json dependency): a stable array of
+/// flat objects suitable for timeline viewers.
+pub fn to_json(events: &[TraceEvent]) -> String {
+    let mut s = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let (kind, detail) = match e.kind {
+            TraceKind::RmiSend { site, to, bytes, oneway } => (
+                "rmi_send",
+                format!(r#""site":{site},"to":{to},"bytes":{bytes},"oneway":{oneway}"#),
+            ),
+            TraceKind::RmiReturn { site, us, reply_bytes } => (
+                "rmi_return",
+                format!(r#""site":{site},"us":{us},"reply_bytes":{reply_bytes}"#),
+            ),
+            TraceKind::Handle { site, us, reused } => {
+                ("handle", format!(r#""site":{site},"us":{us},"reused":{reused}"#))
+            }
+            TraceKind::LocalRpc { site, us } => ("local_rpc", format!(r#""site":{site},"us":{us}"#)),
+            TraceKind::NewRemote { class, from } => {
+                ("new_remote", format!(r#""class":{class},"from":{from}"#))
+            }
+            TraceKind::Gc { freed, live } => ("gc", format!(r#""freed":{freed},"live":{live}"#)),
+        };
+        s.push_str(&format!(
+            r#"{{"t_us":{},"machine":{},"kind":"{kind}",{detail}}}"#,
+            e.t_us, e.machine
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                t_us: 10,
+                machine: 0,
+                kind: TraceKind::RmiSend { site: 3, to: 1, bytes: 40, oneway: false },
+            },
+            TraceEvent {
+                t_us: 25,
+                machine: 1,
+                kind: TraceKind::Handle { site: 3, us: 9, reused: 2 },
+            },
+            TraceEvent {
+                t_us: 40,
+                machine: 0,
+                kind: TraceKind::RmiReturn { site: 3, us: 30, reply_bytes: 8 },
+            },
+        ]
+    }
+
+    #[test]
+    fn timeline_renders_in_time_order() {
+        let mut ev = sample();
+        ev.reverse();
+        let text = render_timeline(&ev);
+        let send = text.find("send").unwrap();
+        let handle = text.find("handle").unwrap();
+        let ret = text.find("return").unwrap();
+        assert!(send < handle && handle < ret);
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let json = to_json(&sample());
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("{\"t_us\"").count(), 3);
+        assert!(json.contains(r#""kind":"rmi_send""#));
+        assert!(json.contains(r#""oneway":false"#));
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert_eq!(to_json(&[]), "[]");
+        assert_eq!(render_timeline(&[]), "");
+    }
+}

@@ -1,0 +1,109 @@
+//! The runtime cycle-detection handle table (paper §1/§3.2).
+//!
+//! "Because a to-be-serialized object may contain a reference to itself or
+//! to a previously serialized object, a hash-table is maintained ... The
+//! costs involved in cycle detection are thus: the creation and deletion
+//! of a hash-table, adding every single object reference to that
+//! hash-table and finally, checking if an object has already been
+//! serialized."
+//!
+//! Every lookup is counted; the static cycle-freedom analysis (§3.2) lets
+//! the generated serializer skip this table entirely, which is exactly
+//! what the `cycle lookups` column of Tables 4/6/8 measures.
+
+use std::collections::HashMap;
+
+use corm_heap::ObjRef;
+
+/// Serializer-side identity table: object → wire handle.
+#[derive(Debug, Default)]
+pub struct SerCycleTable {
+    map: HashMap<ObjRef, u32>,
+    lookups: u64,
+}
+
+impl SerCycleTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check whether `obj` was already serialized; if not, assign it the
+    /// next handle. Returns `Ok(handle)` for hits, `Err(new_handle)` for
+    /// first encounters. Each call is one counted lookup.
+    pub fn check(&mut self, obj: ObjRef) -> Result<u32, u32> {
+        self.lookups += 1;
+        let next = self.map.len() as u32;
+        match self.map.entry(obj) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(*e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(next);
+                Err(next)
+            }
+        }
+    }
+
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Deserializer-side table: wire handle → reconstructed object.
+#[derive(Debug, Default)]
+pub struct DeserTable {
+    objs: Vec<ObjRef>,
+}
+
+impl DeserTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&mut self, obj: ObjRef) -> u32 {
+        self.objs.push(obj);
+        self.objs.len() as u32 - 1
+    }
+
+    pub fn lookup(&self, handle: u32) -> Option<ObjRef> {
+        self.objs.get(handle as usize).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_encounter_assigns_sequential_handles() {
+        let mut t = SerCycleTable::new();
+        assert_eq!(t.check(ObjRef(10)), Err(0));
+        assert_eq!(t.check(ObjRef(20)), Err(1));
+        assert_eq!(t.check(ObjRef(10)), Ok(0));
+        assert_eq!(t.lookups(), 3);
+    }
+
+    #[test]
+    fn deser_table_roundtrip() {
+        let mut d = DeserTable::new();
+        let h0 = d.register(ObjRef(5));
+        let h1 = d.register(ObjRef(6));
+        assert_eq!(d.lookup(h0), Some(ObjRef(5)));
+        assert_eq!(d.lookup(h1), Some(ObjRef(6)));
+        assert_eq!(d.lookup(99), None);
+    }
+}

@@ -1,0 +1,316 @@
+//! Message buffers: a growable byte buffer with typed little-endian
+//! writers, and a typed read cursor for the receiving side.
+
+/// Errors raised while decoding a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn werr<T>(msg: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(msg.into()))
+}
+
+/// A serialized payload under construction (or fully built).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Message {
+    buf: Vec<u8>,
+}
+
+impl Message {
+    pub fn new() -> Self {
+        Message { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Message { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn from_bytes(buf: Vec<u8>) -> Self {
+        Message { buf }
+    }
+
+    pub fn reader(&self) -> MessageReader<'_> {
+        MessageReader { buf: &self.buf, pos: 0 }
+    }
+
+    // ----- writers ---------------------------------------------------------
+
+    #[inline]
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    #[inline]
+    pub fn write_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    #[inline]
+    pub fn write_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn write_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Bulk-write a f64 slice (length NOT included — the serializer
+    /// decides where the length lives).
+    pub fn write_f64_slice(&mut self, v: &[f64]) {
+        self.buf.reserve(v.len() * 8);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    pub fn write_i32_slice(&mut self, v: &[i32]) {
+        self.buf.reserve(v.len() * 4);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    pub fn write_i64_slice(&mut self, v: &[i64]) {
+        self.buf.reserve(v.len() * 8);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    pub fn write_bool_slice(&mut self, v: &[bool]) {
+        self.buf.reserve(v.len());
+        for x in v {
+            self.buf.push(*x as u8);
+        }
+    }
+}
+
+/// A read cursor over a message payload.
+#[derive(Debug, Clone)]
+pub struct MessageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MessageReader<'a> {
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return werr(format!("underflow: need {n} bytes, have {}", self.remaining()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn read_bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.take(1)?[0] != 0)
+    }
+
+    pub fn read_i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn read_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn read_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn read_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn read_str(&mut self) -> Result<String, WireError> {
+        let n = self.read_u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError("invalid UTF-8".into()))
+    }
+
+    pub fn read_f64_into(&mut self, out: &mut [f64]) -> Result<(), WireError> {
+        let bytes = self.take(out.len() * 8)?;
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            out[i] = f64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    pub fn read_i32_into(&mut self, out: &mut [i32]) -> Result<(), WireError> {
+        let bytes = self.take(out.len() * 4)?;
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            out[i] = i32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    pub fn read_i64_into(&mut self, out: &mut [i64]) -> Result<(), WireError> {
+        let bytes = self.take(out.len() * 8)?;
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            out[i] = i64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    pub fn read_bool_into(&mut self, out: &mut [bool]) -> Result<(), WireError> {
+        let bytes = self.take(out.len())?;
+        for (i, b) in bytes.iter().enumerate() {
+            out[i] = *b != 0;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut m = Message::new();
+        m.write_u8(7);
+        m.write_bool(true);
+        m.write_i32(-5);
+        m.write_u32(9);
+        m.write_i64(i64::MIN);
+        m.write_f64(2.5);
+        m.write_str("héllo");
+        let mut r = m.reader();
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert!(r.read_bool().unwrap());
+        assert_eq!(r.read_i32().unwrap(), -5);
+        assert_eq!(r.read_u32().unwrap(), 9);
+        assert_eq!(r.read_i64().unwrap(), i64::MIN);
+        assert_eq!(r.read_f64().unwrap(), 2.5);
+        assert_eq!(r.read_str().unwrap(), "héllo");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn roundtrip_slices() {
+        let mut m = Message::new();
+        m.write_f64_slice(&[1.0, 2.0, 3.0]);
+        m.write_i32_slice(&[4, 5]);
+        m.write_i64_slice(&[6]);
+        m.write_bool_slice(&[true, false]);
+        let mut r = m.reader();
+        let mut f = [0.0; 3];
+        r.read_f64_into(&mut f).unwrap();
+        assert_eq!(f, [1.0, 2.0, 3.0]);
+        let mut i = [0; 2];
+        r.read_i32_into(&mut i).unwrap();
+        assert_eq!(i, [4, 5]);
+        let mut l = [0i64; 1];
+        r.read_i64_into(&mut l).unwrap();
+        assert_eq!(l, [6]);
+        let mut b = [false; 2];
+        r.read_bool_into(&mut b).unwrap();
+        assert_eq!(b, [true, false]);
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let m = Message::new();
+        assert!(m.reader().read_i32().is_err());
+    }
+
+    #[test]
+    fn byte_len_accounting() {
+        let mut m = Message::new();
+        m.write_i32(1);
+        m.write_f64(1.0);
+        assert_eq!(m.len(), 12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn scalar_roundtrip(a: i32, b: i64, c: f64, d: bool, s in ".{0,64}") {
+            let mut m = Message::new();
+            m.write_i32(a);
+            m.write_i64(b);
+            m.write_f64(c);
+            m.write_bool(d);
+            m.write_str(&s);
+            let mut r = m.reader();
+            prop_assert_eq!(r.read_i32().unwrap(), a);
+            prop_assert_eq!(r.read_i64().unwrap(), b);
+            let got = r.read_f64().unwrap();
+            prop_assert!(got == c || (got.is_nan() && c.is_nan()));
+            prop_assert_eq!(r.read_bool().unwrap(), d);
+            prop_assert_eq!(r.read_str().unwrap(), s);
+            prop_assert!(r.is_exhausted());
+        }
+
+        #[test]
+        fn f64_bulk_roundtrip(v in proptest::collection::vec(any::<f64>(), 0..128)) {
+            let mut m = Message::new();
+            m.write_u32(v.len() as u32);
+            m.write_f64_slice(&v);
+            let mut r = m.reader();
+            let n = r.read_u32().unwrap() as usize;
+            let mut out = vec![0.0; n];
+            r.read_f64_into(&mut out).unwrap();
+            for (x, y) in v.iter().zip(&out) {
+                prop_assert!(x == y || (x.is_nan() && y.is_nan()));
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Wire tag vocabulary.
+//!
+//! The `class` baseline writes a tag in front of every object ("too much
+//! type information is sent for each transferred object", §1); call-site
+//! specific serializers omit tags wherever the shape is statically known,
+//! keeping only a one-byte null/presence bit for nullable references.
+
+/// Null reference.
+pub const TAG_NULL: u8 = 0;
+/// Non-null value follows, statically-known shape (site mode): no type
+/// info beyond this presence bit.
+pub const TAG_PRESENT: u8 = 1;
+/// Back-reference into the cycle table: u32 handle follows.
+pub const TAG_HANDLE: u8 = 2;
+/// Object with dynamic type info: u32 class id follows, then fields.
+pub const TAG_OBJECT: u8 = 3;
+/// String: u32 length + UTF-8 bytes.
+pub const TAG_STRING: u8 = 4;
+/// Primitive array: u8 element kind + u32 length + payload.
+pub const TAG_ARRAY_PRIM: u8 = 5;
+/// Reference array: u32 elem-type id + u32 length + elements.
+pub const TAG_ARRAY_REF: u8 = 6;
+/// Remote reference: u16 machine + u32 object id + u32 class id.
+pub const TAG_REMOTE: u8 = 7;
+
+/// Element-kind codes for `TAG_ARRAY_PRIM`.
+pub const ELEM_BOOL: u8 = 0;
+pub const ELEM_I32: u8 = 1;
+pub const ELEM_I64: u8 = 2;
+pub const ELEM_F64: u8 = 3;
+
+/// Size in bytes of the dynamic type information attached to one tagged
+/// object header (tag byte + class id) — accounted as `type_info_bytes`.
+pub const OBJECT_TYPE_INFO_BYTES: u64 = 5;
+/// Type info cost of a primitive-array header (tag + elem kind).
+pub const ARRAY_TYPE_INFO_BYTES: u64 = 2;

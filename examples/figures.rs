@@ -1,0 +1,120 @@
+//! Reproduce the paper's code figures: the heap graph of Figure 2, the
+//! call-site-specific marshalers of Figures 5/6 (vs the class-specific
+//! code of Figure 7), and the array marshaler of Figures 12/13.
+//!
+//!     cargo run --example figures
+
+use corm::{compile, OptConfig};
+
+fn main() {
+    fig2_heap_graph();
+    fig5_to_7_call_site_specialization();
+    fig12_13_array_marshaler();
+    fig14_linked_list();
+}
+
+/// Figure 2: "Example Heap analysis" — Foo with a Bar field and a
+/// double[][][]; five allocation sites, one node each.
+fn fig2_heap_graph() {
+    let src = r#"
+        class Bar { }
+        class Foo {
+            Bar bar;
+            double[][][] a;
+        }
+        class M {
+            static void main() {
+                Foo foo = new Foo();          // Allocation 1
+                foo.bar = new Bar();          // Allocation 2
+                foo.a = new double[2][3][4];  // Allocations 3, 4, 5
+            }
+        }
+    "#;
+    let c = compile(src, OptConfig::ALL).unwrap();
+    println!("===== Figure 2: example heap analysis =====\n");
+    println!("{}", c.dump_heap_graph());
+}
+
+/// Figures 5-7: two call sites passing Derived1 / Derived2 where the
+/// declared parameter type is Base — the compiler infers the concrete
+/// classes per call site and inlines their serialization.
+fn fig5_to_7_call_site_specialization() {
+    let src = r#"
+        class Base { }
+        class Derived1 extends Base { int data; }
+        class Derived2 extends Base {
+            Derived1 p;
+            Derived2() { this.p = new Derived1(); }
+        }
+        remote class Work {
+            void foo(Base b) { }
+        }
+        class M {
+            static void main() {
+                Work w = new Work() @ 1;
+                Base b1 = new Derived1();
+                w.foo(b1);
+                Base b2 = new Derived2();
+                w.foo(b2);
+            }
+        }
+    "#;
+    println!("===== Figures 5/6: call-site specific code generation =====\n");
+    let site = compile(src, OptConfig::ALL).unwrap();
+    println!("{}", site.dump_marshalers());
+
+    println!("===== Figure 7: the class-specific baseline for the same code =====\n");
+    let class = compile(src, OptConfig::CLASS).unwrap();
+    println!("{}", class.dump_marshalers());
+}
+
+/// Figures 12/13: the 16x16 double[][] benchmark and its generated
+/// marshaler/unmarshaler with cycle table elided and reuse cache.
+fn fig12_13_array_marshaler() {
+    let src = r#"
+        remote class ArrayBench {
+            void send(double[][] arr) { }
+            static void benchmark() {
+                double[][] arr = new double[16][16];
+                ArrayBench f = new ArrayBench() @ 1;
+                f.send(arr);
+            }
+        }
+        class M { static void main() { ArrayBench.benchmark(); } }
+    "#;
+    println!("===== Figures 12/13: 2D array transmission =====\n");
+    let c = compile(src, OptConfig::ALL).unwrap();
+    println!("{}", c.dump_analysis());
+    println!("{}", c.dump_marshalers());
+}
+
+/// Figure 14: linked-list transmission — conservatively cyclic (the
+/// paper's acknowledged imprecision), nodes reusable.
+fn fig14_linked_list() {
+    let src = r#"
+        class LinkedList {
+            LinkedList next;
+            LinkedList(LinkedList next) { this.next = next; }
+        }
+        remote class Foo {
+            void send(LinkedList l) { }
+            static void benchmark() {
+                LinkedList head = null;
+                for (int i = 0; i < 100; i++) {
+                    head = new LinkedList(head);
+                }
+                Foo f = new Foo() @ 1;
+                f.send(head);
+            }
+        }
+        class M { static void main() { Foo.benchmark(); } }
+    "#;
+    println!("===== Figure 14: linked-list transmission =====\n");
+    let c = compile(src, OptConfig::ALL).unwrap();
+    println!("{}", c.dump_analysis());
+
+    let ext = OptConfig { list_extension: true, ..OptConfig::ALL };
+    let c2 = compile(src, ext).unwrap();
+    println!("--- with the §7 list-shape extension enabled ---\n");
+    println!("{}", c2.dump_analysis());
+}

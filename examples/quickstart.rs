@@ -1,0 +1,68 @@
+//! Quickstart: compile a MiniParty program with remote classes, run it on
+//! a simulated 2-machine cluster, and inspect what the optimizing
+//! compiler did to the remote call sites.
+//!
+//!     cargo run --example quickstart
+
+use corm::{compile, run, OptConfig, RunOptions};
+
+const SRC: &str = r#"
+    class Vec3 {
+        double x; double y; double z;
+        Vec3(double x, double y, double z) {
+            this.x = x; this.y = y; this.z = z;
+        }
+    }
+
+    remote class Calculator {
+        long calls;
+        double dot(Vec3 a, Vec3 b) {
+            this.calls = this.calls + 1;
+            return a.x * b.x + a.y * b.y + a.z * b.z;
+        }
+        long callCount() { return this.calls; }
+    }
+
+    class Main {
+        static void main() {
+            // place the calculator on machine 1; all calls become RMIs
+            Calculator c = new Calculator() @ 1;
+            double total = 0.0;
+            for (int i = 0; i < 100; i++) {
+                Vec3 a = new Vec3(i, 2.0, 3.0);
+                Vec3 b = new Vec3(1.0, i, 1.0);
+                total += c.dot(a, b);
+            }
+            System.println("total = ".concat(Str.fromDouble(total)));
+            System.println("rmis  = ".concat(Str.fromLong(c.callCount())));
+        }
+    }
+"#;
+
+fn main() {
+    // The paper's full optimization stack: call-site specific marshalers,
+    // static cycle-detection elimination, argument/return-value reuse.
+    let compiled = compile(SRC, OptConfig::ALL).expect("compile error");
+
+    println!("=== what the compiler proved per remote call site ===\n");
+    println!("{}", compiled.dump_analysis());
+
+    println!("=== generated marshalers (paper Fig. 6/13 style) ===\n");
+    println!("{}", compiled.dump_marshalers());
+
+    let outcome = run(&compiled, RunOptions { machines: 2, ..Default::default() });
+    if let Some(e) = &outcome.error {
+        eprintln!("runtime error: {e}");
+        std::process::exit(1);
+    }
+
+    println!("=== program output ===\n{}", outcome.output);
+    println!("=== run report ===");
+    println!("wall time        : {:?}", outcome.wall);
+    println!("modeled (Myrinet): {:.3} ms", outcome.modeled.as_secs_f64() * 1e3);
+    println!("remote RPCs      : {}", outcome.stats.remote_rpcs);
+    println!("wire bytes       : {}", outcome.stats.wire_bytes);
+    println!("type-info bytes  : {} (0 = fully static marshaling)", outcome.stats.type_info_bytes);
+    println!("cycle lookups    : {}", outcome.stats.cycle_lookups);
+    println!("reused objects   : {}", outcome.stats.reused_objs);
+}

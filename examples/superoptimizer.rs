@@ -1,0 +1,50 @@
+//! The Table 5/6 application: a parallel superoptimizer — a producer
+//! enumerates instruction sequences and streams them over RMI to tester
+//! threads that check equivalence against a target sequence.
+//!
+//!     cargo run --release --example superoptimizer [max_len] [regs] [ops]
+
+use corm::OptConfig;
+use corm_apps::SUPEROPT;
+
+fn main() {
+    let args: Vec<i64> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let max_len = args.first().copied().unwrap_or(3);
+    let regs = args.get(1).copied().unwrap_or(3);
+    let ops = args.get(2).copied().unwrap_or(6);
+
+    println!("Superoptimizer: sequences of length <= {max_len}, {regs} registers, {ops} opcodes\n");
+    println!(
+        "{:<22} {:>12} {:>10} {:>14} {:>12}",
+        "config", "modeled s", "gain", "cycle lookups", "wire KB"
+    );
+
+    let mut base = None;
+    let mut last_output = String::new();
+    for (name, cfg) in OptConfig::TABLE_ROWS {
+        let out = SUPEROPT.run_with(cfg, &[max_len, regs, ops, 4, 42], 2);
+        if let Some(e) = &out.error {
+            eprintln!("{name}: runtime error: {e}");
+            std::process::exit(1);
+        }
+        let s = out.modeled_seconds();
+        let b = *base.get_or_insert(s);
+        println!(
+            "{:<22} {:>12.4} {:>9.1}% {:>14} {:>12.1}",
+            name,
+            s,
+            (b - s) / b * 100.0,
+            out.stats.cycle_lookups,
+            out.stats.wire_bytes as f64 / 1024.0
+        );
+        last_output = out.output;
+    }
+
+    let mut lines = last_output.lines();
+    let tested = lines.next().unwrap_or("?");
+    let found = lines.next().unwrap_or("?");
+    println!("\nsequences tested: {tested}, equivalents of `r0 = 2*r1` found: {found}");
+    println!("\nPaper (Table 5): class 400.0s | site 6.7% | site+cycle 19.3% | all 19.4%");
+    println!("Expected shape: most of the gain comes from cycle-detection elimination");
+    println!("(the compiler proves program graphs acyclic); queued programs cannot be reused.");
+}

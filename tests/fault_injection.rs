@@ -1,0 +1,210 @@
+//! Failure-path coverage: runtime faults on either side of an RMI must
+//! surface as orderly errors (remote exceptions propagate to the caller,
+//! Figure 1's semantics), never as hangs or panics of the harness.
+
+use corm::{compile_and_run, OptConfig, RunOptions};
+
+fn expect_error(src: &str, machines: usize, needle: &str) {
+    let out = compile_and_run(src, OptConfig::ALL, RunOptions { machines, ..Default::default() })
+        .expect("compile failed");
+    let err = out.error.unwrap_or_else(|| panic!("expected error containing {needle:?}, output: {}", out.output));
+    assert!(
+        err.message.contains(needle),
+        "expected {needle:?} in error, got: {}",
+        err.message
+    );
+}
+
+#[test]
+fn null_receiver() {
+    expect_error(
+        r#"
+        remote class R { void f() { } }
+        class M { static void main() { R r = null; r.f(); } }
+        "#,
+        2,
+        "null receiver",
+    );
+}
+
+#[test]
+fn remote_division_by_zero_propagates() {
+    expect_error(
+        r#"
+        remote class R { int div(int a, int b) { return a / b; } }
+        class M { static void main() { R r = new R() @ 1; System.println(Str.fromLong(r.div(1, 0))); } }
+        "#,
+        2,
+        "division by zero",
+    );
+}
+
+#[test]
+fn remote_bounds_violation_propagates() {
+    expect_error(
+        r#"
+        remote class R { int get(int[] a, int i) { return a[i]; } }
+        class M { static void main() { R r = new R() @ 1; System.println(Str.fromLong(r.get(new int[2], 9))); } }
+        "#,
+        2,
+        "out of bounds",
+    );
+}
+
+#[test]
+fn remote_null_deref_propagates() {
+    expect_error(
+        r#"
+        class Box { int v; }
+        remote class R { int deref(Box b) { return b.v; } }
+        class M { static void main() { R r = new R() @ 1; System.println(Str.fromLong(r.deref(null))); } }
+        "#,
+        2,
+        "null dereference",
+    );
+}
+
+#[test]
+fn bad_cast_after_rmi() {
+    expect_error(
+        r#"
+        class P { int x; }
+        class Q { int y; }
+        remote class R { Object bounce(Object o) { return o; } }
+        class M {
+            static void main() {
+                R r = new R() @ 1;
+                Object o = r.bounce(new P());
+                Q q = (Q) o;
+            }
+        }
+        "#,
+        2,
+        "class cast",
+    );
+}
+
+#[test]
+fn placement_out_of_range() {
+    expect_error(
+        r#"
+        remote class R { void f() { } }
+        class M { static void main() { R r = new R() @ 7; r.f(); } }
+        "#,
+        2,
+        "out of range",
+    );
+}
+
+#[test]
+fn serializing_native_objects_fails_cleanly() {
+    expect_error(
+        r#"
+        remote class R { void f(Object o) { } }
+        class M { static void main() { R r = new R() @ 1; r.f(new Rng(1)); } }
+        "#,
+        2,
+        "cannot be serialized",
+    );
+}
+
+#[test]
+fn stack_overflow_is_an_error_not_a_crash() {
+    expect_error(
+        r#"
+        class M {
+            static int inf(int n) { return inf(n + 1); }
+            static void main() { System.println(Str.fromLong(inf(0))); }
+        }
+        "#,
+        1,
+        "stack overflow",
+    );
+}
+
+#[test]
+fn error_in_nested_rmi_chain_propagates_to_origin() {
+    expect_error(
+        r#"
+        remote class C { int boom() { int[] a = new int[1]; return a[5]; } }
+        remote class B {
+            C c;
+            void wire(C c) { this.c = c; }
+            int relay() { return this.c.boom(); }
+        }
+        class M {
+            static void main() {
+                C c = new C() @ 0;
+                B b = new B() @ 1;
+                b.wire(c);
+                System.println(Str.fromLong(b.relay()));
+            }
+        }
+        "#,
+        2,
+        "out of bounds",
+    );
+}
+
+#[test]
+fn error_after_partial_output_keeps_output() {
+    let src = r#"
+        class M {
+            static void main() {
+                System.println("before");
+                int x = 1 / 0;
+            }
+        }
+    "#;
+    let out = compile_and_run(src, OptConfig::CLASS, RunOptions::default()).unwrap();
+    assert_eq!(out.output, "before\n");
+    assert!(out.error.is_some());
+}
+
+#[test]
+fn cluster_arg_out_of_range() {
+    expect_error(
+        r#"class M { static void main() { long x = Cluster.arg(5); } }"#,
+        1,
+        "out of range",
+    );
+}
+
+#[test]
+fn queue_capacity_must_be_positive() {
+    expect_error(
+        r#"class M { static void main() { Queue q = new Queue(0); } }"#,
+        1,
+        "positive",
+    );
+}
+
+#[test]
+fn negative_array_size() {
+    expect_error(
+        r#"class M { static void main() { int n = 0 - 3; int[] a = new int[n]; } }"#,
+        1,
+        "negative array size",
+    );
+}
+
+#[test]
+fn rng_bound_must_be_positive() {
+    expect_error(
+        r#"class M { static void main() { Rng g = new Rng(1); int x = g.nextInt(0); } }"#,
+        1,
+        "positive",
+    );
+}
+
+#[test]
+fn errors_do_not_poison_subsequent_runs() {
+    // A failing run followed by a succeeding one on fresh state.
+    let bad = r#"class M { static void main() { int x = 1 / 0; } }"#;
+    let good = r#"class M { static void main() { System.println("fine"); } }"#;
+    let out1 = compile_and_run(bad, OptConfig::ALL, RunOptions::default()).unwrap();
+    assert!(out1.error.is_some());
+    let out2 = compile_and_run(good, OptConfig::ALL, RunOptions::default()).unwrap();
+    assert!(out2.error.is_none());
+    assert_eq!(out2.output, "fine\n");
+}

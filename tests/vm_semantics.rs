@@ -1,0 +1,238 @@
+//! Differential testing of the interpreter's arithmetic semantics:
+//! pseudo-random expression trees are rendered to MiniParty, executed on
+//! the VM, and compared against a host-side evaluator implementing Java's
+//! `long` semantics (wrapping arithmetic, masked shifts).
+
+use corm::{compile_and_run, OptConfig, RunOptions};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum E {
+    Const(i64),
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    /// denominator rendered as `(d | 1)` so it is never zero
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+    Shr(Box<E>, Box<E>),
+    Neg(Box<E>),
+    /// `cond ? a : b` rendered via an if statement helper
+    Pick(Box<E>, Box<E>, Box<E>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(E::Const),
+        (0usize..3).prop_map(E::Var),
+        Just(E::Const(i64::MAX)),
+        Just(E::Const(i64::MIN)),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shr(a.into(), b.into())),
+            inner.clone().prop_map(|a| E::Neg(a.into())),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| E::Pick(c.into(), a.into(), b.into())),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        // MiniParty has no negative literals; negatives render as (0 - n).
+        E::Const(v) => render_const(*v),
+        E::Var(i) => format!("v{i}"),
+        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        E::Div(a, b) => format!("({} / ({} | 1))", render(a), render(b)),
+        E::Rem(a, b) => format!("({} % ({} | 1))", render(a), render(b)),
+        E::And(a, b) => format!("({} & {})", render(a), render(b)),
+        E::Or(a, b) => format!("({} | {})", render(a), render(b)),
+        E::Xor(a, b) => format!("({} ^ {})", render(a), render(b)),
+        E::Shl(a, b) => format!("({} << {})", render(a), render(b)),
+        E::Shr(a, b) => format!("({} >> {})", render(a), render(b)),
+        E::Neg(a) => format!("(0 - {})", render(a)),
+        E::Pick(c, a, b) => {
+            format!("pick({} > 0, {}, {})", render(c), render(a), render(b))
+        }
+    }
+}
+
+fn eval(e: &E, vars: &[i64; 3]) -> i64 {
+    match e {
+        E::Const(v) => *v,
+        E::Var(i) => vars[*i],
+        E::Add(a, b) => eval(a, vars).wrapping_add(eval(b, vars)),
+        E::Sub(a, b) => eval(a, vars).wrapping_sub(eval(b, vars)),
+        E::Mul(a, b) => eval(a, vars).wrapping_mul(eval(b, vars)),
+        E::Div(a, b) => eval(a, vars).wrapping_div(eval(b, vars) | 1),
+        E::Rem(a, b) => eval(a, vars).wrapping_rem(eval(b, vars) | 1),
+        E::And(a, b) => eval(a, vars) & eval(b, vars),
+        E::Or(a, b) => eval(a, vars) | eval(b, vars),
+        E::Xor(a, b) => eval(a, vars) ^ eval(b, vars),
+        E::Shl(a, b) => eval(a, vars).wrapping_shl(eval(b, vars) as u32 & 63),
+        E::Shr(a, b) => eval(a, vars).wrapping_shr(eval(b, vars) as u32 & 63),
+        E::Neg(a) => 0i64.wrapping_sub(eval(a, vars)),
+        E::Pick(c, a, b) => {
+            if eval(c, vars) > 0 {
+                eval(a, vars)
+            } else {
+                eval(b, vars)
+            }
+        }
+    }
+}
+
+// Negative literals render through `(0 - x)`, but `i64::MIN`'s absolute
+// value does not fit; rendering it as a decimal literal would overflow the
+// parser's i64. Filter expressions whose rendering would need it.
+fn renderable(e: &E) -> bool {
+    match e {
+        E::Const(v) => *v != i64::MIN && *v >= -(1 << 62),
+        E::Var(_) => true,
+        E::Add(a, b)
+        | E::Sub(a, b)
+        | E::Mul(a, b)
+        | E::Div(a, b)
+        | E::Rem(a, b)
+        | E::And(a, b)
+        | E::Or(a, b)
+        | E::Xor(a, b)
+        | E::Shl(a, b)
+        | E::Shr(a, b) => renderable(a) && renderable(b),
+        E::Neg(a) => renderable(a),
+        E::Pick(c, a, b) => renderable(c) && renderable(a) && renderable(b),
+    }
+}
+
+/// Render a long-typed literal. MiniParty infers small literals as `int`
+/// (32-bit ops, 5-bit shift masks), so an explicit widening cast keeps
+/// the whole expression in `long` semantics like the host evaluator.
+fn render_const(v: i64) -> String {
+    if v >= 0 {
+        format!("((long) {v})")
+    } else {
+        format!("(0 - (long) {})", -(v.max(-(1 << 62))))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn long_arithmetic_matches_java_semantics(
+        e in expr_strategy().prop_filter("renderable", renderable),
+        vars in [(-10_000i64..10_000), (-10_000i64..10_000), (-10_000i64..10_000)],
+    ) {
+        let expected = eval(&e, &vars);
+        let src = format!(
+            r#"
+            class M {{
+                static long pick(boolean c, long a, long b) {{
+                    if (c) {{ return a; }}
+                    return b;
+                }}
+                static void main() {{
+                    long v0 = {};
+                    long v1 = {};
+                    long v2 = {};
+                    long result = {};
+                    System.println(Str.fromLong(result));
+                }}
+            }}
+            "#,
+            render_const(vars[0]),
+            render_const(vars[1]),
+            render_const(vars[2]),
+            render(&e),
+        );
+        let out = compile_and_run(&src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
+            .expect("compile failed");
+        prop_assert!(out.error.is_none(), "{:?}\n{src}", out.error);
+        prop_assert_eq!(out.output.trim(), expected.to_string(), "\nsource:\n{}", src);
+    }
+}
+
+/// Deterministic spot checks of Java-specific corner semantics.
+#[test]
+fn corner_semantics() {
+    let cases = [
+        // (expression, expected)
+        ("9223372036854775807 + 1", i64::MIN.to_string()),          // wrap
+        ("(0 - 7) / 2", "-3".to_string()),                          // trunc toward zero
+        ("(0 - 7) % 2", "-1".to_string()),                          // sign of dividend
+        ("1 << 64", "1".to_string()),                               // masked shift
+        ("(0 - 8) >> 1", "-4".to_string()),                         // arithmetic shift
+        ("5 / 2", "2".to_string()),
+    ];
+    for (expr, expected) in cases {
+        let src = format!(
+            r#"class M {{ static void main() {{ long r = {expr}; System.println(Str.fromLong(r)); }} }}"#
+        );
+        let out = compile_and_run(&src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
+            .unwrap();
+        assert!(out.error.is_none(), "{expr}: {:?}", out.error);
+        assert_eq!(out.output.trim(), expected, "expr: {expr}");
+    }
+}
+
+/// Double semantics: IEEE behaviour passes through the interpreter.
+#[test]
+fn double_semantics() {
+    let src = r#"
+        class M {
+            static void main() {
+                double inf = 1.0 / 0.0;
+                double nan = 0.0 / 0.0;
+                if (inf > 1e308) { System.println("inf"); }
+                if (nan != nan) { System.println("nan"); }
+                System.println(Str.fromDouble(0.1 + 0.2));
+            }
+        }
+    "#;
+    let out = compile_and_run(src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
+        .unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.output, format!("inf\nnan\n{}\n", 0.1f64 + 0.2f64));
+}
+
+/// Int (32-bit) narrowing casts.
+#[test]
+fn int_narrowing() {
+    let src = r#"
+        class M {
+            static void main() {
+                long big = 4294967296 + 5; // 2^32 + 5
+                int narrowed = (int) big;
+                System.println(Str.fromLong(narrowed));
+                int wrap = 2147483647;
+                wrap += 1;
+                System.println(Str.fromLong(wrap));
+                double d = 3.99;
+                System.println(Str.fromLong((int) d));
+                double neg = 0.0 - 3.99;
+                System.println(Str.fromLong((int) neg));
+            }
+        }
+    "#;
+    let out = compile_and_run(src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
+        .unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.output, "5\n-2147483648\n3\n-3\n");
+}
