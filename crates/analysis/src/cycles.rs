@@ -84,11 +84,13 @@ pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
 fn is_single_recursive_field(g: &HeapGraph, n: NodeId, slot: usize) -> bool {
     let node = g.node(n);
     // exactly one self edge, through `slot`, and that edge targets only n
-    node.fields
-        .iter()
-        .enumerate()
-        .all(|(s, set)| if s == slot { set.len() == 1 && set.contains(&n) } else { !set.contains(&n) })
-        && !node.elems.contains(&n)
+    node.fields.iter().enumerate().all(|(s, set)| {
+        if s == slot {
+            set.len() == 1 && set.contains(&n)
+        } else {
+            !set.contains(&n)
+        }
+    }) && !node.elems.contains(&n)
 }
 
 #[cfg(test)]
@@ -116,11 +118,7 @@ mod tests {
     fn fig8_same_node_two_args() {
         let mut g = HeapGraph::default();
         let b = obj(&mut g, 3, 0);
-        assert!(may_cycle(
-            &g,
-            &[NodeSet::from([b]), NodeSet::from([b])],
-            CycleOptions::default()
-        ));
+        assert!(may_cycle(&g, &[NodeSet::from([b]), NodeSet::from([b])], CycleOptions::default()));
     }
 
     /// Paper Figure 9: self-referencing object.

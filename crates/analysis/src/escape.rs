@@ -68,8 +68,8 @@ pub fn is_reusable(g: &HeapGraph, pts: &NodeSet, escaping: &NodeSet) -> bool {
 mod tests {
     use super::*;
     use crate::points_to::analyze_points_to;
-    use corm_ir::ssa::build_module_ssa;
     use corm_ir::compile_frontend;
+    use corm_ir::ssa::build_module_ssa;
 
     fn setup(src: &str) -> (Module, Vec<corm_ir::ssa::SsaFunction>, PointsTo) {
         let m = compile_frontend(src).unwrap();

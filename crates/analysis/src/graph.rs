@@ -109,10 +109,7 @@ impl HeapGraph {
     /// All outgoing edges of a node: each field slot's set and the elem set.
     pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         let n = self.node(node);
-        n.fields
-            .iter()
-            .flat_map(|s| s.iter().copied())
-            .chain(n.elems.iter().copied())
+        n.fields.iter().flat_map(|s| s.iter().copied()).chain(n.elems.iter().copied())
     }
 
     /// Nodes reachable from `roots` (inclusive) following field/element
@@ -135,13 +132,7 @@ impl HeapGraph {
         let mut s = String::new();
         for n in &self.nodes {
             let kind = if n.is_clone() { "clone" } else { "alloc" };
-            let _ = writeln!(
-                s,
-                "{} [{kind} site {} : {}]",
-                n.id,
-                n.phys.0,
-                m.table.ty_name(&n.ty)
-            );
+            let _ = writeln!(s, "{} [{kind} site {} : {}]", n.id, n.phys.0, m.table.ty_name(&n.ty));
             for (slot, set) in n.fields.iter().enumerate() {
                 if !set.is_empty() {
                     let t: Vec<String> = set.iter().map(|x| x.to_string()).collect();

@@ -259,9 +259,7 @@ impl<'a> Engine<'a> {
                         CallTarget::Static(mid)
                         | CallTarget::Remote(mid)
                         | CallTarget::Ctor(mid) => vec![*mid],
-                        CallTarget::Virtual { decl, vslot } => {
-                            self.virtual_targets(*decl, *vslot)
-                        }
+                        CallTarget::Virtual { decl, vslot } => self.virtual_targets(*decl, *vslot),
                         CallTarget::Builtin(_) => continue,
                     };
                     let mut callee_rets = NodeSet::new();
@@ -539,8 +537,8 @@ pub fn has_body(m: &Module, mid: MethodId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use corm_ir::ssa::build_module_ssa;
     use corm_ir::compile_frontend;
+    use corm_ir::ssa::build_module_ssa;
 
     fn analyze(src: &str) -> (Module, Vec<SsaFunction>, PointsTo) {
         let m = compile_frontend(src).unwrap();
@@ -610,7 +608,12 @@ mod tests {
             .iter()
             .filter(|n| matches!(n.ty, Ty::Class(c) if c == corm_ir::OBJECT_CLASS))
             .collect();
-        assert_eq!(object_phys.len(), 3, "base + args-clone + ret-clone, got {:#?}", object_phys.len());
+        assert_eq!(
+            object_phys.len(),
+            3,
+            "base + args-clone + ret-clone, got {:#?}",
+            object_phys.len()
+        );
         let phys: std::collections::HashSet<_> = object_phys.iter().map(|n| n.phys).collect();
         assert_eq!(phys.len(), 1, "all clones share the physical allocation number");
         assert_eq!(object_phys.iter().filter(|n| n.is_clone()).count(), 2);
@@ -710,10 +713,8 @@ mod tests {
         assert_eq!(pt.graph.blob.len(), 1);
         // take's result points at the Item node via the blob
         // the cast's result set must include the blob's Item node
-        let flows = pt
-            .site_info
-            .values()
-            .any(|s| s.dst.as_ref().map(|d| !d.is_empty()).unwrap_or(false));
+        let flows =
+            pt.site_info.values().any(|s| s.dst.as_ref().map(|d| !d.is_empty()).unwrap_or(false));
         assert!(flows || pt.graph.blob.len() == 1);
     }
 

@@ -197,8 +197,8 @@ fn shape_rec(
 mod tests {
     use super::*;
     use crate::points_to::analyze_points_to;
-    use corm_ir::ssa::build_module_ssa;
     use corm_ir::compile_frontend;
+    use corm_ir::ssa::build_module_ssa;
 
     fn site_arg_shape(src: &str, method: &str, arg: usize) -> (Module, Shape) {
         let m = compile_frontend(src).unwrap();
@@ -206,11 +206,7 @@ mod tests {
         let pt = analyze_points_to(&m, &ssa);
         let cs = m
             .remote_call_sites()
-            .find(|cs| {
-                cs.method
-                    .map(|mm| m.table.method(mm).name == method)
-                    .unwrap_or(false)
-            })
+            .find(|cs| cs.method.map(|mm| m.table.method(mm).name == method).unwrap_or(false))
             .expect("remote call site");
         let info = &pt.site_info[&cs.id];
         let mid = cs.method.unwrap();
@@ -245,11 +241,7 @@ mod tests {
         let pt = analyze_points_to(&m, &ssa);
         let sites: Vec<_> = m
             .remote_call_sites()
-            .filter(|cs| {
-                cs.method
-                    .map(|mm| m.table.method(mm).name == "foo")
-                    .unwrap_or(false)
-            })
+            .filter(|cs| cs.method.map(|mm| m.table.method(mm).name == "foo").unwrap_or(false))
             .collect();
         assert_eq!(sites.len(), 2);
         let base = m.table.class_named("Base").unwrap();

@@ -65,10 +65,7 @@ pub fn analyze_module(m: &Module, options: AnalysisOptions) -> AnalysisResult {
     // Escape summaries are per function; compute lazily and memoize.
     let mut escape_cache: HashMap<FuncId, crate::graph::NodeSet> = HashMap::new();
     let mut escaping_of = |f: FuncId, pt: &PointsTo| -> crate::graph::NodeSet {
-        escape_cache
-            .entry(f)
-            .or_insert_with(|| escaping_nodes(m, pt, f).escaping)
-            .clone()
+        escape_cache.entry(f).or_insert_with(|| escaping_nodes(m, pt, f).escaping).clone()
     };
 
     let mut sites = HashMap::new();
@@ -93,7 +90,7 @@ pub fn analyze_module(m: &Module, options: AnalysisOptions) -> AnalysisResult {
             (None, false)
         } else {
             let shape = shape_of(m, &pt.graph, &meth.ret, &info.callee_rets);
-            let mc = may_cycle(&pt.graph, &[info.callee_rets.clone()], options.cycle);
+            let mc = may_cycle(&pt.graph, std::slice::from_ref(&info.callee_rets), options.cycle);
             (Some(shape), mc)
         };
 
@@ -106,8 +103,7 @@ pub fn analyze_module(m: &Module, options: AnalysisOptions) -> AnalysisResult {
                 if !pty.is_ref() {
                     return false; // primitives have nothing to reuse
                 }
-                let param_pts =
-                    &pt.var_pts[callee_f.index()][ssa_callee.params[i].index()];
+                let param_pts = &pt.var_pts[callee_f.index()][ssa_callee.params[i].index()];
                 !param_pts.is_empty() && is_reusable(&pt.graph, param_pts, &callee_escaping)
             })
             .collect();
@@ -180,11 +176,8 @@ impl AnalysisResult {
                     info.ret_ignored
                 );
             }
-            let _ = writeln!(
-                s,
-                "  cycles: args={} ret={}",
-                info.args_may_cycle, info.ret_may_cycle
-            );
+            let _ =
+                writeln!(s, "  cycles: args={} ret={}", info.args_may_cycle, info.ret_may_cycle);
         }
         s
     }
@@ -202,10 +195,7 @@ mod tests {
     }
 
     fn site_for<'r>(m: &Module, r: &'r AnalysisResult, method: &str) -> &'r RemoteSiteInfo {
-        r.sites
-            .values()
-            .find(|s| m.table.method(s.method).name == method)
-            .expect("site")
+        r.sites.values().find(|s| m.table.method(s.method).name == method).expect("site")
     }
 
     /// Paper Figure 12: the generated summary for the array benchmark —

@@ -94,10 +94,7 @@ impl AppSpec {
     /// Run with explicit arguments.
     pub fn run_with(&self, config: OptConfig, args: &[i64], machines: usize) -> RunOutcome {
         let compiled = self.compile(config);
-        run(
-            &compiled,
-            RunOptions { machines, args: args.to_vec(), ..Default::default() },
-        )
+        run(&compiled, RunOptions { machines, args: args.to_vec(), ..Default::default() })
     }
 
     /// Run at test scale.
@@ -148,11 +145,7 @@ mod tests {
                 out.error,
                 out.output
             );
-            assert_eq!(
-                out.output, expected,
-                "{} output mismatch under {name}",
-                spec.name
-            );
+            assert_eq!(out.output, expected, "{} output mismatch under {name}", spec.name);
         }
     }
 

@@ -51,6 +51,9 @@ pub fn array2d_output(n: i64, reps: i64) -> String {
 
 /// Tables 3/4 workload: sequential LU with the identical initialization,
 /// elimination order and accumulation order as the MiniParty program.
+// Index-based loops mirror the MiniParty program statement-for-statement so
+// the floating-point operation order is bit-identical.
+#[allow(clippy::needless_range_loop)]
 pub fn lu_output(n: i64, seed: i64) -> String {
     let n = n as usize;
     let mut a = vec![vec![0.0f64; n]; n];
@@ -72,7 +75,13 @@ pub fn lu_output(n: i64, seed: i64) -> String {
             }
         }
     }
-    let trace: f64 = { let mut t = 0.0; for i in 0..n { t += a[i][i]; } t };
+    let trace: f64 = {
+        let mut t = 0.0;
+        for i in 0..n {
+            t += a[i][i];
+        }
+        t
+    };
     let mut checksum = 0.0f64;
     for row in &a {
         for &v in row {
@@ -85,7 +94,14 @@ pub fn lu_output(n: i64, seed: i64) -> String {
 /// Tables 5/6 workload: re-run the enumeration and the per-tester
 /// deterministic equivalence testing, including the early-exit RNG
 /// consumption pattern of the MiniParty tester loop.
-pub fn superopt_output(max_len: i64, nregs: i64, nops: i64, trials: i64, seed: i64, machines: usize) -> String {
+pub fn superopt_output(
+    max_len: i64,
+    nregs: i64,
+    nops: i64,
+    trials: i64,
+    seed: i64,
+    machines: usize,
+) -> String {
     let (max_len, nregs, nops, trials) =
         (max_len as usize, nregs as usize, nops as usize, trials as usize);
 

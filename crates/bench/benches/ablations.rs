@@ -106,11 +106,19 @@ fn cost_model_sweep(c: &mut Criterion) {
         ("myrinet", CostModel::default()),
         (
             "fast-net",
-            CostModel { latency_ns: 2_000, bandwidth_bytes_per_sec: 1_250_000_000, ..CostModel::default() },
+            CostModel {
+                latency_ns: 2_000,
+                bandwidth_bytes_per_sec: 1_250_000_000,
+                ..CostModel::default()
+            },
         ),
         (
             "slow-net",
-            CostModel { latency_ns: 100_000, bandwidth_bytes_per_sec: 12_500_000, ..CostModel::default() },
+            CostModel {
+                latency_ns: 100_000,
+                bandwidth_bytes_per_sec: 12_500_000,
+                ..CostModel::default()
+            },
         ),
     ];
     for (mname, model) in models {
@@ -121,7 +129,12 @@ fn cost_model_sweep(c: &mut Criterion) {
                 let run = |compiled| {
                     corm::run(
                         compiled,
-                        RunOptions { machines: 2, args: vec![16, 10], cost: model, ..Default::default() },
+                        RunOptions {
+                            machines: 2,
+                            args: vec![16, 10],
+                            cost: model,
+                            ..Default::default()
+                        },
                     )
                 };
                 let o1 = run(&class);

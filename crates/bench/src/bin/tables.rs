@@ -5,11 +5,12 @@
 //!   cargo run --release -p corm-bench --bin tables             # default scale
 //!   cargo run --release -p corm-bench --bin tables -- --quick  # CI scale
 //!   cargo run --release -p corm-bench --bin tables -- --reps 3
+//!   cargo run --release -p corm-bench --bin tables -- --json BENCH_tables.json
 
 use corm_apps::{ARRAY2D, LINKED_LIST, LU, SUPEROPT, WEBSERVER};
 use corm_bench::{
-    format_stats_table, format_time_table, measure_table, shape_verdicts, MeasuredRow,
-    PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE5, PAPER_TABLE7,
+    format_stats_table, format_time_table, measure_table, render_tables_json, shape_verdicts,
+    JsonTable, MeasuredRow, PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE5, PAPER_TABLE7,
 };
 
 fn main() {
@@ -21,6 +22,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(1);
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
 
     println!("# COR-RMI: reproduction of the paper's Tables 1-8");
     println!();
@@ -35,14 +37,9 @@ fn main() {
     // Table 1 + the linked-list workload.
     let t1_args = if quick { LINKED_LIST.quick_args } else { LINKED_LIST.default_args };
     let t1 = measure_table(&LINKED_LIST, t1_args, 2, reps);
-    println!(
-        "{}",
-        format_time_table(
-            &format!("Table 1: LinkedList, {} elements, {} reps, 2 CPUs", t1_args[0], t1_args[1]),
-            &PAPER_TABLE1,
-            &t1
-        )
-    );
+    let t1_title =
+        format!("Table 1: LinkedList, {} elements, {} reps, 2 CPUs", t1_args[0], t1_args[1]);
+    println!("{}", format_time_table(&t1_title, &PAPER_TABLE1, &t1));
     verdicts.extend(shape_verdicts("T1", &t1));
     verdicts.push((
         "T1: cycle elimination does not help the (conservatively cyclic) list".into(),
@@ -53,51 +50,45 @@ fn main() {
     // Table 2.
     let t2_args = if quick { ARRAY2D.quick_args } else { ARRAY2D.default_args };
     let t2 = measure_table(&ARRAY2D, t2_args, 2, reps);
-    println!(
-        "{}",
-        format_time_table(
-            &format!("Table 2: 2D array transmission, {0}x{0}, {1} reps, 2 CPUs", t2_args[0], t2_args[1]),
-            &PAPER_TABLE2,
-            &t2
-        )
+    let t2_title = format!(
+        "Table 2: 2D array transmission, {0}x{0}, {1} reps, 2 CPUs",
+        t2_args[0], t2_args[1]
     );
+    println!("{}", format_time_table(&t2_title, &PAPER_TABLE2, &t2));
     verdicts.extend(shape_verdicts("T2", &t2));
     verdicts.push(("T2: cycle elimination helps the array".into(), t2[2].seconds < t2[1].seconds));
 
     // Tables 3 and 4.
     let t3_args = if quick { LU.quick_args } else { LU.default_args };
     let t3 = measure_table(&LU, t3_args, 2, reps);
-    println!(
-        "{}",
-        format_time_table(
-            &format!("Table 3: LU runtime, {0}x{0} matrix, 2 CPUs", t3_args[0]),
-            &PAPER_TABLE3,
-            &t3
-        )
-    );
+    let t3_title = format!("Table 3: LU runtime, {0}x{0} matrix, 2 CPUs", t3_args[0]);
+    println!("{}", format_time_table(&t3_title, &PAPER_TABLE3, &t3));
     println!("{}", format_stats_table("Table 4: LU runtime statistics", &t3));
     verdicts.extend(shape_verdicts("T3", &t3));
-    verdicts.push(("T4: cycle elimination removes (almost) all lookups".into(), t3[4].stats.cycle_lookups * 100 < t3[0].stats.cycle_lookups.max(1)));
-    verdicts.push(("T4: reuse cuts deserialization MBytes".into(), t3[4].stats.deser_bytes < t3[2].stats.deser_bytes));
+    verdicts.push((
+        "T4: cycle elimination removes (almost) all lookups".into(),
+        t3[4].stats.cycle_lookups * 100 < t3[0].stats.cycle_lookups.max(1),
+    ));
+    verdicts.push((
+        "T4: reuse cuts deserialization MBytes".into(),
+        t3[4].stats.deser_bytes < t3[2].stats.deser_bytes,
+    ));
 
     // Tables 5 and 6.
     let t5_args = if quick { SUPEROPT.quick_args } else { SUPEROPT.default_args };
     let t5 = measure_table(&SUPEROPT, t5_args, 2, reps);
-    println!(
-        "{}",
-        format_time_table(
-            &format!(
-                "Table 5: superoptimizer exhaustive search (len<={}, {} regs, {} ops), 2 CPUs",
-                t5_args[0], t5_args[1], t5_args[2]
-            ),
-            &PAPER_TABLE5,
-            &t5
-        )
+    let t5_title = format!(
+        "Table 5: superoptimizer exhaustive search (len<={}, {} regs, {} ops), 2 CPUs",
+        t5_args[0], t5_args[1], t5_args[2]
     );
+    println!("{}", format_time_table(&t5_title, &PAPER_TABLE5, &t5));
     println!("{}", format_stats_table("Table 6: superoptimizer runtime statistics", &t5));
     verdicts.extend(shape_verdicts("T5", &t5));
     verdicts.push(("T6: queued programs are not reusable".into(), t5[4].stats.reused_objs <= 2));
-    verdicts.push(("T6: cycle lookups drop to ~0".into(), t5[4].stats.cycle_lookups * 100 < t5[0].stats.cycle_lookups.max(1)));
+    verdicts.push((
+        "T6: cycle lookups drop to ~0".into(),
+        t5[4].stats.cycle_lookups * 100 < t5[0].stats.cycle_lookups.max(1),
+    ));
 
     // Tables 7 and 8. The paper reports µs per webpage retrieval.
     let t7_args = if quick { WEBSERVER.quick_args } else { WEBSERVER.default_args };
@@ -111,17 +102,11 @@ fn main() {
             ..r.clone()
         })
         .collect();
-    println!(
-        "{}",
-        format_time_table(
-            &format!(
-                "Table 7: webserver, us per webpage retrieval ({} pages, {} requests), 2 CPUs",
-                t7_args[0], t7_args[2]
-            ),
-            &PAPER_TABLE7,
-            &t7
-        )
+    let t7_title = format!(
+        "Table 7: webserver, us per webpage retrieval ({} pages, {} requests), 2 CPUs",
+        t7_args[0], t7_args[2]
     );
+    println!("{}", format_time_table(&t7_title, &PAPER_TABLE7, &t7));
     println!("{}", format_stats_table("Table 8: webserver runtime statistics", &t7_raw));
     verdicts.extend(shape_verdicts("T7", &t7));
     verdicts.push(("T8: returned pages are reused".into(), t7_raw[4].stats.reused_objs > 0));
@@ -142,4 +127,26 @@ fn main() {
     }
     println!();
     println!("{ok}/{} shape claims hold", verdicts.len());
+
+    if let Some(path) = json_path {
+        let tables = [
+            JsonTable { id: "table1_linkedlist", title: t1_title, unit: "seconds", rows: &t1 },
+            JsonTable { id: "table2_array", title: t2_title, unit: "seconds", rows: &t2 },
+            JsonTable { id: "table3_lu", title: t3_title, unit: "seconds", rows: &t3 },
+            JsonTable { id: "table5_superopt", title: t5_title, unit: "seconds", rows: &t5 },
+            JsonTable { id: "table7_webserver", title: t7_title, unit: "us_per_page", rows: &t7 },
+        ];
+        let json = render_tables_json(
+            if quick { "quick" } else { "default" },
+            reps,
+            2,
+            &tables,
+            &verdicts,
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("machine-readable tables written to {path}");
+    }
 }

@@ -9,7 +9,7 @@
 //! III hardware — so the claim under test is the *shape*: the ordering of
 //! the five configurations and the approximate relative gains.
 
-use corm::{OptConfig, RunOutcome, StatsSnapshot};
+use corm::{HistSnapshot, MetricsSnapshot, OptConfig, RunOutcome, StatsSnapshot};
 use corm_apps::AppSpec;
 
 /// One measured row of a timing table.
@@ -24,6 +24,9 @@ pub struct MeasuredRow {
     /// Gain over the `class` baseline, percent.
     pub gain: f64,
     pub stats: StatsSnapshot,
+    /// Full per-machine / per-site metrics of the measured run (the last
+    /// repetition).
+    pub metrics: MetricsSnapshot,
 }
 
 /// A row of the paper's published numbers.
@@ -42,7 +45,12 @@ pub struct PaperRow {
 /// deterministic per configuration; taking the minimum wall strips
 /// host-scheduler noise, which otherwise swamps the optimization deltas
 /// when the simulated machines timeshare few host cores.
-pub fn measure_table(spec: &AppSpec, args: &[i64], machines: usize, reps: usize) -> Vec<MeasuredRow> {
+pub fn measure_table(
+    spec: &AppSpec,
+    args: &[i64],
+    machines: usize,
+    reps: usize,
+) -> Vec<MeasuredRow> {
     let mut rows = Vec::new();
     let mut class_seconds = None;
     for (name, cfg) in OptConfig::TABLE_ROWS {
@@ -63,6 +71,7 @@ pub fn measure_table(spec: &AppSpec, args: &[i64], machines: usize, reps: usize)
             wall: min_wall,
             gain: (base - seconds) / base * 100.0,
             stats: out.stats,
+            metrics: out.metrics,
         });
     }
     rows
@@ -131,6 +140,139 @@ pub fn shape_verdicts(table: &str, measured: &[MeasuredRow]) -> Vec<(String, boo
     v
 }
 
+// ----- machine-readable output (BENCH_tables.json) -------------------------
+
+/// Schema version of the JSON document produced by [`render_tables_json`].
+/// Bump on any breaking change to the layout.
+pub const BENCH_JSON_SCHEMA_VERSION: u32 = 1;
+
+/// One table to export: stable id, human title, unit of the `seconds`
+/// column, and the measured rows.
+pub struct JsonTable<'a> {
+    pub id: &'static str,
+    pub title: String,
+    pub unit: &'static str,
+    pub rows: &'a [MeasuredRow],
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hist_json(h: &HistSnapshot) -> String {
+    format!(
+        r#"{{"count":{},"sum":{},"mean":{:.3},"p50":{},"p99":{}}}"#,
+        h.count,
+        h.sum,
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.99)
+    )
+}
+
+fn counters_json(st: &StatsSnapshot) -> String {
+    format!(
+        concat!(
+            r#"{{"local_rpcs":{},"remote_rpcs":{},"messages":{},"wire_bytes":{},"#,
+            r#""type_info_bytes":{},"cycle_lookups":{},"ser_invocations":{},"#,
+            r#""reused_objs":{},"deser_bytes":{},"deser_allocs":{}}}"#
+        ),
+        st.local_rpcs,
+        st.remote_rpcs,
+        st.messages,
+        st.wire_bytes,
+        st.type_info_bytes,
+        st.cycle_lookups,
+        st.ser_invocations,
+        st.reused_objs,
+        st.deser_bytes,
+        st.deser_allocs,
+    )
+}
+
+fn row_json(r: &MeasuredRow) -> String {
+    let m = &r.metrics;
+    let hists = format!(
+        r#"{{"rtt_us":{},"marshal_us":{},"unmarshal_us":{},"invoke_us":{},"payload_bytes":{}}}"#,
+        hist_json(&m.cluster_hist(|ms| &ms.rtt_us)),
+        hist_json(&m.cluster_hist(|ms| &ms.marshal_us)),
+        hist_json(&m.cluster_hist(|ms| &ms.unmarshal_us)),
+        hist_json(&m.cluster_hist(|ms| &ms.invoke_us)),
+        hist_json(&m.cluster_hist(|ms| &ms.payload_bytes)),
+    );
+    format!(
+        concat!(
+            r#"{{"config":"{}","seconds":{:.6},"wall_s":{:.6},"gain_pct":{:.2},"#,
+            r#""counters":{},"histograms":{}}}"#
+        ),
+        esc(r.config),
+        r.seconds,
+        r.wall,
+        r.gain,
+        counters_json(&r.stats),
+        hists,
+    )
+}
+
+/// Render every measured table plus the shape verdicts as a
+/// schema-versioned JSON document (hand-rolled — the workspace has no
+/// JSON dependency). Counters are the exact Tables 4/6/8 values;
+/// histograms are cluster aggregates of the per-machine distributions.
+pub fn render_tables_json(
+    scale: &str,
+    reps: usize,
+    machines: usize,
+    tables: &[JsonTable<'_>],
+    verdicts: &[(String, bool)],
+) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"{{"schema_version":{BENCH_JSON_SCHEMA_VERSION},"generator":"corm-bench tables","scale":"{}","reps":{reps},"machines":{machines},"tables":["#,
+        esc(scale)
+    );
+    for (ti, t) in tables.iter().enumerate() {
+        if ti > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            r#"{{"id":"{}","title":"{}","unit":"{}","rows":["#,
+            esc(t.id),
+            esc(&t.title),
+            esc(t.unit)
+        );
+        for (ri, r) in t.rows.iter().enumerate() {
+            if ri > 0 {
+                s.push(',');
+            }
+            s.push_str(&row_json(r));
+        }
+        s.push_str("]}");
+    }
+    s.push_str(r#"],"verdicts":["#);
+    for (vi, (claim, pass)) in verdicts.iter().enumerate() {
+        if vi > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, r#"{{"claim":"{}","pass":{pass}}}"#, esc(claim));
+    }
+    s.push_str("]}");
+    s
+}
+
 // ----- the paper's published numbers ---------------------------------------
 
 /// Table 1: LinkedList, 100 elements, 2 CPUs.
@@ -192,5 +334,37 @@ mod tests {
         assert!(text.contains("site + reuse + cycle"));
         let stats = format_stats_table("stats", &rows);
         assert!(stats.contains("cycle lookups"));
+        // every row carries the full metrics snapshot of its run
+        assert!(rows.iter().all(|r| r.metrics.machines.len() == 2));
+        assert!(rows.iter().all(|r| r.metrics.cluster_stats() == r.stats));
+    }
+
+    #[test]
+    fn json_export_is_schema_versioned_and_escaped() {
+        let rows = measure_table(&ARRAY2D, ARRAY2D.quick_args, 2, 1);
+        let tables = [JsonTable {
+            id: "table2_array",
+            title: "Table \"2\": 2D array".to_string(),
+            unit: "seconds",
+            rows: &rows,
+        }];
+        let verdicts = vec![("site beats class".to_string(), true)];
+        let json = render_tables_json("quick", 1, 2, &tables, &verdicts);
+        assert!(json.starts_with(&format!("{{\"schema_version\":{BENCH_JSON_SCHEMA_VERSION}")));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains(r#""id":"table2_array""#));
+        assert!(json.contains(r#"Table \"2\""#), "quotes in titles must be escaped");
+        assert!(json.contains(r#""config":"class""#));
+        assert!(json.contains(r#""cycle_lookups":"#));
+        assert!(json.contains(r#""rtt_us":{"count":"#));
+        assert!(json.contains(r#""verdicts":[{"claim":"site beats class","pass":true}"#));
+        // structural sanity: balanced braces/brackets (no string content
+        // can unbalance them thanks to esc())
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
     }
 }

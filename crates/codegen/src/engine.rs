@@ -163,10 +163,9 @@ impl<'a> Serializer<'a> {
             }
             SerNode::Dynamic => self.serialize_dynamic(heap, v, cycle, msg),
             SerNode::Recur { up } => {
-                let idx = stack
-                    .len()
-                    .checked_sub(*up as usize)
-                    .ok_or_else(|| SerError(format!("recursion level {up} underflows plan stack")))?;
+                let idx = stack.len().checked_sub(*up as usize).ok_or_else(|| {
+                    SerError(format!("recursion level {up} underflows plan stack"))
+                })?;
                 let target = stack[idx];
                 self.ser_rec(heap, target, v, cycle, msg, stack)
             }
@@ -360,10 +359,7 @@ impl<'a> Serializer<'a> {
         } else {
             let info = self.plans.class_ser(class);
             if !info.serializable {
-                return serr(format!(
-                    "class {} is not serializable",
-                    self.table.class(class).name
-                ));
+                return serr(format!("class {} is not serializable", self.table.class(class).name));
             }
             Ok(std::borrow::Cow::Borrowed(&info.slots))
         }
@@ -507,8 +503,11 @@ impl<'a> Serializer<'a> {
                 }
                 stack.push(node);
                 for i in 0..len {
-                    let old_elem =
-                        if reusing { heap.array_get(obj, i).unwrap_or(Value::Null) } else { Value::Null };
+                    let old_elem = if reusing {
+                        heap.array_get(obj, i).unwrap_or(Value::Null)
+                    } else {
+                        Value::Null
+                    };
                     let ev = self.deser_rec(heap, elem, r, dtable, old_elem, st, stack)?;
                     heap.array_set(obj, i, ev)?;
                 }
@@ -517,10 +516,9 @@ impl<'a> Serializer<'a> {
             }
             SerNode::Dynamic => self.deser_dynamic(heap, r, dtable, reuse, st),
             SerNode::Recur { up } => {
-                let idx = stack
-                    .len()
-                    .checked_sub(*up as usize)
-                    .ok_or_else(|| SerError(format!("recursion level {up} underflows plan stack")))?;
+                let idx = stack.len().checked_sub(*up as usize).ok_or_else(|| {
+                    SerError(format!("recursion level {up} underflows plan stack"))
+                })?;
                 let target = stack[idx];
                 self.deser_rec(heap, target, r, dtable, reuse, st, stack)
             }
@@ -537,12 +535,10 @@ impl<'a> Serializer<'a> {
             TAG_PRESENT => Ok(Header::Present),
             TAG_HANDLE => {
                 let h = r.read_u32()?;
-                let t = dtable
-                    .as_ref()
-                    .ok_or_else(|| SerError("handle without deser table".into()))?;
-                let obj = t
-                    .lookup(h)
-                    .ok_or_else(|| SerError(format!("dangling wire handle {h}")))?;
+                let t =
+                    dtable.as_ref().ok_or_else(|| SerError("handle without deser table".into()))?;
+                let obj =
+                    t.lookup(h).ok_or_else(|| SerError(format!("dangling wire handle {h}")))?;
                 Ok(Header::Handle(Value::Ref(obj)))
             }
             t => serr(format!("bad header tag {t}")),
@@ -617,12 +613,10 @@ impl<'a> Serializer<'a> {
             TAG_NULL => Ok(Value::Null),
             TAG_HANDLE => {
                 let h = r.read_u32()?;
-                let t = dtable
-                    .as_ref()
-                    .ok_or_else(|| SerError("handle without deser table".into()))?;
-                let obj = t
-                    .lookup(h)
-                    .ok_or_else(|| SerError(format!("dangling wire handle {h}")))?;
+                let t =
+                    dtable.as_ref().ok_or_else(|| SerError("handle without deser table".into()))?;
+                let obj =
+                    t.lookup(h).ok_or_else(|| SerError(format!("dangling wire handle {h}")))?;
                 Ok(Value::Ref(obj))
             }
             TAG_REMOTE => Ok(Value::Remote(read_remote(r)?)),
@@ -656,9 +650,7 @@ impl<'a> Serializer<'a> {
                     };
                     let fv = match kind {
                         SlotKind::Prim(k) => read_prim(*k, r)?,
-                        SlotKind::Ref => {
-                            self.deser_dynamic(heap, r, dtable, old_field, st)?
-                        }
+                        SlotKind::Ref => self.deser_dynamic(heap, r, dtable, old_field, st)?,
                     };
                     heap.set_field(obj, slot, fv)?;
                 }
@@ -699,8 +691,11 @@ impl<'a> Serializer<'a> {
                     t.register(obj);
                 }
                 for i in 0..len {
-                    let old_elem =
-                        if reusing { heap.array_get(obj, i).unwrap_or(Value::Null) } else { Value::Null };
+                    let old_elem = if reusing {
+                        heap.array_get(obj, i).unwrap_or(Value::Null)
+                    } else {
+                        Value::Null
+                    };
                     let ev = self.deser_dynamic(heap, r, dtable, old_elem, st)?;
                     heap.array_set(obj, i, ev)?;
                 }
@@ -738,10 +733,7 @@ fn prim_width(k: PrimKind) -> usize {
 
 fn check_len(len: usize, min_elem_bytes: usize, r: &MessageReader<'_>) -> Result<(), SerError> {
     if len.saturating_mul(min_elem_bytes.max(1)) > r.remaining() {
-        return serr(format!(
-            "corrupt length {len} exceeds remaining payload {}",
-            r.remaining()
-        ));
+        return serr(format!("corrupt length {len} exceeds remaining payload {}", r.remaining()));
     }
     Ok(())
 }
@@ -1124,7 +1116,8 @@ mod tests {
         let rng_class = class_id(&m, "Rng");
         let rng = src.alloc(ObjBody::Native { class: rng_class, data: NativeData::Rng(1) });
         let mut dst = Heap::new();
-        let err = roundtrip(&ser, &src, &mut dst, &SerNode::Dynamic, Value::Ref(rng), true, Value::Null);
+        let err =
+            roundtrip(&ser, &src, &mut dst, &SerNode::Dynamic, Value::Ref(rng), true, Value::Null);
         assert!(err.is_err());
     }
 

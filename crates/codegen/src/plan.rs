@@ -322,7 +322,9 @@ fn node_needs_table(n: &SerNode) -> bool {
         SerNode::Prim(_) | SerNode::Str | SerNode::Remote | SerNode::Recur { .. } => false,
         // Without the cycle-elimination optimization every object-graph
         // serialization uses the table (the `class`/`site` rows).
-        SerNode::Inline { .. } | SerNode::ArrPrim { .. } | SerNode::ArrRef { .. }
+        SerNode::Inline { .. }
+        | SerNode::ArrPrim { .. }
+        | SerNode::ArrRef { .. }
         | SerNode::Dynamic => true,
     }
 }
@@ -349,10 +351,7 @@ fn node_of_shape(s: &Shape) -> SerNode {
         Shape::Exact { class, fields } => SerNode::Inline {
             class: *class,
             nfields: fields.len() as u32,
-            fields: fields
-                .iter()
-                .map(|f| (f.field, f.slot, node_of_shape(&f.shape)))
-                .collect(),
+            fields: fields.iter().map(|f| (f.field, f.slot, node_of_shape(&f.shape))).collect(),
         },
         Shape::ArrayPrim { elem } => {
             SerNode::ArrPrim { elem: PrimKind::of(elem).expect("prim array") }

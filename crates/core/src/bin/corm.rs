@@ -3,10 +3,19 @@
 //!
 //! ```text
 //! corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--stats]
+//!                    [--trace] [--trace-json PATH] [--metrics] [--quiet]
 //! corm analyze <file.mp> [--config CFG]     # analysis report + marshalers
 //! corm ir <file.mp>                         # lowered IR + SSA dump
 //! corm graph <file.mp>                      # points-to heap graph
 //! ```
+//!
+//! Observability flags:
+//! * `--trace` prints the RMI timeline and per-phase time attribution to
+//!   stderr (suppressed by `--quiet`);
+//! * `--trace-json PATH` writes the trace as Chrome trace-event JSON —
+//!   load it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`;
+//! * `--metrics` prints per-machine / per-call-site metrics to stdout in
+//!   Prometheus text exposition format.
 //!
 //! CFG ∈ class | site | site-cycle | site-reuse | all | introspect
 //! (optionally suffixed with `+list-ext` for the §7 ablation).
@@ -17,7 +26,7 @@ use corm::{compile, run, OptConfig, RunOptions};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--stats] [--trace] [--quiet]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]"
+        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing"
     );
     std::process::exit(2);
 }
@@ -49,6 +58,8 @@ struct Cli {
     stats: bool,
     quiet: bool,
     trace: bool,
+    trace_json: Option<String>,
+    metrics: bool,
 }
 
 fn parse_cli() -> Cli {
@@ -65,6 +76,8 @@ fn parse_cli() -> Cli {
         stats: false,
         quiet: false,
         trace: false,
+        trace_json: None,
+        metrics: false,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -93,6 +106,12 @@ fn parse_cli() -> Cli {
             "--stats" => cli.stats = true,
             "--quiet" => cli.quiet = true,
             "--trace" => cli.trace = true,
+            "--trace-json" => {
+                i += 1;
+                let Some(path) = argv.get(i) else { usage() };
+                cli.trace_json = Some(path.clone());
+            }
+            "--metrics" => cli.metrics = true,
             other => {
                 eprintln!("unknown flag {other}");
                 usage();
@@ -122,19 +141,36 @@ fn main() -> ExitCode {
 
     match cli.command.as_str() {
         "run" => {
-            let outcome = run(
-                &compiled,
-                RunOptions {
-                    machines: cli.machines,
-                    args: cli.args.clone(),
-                    echo: !cli.quiet,
-                    trace: cli.trace,
-                    ..Default::default()
-                },
-            );
-            if cli.trace {
+            let opts = RunOptions {
+                machines: cli.machines,
+                args: cli.args.clone(),
+                echo: !cli.quiet,
+                // --trace-json needs the trace recorded even when the
+                // textual timeline is off.
+                trace: cli.trace || cli.trace_json.is_some(),
+                ..Default::default()
+            };
+            let cost = opts.cost;
+            let outcome = run(&compiled, opts);
+            if cli.trace && !cli.quiet {
                 eprintln!("--- RMI timeline ---");
                 eprint!("{}", corm::render_timeline(&outcome.trace));
+                eprintln!("--- phase attribution ---");
+                let report = corm::phase_report(&outcome.trace, |bytes| cost.message_ns(bytes));
+                eprint!("{}", corm::render_phase_report(&report));
+            }
+            if let Some(path) = &cli.trace_json {
+                let json = corm::to_chrome_trace(&outcome.trace);
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                if !cli.quiet {
+                    eprintln!("trace written to {path} (open in https://ui.perfetto.dev)");
+                }
+            }
+            if cli.metrics {
+                print!("{}", corm::render_prometheus(&outcome.metrics));
             }
             if cli.stats {
                 let st = &outcome.stats;

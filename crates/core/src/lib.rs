@@ -45,7 +45,14 @@ pub use corm_codegen::{describe_plan, EngineMode, MarshalPlan, OptConfig, Plans}
 pub use corm_heap::{deep_equal_across, structure_digest, HeapStats, Value};
 pub use corm_ir::{CompileError, Module};
 pub use corm_net::CostModel;
-pub use corm_vm::{render_timeline, to_json, RunOptions, RunOutcome, TraceEvent, TraceKind, VmError};
+pub use corm_obs::{
+    phase_report, render_phase_report, render_prometheus, HistSnapshot, MachineSnapshot,
+    MetricsSnapshot, PhaseTotals, SiteSnapshot,
+};
+pub use corm_vm::{
+    render_timeline, to_chrome_trace, to_json, Phase, RunOptions, RunOutcome, TraceEvent,
+    TraceKind, VmError,
+};
 pub use corm_wire::StatsSnapshot;
 
 /// A fully compiled MiniParty program: lowered module, analysis summary
@@ -124,12 +131,8 @@ mod tests {
     use super::*;
 
     fn run_ok(src: &str, config: OptConfig, machines: usize) -> RunOutcome {
-        let out = compile_and_run(
-            src,
-            config,
-            RunOptions { machines, ..Default::default() },
-        )
-        .expect("compile failed");
+        let out = compile_and_run(src, config, RunOptions { machines, ..Default::default() })
+            .expect("compile failed");
         if let Some(e) = &out.error {
             panic!("runtime error: {e}\noutput so far: {}", out.output);
         }
@@ -352,7 +355,11 @@ mod tests {
         let no_reuse = run_ok(src, OptConfig::SITE_CYCLE, 2);
         let reuse = run_ok(src, OptConfig::ALL, 2);
         assert_eq!(no_reuse.stats.reused_objs, 0);
-        assert!(reuse.stats.reused_objs >= 49, "49 of 50 arrays reused, got {}", reuse.stats.reused_objs);
+        assert!(
+            reuse.stats.reused_objs >= 49,
+            "49 of 50 arrays reused, got {}",
+            reuse.stats.reused_objs
+        );
         assert!(reuse.stats.deser_bytes < no_reuse.stats.deser_bytes);
     }
 

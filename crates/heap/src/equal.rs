@@ -79,17 +79,11 @@ fn eq_rec(ha: &Heap, a: Value, hb: &Heap, b: Value, seen: &mut HashSet<(ObjRef, 
 pub fn structure_digest(heap: &Heap, v: Value) -> u64 {
     let mut hasher = DefaultHasher::new();
     let mut numbering: HashMap<ObjRef, u32> = HashMap::new();
-    digest_rec(heap, v, &mut numbering, &mut hasher, 0);
+    digest_rec(heap, v, &mut numbering, &mut hasher);
     hasher.finish()
 }
 
-fn digest_rec(
-    heap: &Heap,
-    v: Value,
-    numbering: &mut HashMap<ObjRef, u32>,
-    h: &mut DefaultHasher,
-    depth: u32,
-) {
+fn digest_rec(heap: &Heap, v: Value, numbering: &mut HashMap<ObjRef, u32>, h: &mut DefaultHasher) {
     match v {
         Value::Null => 0u8.hash(h),
         Value::Bool(b) => (1u8, b).hash(h),
@@ -125,13 +119,13 @@ fn digest_rec(
                 ObjBody::Obj { class, fields } => {
                     (13u8, class.0, fields.len()).hash(h);
                     for &f in fields.iter() {
-                        digest_rec(heap, f, numbering, h, depth + 1);
+                        digest_rec(heap, f, numbering, h);
                     }
                 }
                 ObjBody::ArrRef { data, .. } => {
                     (14u8, data.len()).hash(h);
                     for &e in data.iter() {
-                        digest_rec(heap, e, numbering, h, depth + 1);
+                        digest_rec(heap, e, numbering, h);
                     }
                 }
                 ObjBody::Native { .. } => 15u8.hash(h),

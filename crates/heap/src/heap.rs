@@ -22,16 +22,25 @@ pub enum NativeData {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ObjBody {
     /// An instance of a user class: one slot per field of the layout.
-    Obj { class: ClassId, fields: Box<[Value]> },
+    Obj {
+        class: ClassId,
+        fields: Box<[Value]>,
+    },
     ArrBool(Vec<bool>),
     ArrI32(Vec<i32>),
     ArrI64(Vec<i64>),
     ArrF64(Vec<f64>),
     /// Array of references (objects, strings or nested arrays).
-    ArrRef { elem: Ty, data: Vec<Value> },
+    ArrRef {
+        elem: Ty,
+        data: Vec<Value>,
+    },
     Str(Box<str>),
     /// Built-in instance class (`Rng`, `Queue`).
-    Native { class: ClassId, data: NativeData },
+    Native {
+        class: ClassId,
+        data: NativeData,
+    },
 }
 
 impl ObjBody {
@@ -253,9 +262,7 @@ impl Heap {
     }
 
     pub fn array_len(&self, r: ObjRef) -> Result<usize, HeapError> {
-        self.body(r)?
-            .array_len()
-            .ok_or_else(|| HeapError(format!("length of non-array {r}")))
+        self.body(r)?.array_len().ok_or_else(|| HeapError(format!("length of non-array {r}")))
     }
 
     pub fn array_get(&self, r: ObjRef, i: usize) -> Result<Value, HeapError> {
@@ -286,9 +293,10 @@ impl Heap {
             (ObjBody::ArrI64(a), Value::Long(x)) => a[i] = x,
             (ObjBody::ArrI64(a), Value::Int(x)) => a[i] = x as i64,
             (ObjBody::ArrF64(a), Value::Double(x)) => a[i] = x,
-            (ObjBody::ArrRef { data, .. }, x @ (Value::Null | Value::Ref(_) | Value::Remote(_))) => {
-                data[i] = x
-            }
+            (
+                ObjBody::ArrRef { data, .. },
+                x @ (Value::Null | Value::Ref(_) | Value::Remote(_)),
+            ) => data[i] = x,
             (b, x) => return err(format!("type mismatch storing {x:?} into {b:?}")),
         }
         Ok(())

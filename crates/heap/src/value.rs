@@ -31,8 +31,7 @@ pub struct RemoteRef {
 
 /// A tagged runtime value. `Ref` is machine-local; `Remote` is a
 /// cross-machine remote-object handle.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Value {
     #[default]
     Null,
@@ -87,4 +86,3 @@ impl Value {
         }
     }
 }
-

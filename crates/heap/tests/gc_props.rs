@@ -19,7 +19,10 @@ struct GraphSpec {
 
 fn spec_strategy() -> impl Strategy<Value = GraphSpec> {
     (
-        proptest::collection::vec((0usize..64, 0usize..64, any::<bool>(), any::<bool>(), any::<i32>()), 1..40),
+        proptest::collection::vec(
+            (0usize..64, 0usize..64, any::<bool>(), any::<bool>(), any::<i32>()),
+            1..40,
+        ),
         proptest::collection::vec(0usize..64, 0..6),
         proptest::collection::vec(0usize..64, 0..3),
     )
@@ -28,8 +31,7 @@ fn spec_strategy() -> impl Strategy<Value = GraphSpec> {
 
 fn build(heap: &mut Heap, spec: &GraphSpec) -> (Vec<ObjRef>, Vec<ObjRef>, Vec<ObjRef>) {
     let n = spec.nodes.len();
-    let refs: Vec<ObjRef> =
-        (0..n).map(|_| heap.alloc_obj(OBJECT_CLASS, 3)).collect();
+    let refs: Vec<ObjRef> = (0..n).map(|_| heap.alloc_obj(OBJECT_CLASS, 3)).collect();
     for (i, &(a, b, use_a, use_b, v)) in spec.nodes.iter().enumerate() {
         if use_a {
             heap.set_field(refs[i], 0, Value::Ref(refs[a % n])).unwrap();

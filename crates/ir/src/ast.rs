@@ -66,17 +66,44 @@ impl AstTy {
 #[derive(Debug, Clone)]
 pub enum Stmt {
     Block(Vec<Stmt>),
-    VarDecl { ty: AstTy, name: String, init: Option<Expr>, span: Span },
-    If { cond: Expr, then: Box<Stmt>, els: Option<Box<Stmt>> },
-    While { cond: Expr, body: Box<Stmt> },
-    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Expr>, body: Box<Stmt> },
-    Return { value: Option<Expr>, span: Span },
+    VarDecl {
+        ty: AstTy,
+        name: String,
+        init: Option<Expr>,
+        span: Span,
+    },
+    If {
+        cond: Expr,
+        then: Box<Stmt>,
+        els: Option<Box<Stmt>>,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
     Expr(Expr),
     /// `spawn recv.method(args);` — fire-and-forget asynchronous invocation
     /// (one-way RMI for remote receivers, a new local thread otherwise).
-    Spawn { call: Expr, span: Span },
-    Break { span: Span },
-    Continue { span: Span },
+    Spawn {
+        call: Expr,
+        span: Span,
+    },
+    Break {
+        span: Span,
+    },
+    Continue {
+        span: Span,
+    },
     Empty,
 }
 
@@ -126,22 +153,51 @@ pub enum ExprKind {
     Unary(UnOp, Box<Expr>),
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// `target op= value`; `op == None` is plain assignment.
-    Assign { target: Box<Expr>, op: Option<BinOp>, value: Box<Expr> },
+    Assign {
+        target: Box<Expr>,
+        op: Option<BinOp>,
+        value: Box<Expr>,
+    },
     /// `++x`, `x--`, ... — `inc` is +1/-1, `pre` selects pre/post value.
-    IncDec { target: Box<Expr>, inc: i64, pre: bool },
-    Field { obj: Box<Expr>, name: String },
-    Index { arr: Box<Expr>, idx: Box<Expr> },
+    IncDec {
+        target: Box<Expr>,
+        inc: i64,
+        pre: bool,
+    },
+    Field {
+        obj: Box<Expr>,
+        name: String,
+    },
+    Index {
+        arr: Box<Expr>,
+        idx: Box<Expr>,
+    },
     /// `recv.name(args)`; `recv == None` for unqualified calls (resolved to
     /// `this.name(...)` or a static of the enclosing class). A receiver that
     /// is a bare class name resolves to a static call during resolution.
-    Call { recv: Option<Box<Expr>>, name: String, args: Vec<Expr> },
+    Call {
+        recv: Option<Box<Expr>>,
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `new C(args) [@ placement]` — `placement` selects a machine for
     /// remote classes (JavaParty-style placement hint).
-    New { class: String, args: Vec<Expr>, placement: Option<Box<Expr>> },
+    New {
+        class: String,
+        args: Vec<Expr>,
+        placement: Option<Box<Expr>>,
+    },
     /// `new T[d0][d1]...[]*` — `dims` are the sized dimensions, `extra_dims`
     /// counts trailing unsized `[]` levels.
-    NewArray { elem: AstTy, dims: Vec<Expr>, extra_dims: usize },
-    Cast { ty: AstTy, expr: Box<Expr> },
+    NewArray {
+        elem: AstTy,
+        dims: Vec<Expr>,
+        extra_dims: usize,
+    },
+    Cast {
+        ty: AstTy,
+        expr: Box<Expr>,
+    },
 }
 
 impl Expr {

@@ -101,30 +101,93 @@ pub enum CallTarget {
 
 #[derive(Debug, Clone)]
 pub enum Instr {
-    Const { dst: Reg, v: Const },
-    Move { dst: Reg, src: Reg },
-    Un { dst: Reg, op: UnKind, a: Reg },
-    Bin { dst: Reg, op: BinKind, a: Reg, b: Reg },
+    Const {
+        dst: Reg,
+        v: Const,
+    },
+    Move {
+        dst: Reg,
+        src: Reg,
+    },
+    Un {
+        dst: Reg,
+        op: UnKind,
+        a: Reg,
+    },
+    Bin {
+        dst: Reg,
+        op: BinKind,
+        a: Reg,
+        b: Reg,
+    },
     /// Numeric conversion or checked reference downcast to `to`.
-    Cast { dst: Reg, src: Reg, to: Ty },
+    Cast {
+        dst: Reg,
+        src: Reg,
+        to: Ty,
+    },
     /// Allocate an instance of `class` with zeroed fields. For remote
     /// classes, `placement` (if present) selects the target machine.
-    New { dst: Reg, class: ClassId, site: AllocSiteId, placement: Option<Reg> },
+    New {
+        dst: Reg,
+        class: ClassId,
+        site: AllocSiteId,
+        placement: Option<Reg>,
+    },
     /// Allocate a one-dimensional array (`elem` is the element type).
     /// Multi-dimensional `new` is lowered into nested allocation loops so
     /// each source dimension level keeps its own allocation site, matching
     /// Figure 2 of the paper.
-    NewArray { dst: Reg, elem: Ty, len: Reg, site: AllocSiteId },
-    GetField { dst: Reg, obj: Reg, field: FieldRef },
-    SetField { obj: Reg, field: FieldRef, val: Reg },
-    GetStatic { dst: Reg, sid: StaticId },
-    SetStatic { sid: StaticId, val: Reg },
-    ArrLoad { dst: Reg, arr: Reg, idx: Reg },
-    ArrStore { arr: Reg, idx: Reg, val: Reg },
-    ArrLen { dst: Reg, arr: Reg },
-    Call { dst: Option<Reg>, target: CallTarget, args: Vec<Reg>, site: CallSiteId },
+    NewArray {
+        dst: Reg,
+        elem: Ty,
+        len: Reg,
+        site: AllocSiteId,
+    },
+    GetField {
+        dst: Reg,
+        obj: Reg,
+        field: FieldRef,
+    },
+    SetField {
+        obj: Reg,
+        field: FieldRef,
+        val: Reg,
+    },
+    GetStatic {
+        dst: Reg,
+        sid: StaticId,
+    },
+    SetStatic {
+        sid: StaticId,
+        val: Reg,
+    },
+    ArrLoad {
+        dst: Reg,
+        arr: Reg,
+        idx: Reg,
+    },
+    ArrStore {
+        arr: Reg,
+        idx: Reg,
+        val: Reg,
+    },
+    ArrLen {
+        dst: Reg,
+        arr: Reg,
+    },
+    Call {
+        dst: Option<Reg>,
+        target: CallTarget,
+        args: Vec<Reg>,
+        site: CallSiteId,
+    },
     /// Fire-and-forget asynchronous call (one-way RMI / local thread).
-    Spawn { target: CallTarget, args: Vec<Reg>, site: CallSiteId },
+    Spawn {
+        target: CallTarget,
+        args: Vec<Reg>,
+        site: CallSiteId,
+    },
 }
 
 #[derive(Debug, Clone)]

@@ -268,11 +268,7 @@ impl ClassTable {
 
     /// Find a static field `name` declared exactly on `class`.
     pub fn find_static_field(&self, class: ClassId, name: &str) -> Option<FieldId> {
-        self.class(class)
-            .static_fields
-            .iter()
-            .copied()
-            .find(|&f| self.field(f).name == name)
+        self.class(class).static_fields.iter().copied().find(|&f| self.field(f).name == name)
     }
 
     /// Find a method `name` in `class` or its ancestors.
@@ -293,21 +289,13 @@ impl ClassTable {
 
     /// Find the constructor of `class` (if any user-declared one exists).
     pub fn find_ctor(&self, class: ClassId) -> Option<MethodId> {
-        self.class(class)
-            .methods
-            .iter()
-            .copied()
-            .find(|&m| self.method(m).is_ctor)
+        self.class(class).methods.iter().copied().find(|&m| self.method(m).is_ctor)
     }
 
     /// All concrete classes equal to or derived from `base` (used to resolve
     /// virtual call targets conservatively).
     pub fn subclasses_of(&self, base: ClassId) -> Vec<ClassId> {
-        self.classes
-            .iter()
-            .filter(|c| self.is_subclass(c.id, base))
-            .map(|c| c.id)
-            .collect()
+        self.classes.iter().filter(|c| self.is_subclass(c.id, base)).map(|c| c.id).collect()
     }
 
     pub fn ty_name(&self, ty: &Ty) -> String {

@@ -129,9 +129,9 @@ impl<'a> Lexer<'a> {
                 .map_err(|_| CompileError::new(span, format!("invalid double literal `{text}`")))?;
             self.push(TokenKind::DoubleLit(v), span);
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| CompileError::new(span, format!("invalid integer literal `{text}`")))?;
+            let v: i64 = text.parse().map_err(|_| {
+                CompileError::new(span, format!("invalid integer literal `{text}`"))
+            })?;
             self.push(TokenKind::IntLit(v), span);
         }
         Ok(())
@@ -320,14 +320,7 @@ mod tests {
     fn lexes_keywords_and_idents() {
         assert_eq!(
             kinds("remote class Foo extends Bar"),
-            vec![
-                KwRemote,
-                KwClass,
-                Ident("Foo".into()),
-                KwExtends,
-                Ident("Bar".into()),
-                Eof
-            ]
+            vec![KwRemote, KwClass, Ident("Foo".into()), KwExtends, Ident("Bar".into()), Eof]
         );
     }
 
@@ -408,9 +401,6 @@ mod tests {
     #[test]
     fn dot_after_int_is_member_access_when_no_digit() {
         // `a[0].length` style: the `.` must not glue onto the integer.
-        assert_eq!(
-            kinds("0 .f"),
-            vec![IntLit(0), Dot, Ident("f".into()), Eof]
-        );
+        assert_eq!(kinds("0 .f"), vec![IntLit(0), Dot, Ident("f".into()), Eof]);
     }
 }

@@ -27,10 +27,7 @@ pub fn lower_program(rp: &ResolvedProgram) -> Result<Module, CompileError> {
         clinits: Vec::new(),
     };
     lw.run()?;
-    let main = lw
-        .table
-        .method(rp.main_method)
-        .body;
+    let main = lw.table.method(rp.main_method).body;
     let main = match main {
         MethodBody::User(f) => f,
         _ => unreachable!("main must have been lowered"),
@@ -112,10 +109,8 @@ impl<'a> Lowerer<'a> {
             let ci = self.rp.class_src[&cid];
             let methods = self.table.class(cid).methods.clone();
             let has_ctor = methods.iter().any(|&m| self.table.method(m).is_ctor);
-            let has_inst_inits = self.rp.ast.classes[ci]
-                .fields
-                .iter()
-                .any(|f| !f.is_static && f.init.is_some());
+            let has_inst_inits =
+                self.rp.ast.classes[ci].fields.iter().any(|f| !f.is_static && f.init.is_some());
             if !has_ctor && has_inst_inits {
                 // Synthesize a default constructor so initializers run.
                 let span = self.rp.ast.classes[ci].span;
@@ -153,7 +148,8 @@ impl<'a> Lowerer<'a> {
         build: impl FnOnce(&mut FuncBuilder) -> Result<(), CompileError>,
     ) -> Result<FuncId, CompileError> {
         let fid = FuncId(self.funcs.len() as u32);
-        let mut fb = FuncBuilder::new(self, fid, name.to_string(), cid, true, Ty::Void, Span::default());
+        let mut fb =
+            FuncBuilder::new(self, fid, name.to_string(), cid, true, Ty::Void, Span::default());
         build(&mut fb)?;
         let func = fb.finish(None)?;
         self.funcs.push(func);
@@ -172,7 +168,8 @@ impl<'a> Lowerer<'a> {
         let fname = format!("{}.{}", cls_name, if meth.is_ctor { "<init>" } else { &meth.name });
         let ast_method = src.map(|(ci, mi)| (ci, self.rp.ast.classes[ci].methods[mi].clone()));
         let default_ctor_ci = self.rp.class_src.get(&cid).copied();
-        let mut fb = FuncBuilder::new(self, fid, fname, cid, meth.is_static, meth.ret.clone(), meth.span);
+        let mut fb =
+            FuncBuilder::new(self, fid, fname, cid, meth.is_static, meth.ret.clone(), meth.span);
 
         // Parameter registers: `this` first for instance methods.
         if !meth.is_static {
@@ -559,9 +556,7 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
                         let v = self.coerce(v, &vt, &ret, e.span)?;
                         self.terminate(Terminator::Ret(Some(v)));
                     }
-                    (None, _) => {
-                        return Err(CompileError::new(*span, "missing return value"))
-                    }
+                    (None, _) => return Err(CompileError::new(*span, "missing return value")),
                     (Some(_), _) => {
                         return Err(CompileError::new(*span, "cannot return a value from void"))
                     }
@@ -692,7 +687,9 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
                     None => Err(CompileError::new(e.span, "void call used as a value")),
                 }
             }
-            ExprKind::New { class, args, placement } => self.lower_new(class, args, placement.as_deref(), e.span),
+            ExprKind::New { class, args, placement } => {
+                self.lower_new(class, args, placement.as_deref(), e.span)
+            }
             ExprKind::NewArray { elem, dims, extra_dims } => {
                 let base = self.resolve_ty(elem, e.span)?;
                 let mut full = base;
@@ -829,7 +826,10 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
             }
             BinOp::Shl | BinOp::Shr | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor => {
                 if !matches!(ta, Ty::Int | Ty::Long) || !matches!(tb, Ty::Int | Ty::Long) {
-                    return Err(CompileError::new(span, "bitwise operators require integral operands"));
+                    return Err(CompileError::new(
+                        span,
+                        "bitwise operators require integral operands",
+                    ));
                 }
                 let common = unify_numeric(&ta, &tb);
                 let ra = self.coerce(ra, &ta, &common, span)?;
@@ -869,7 +869,10 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
                 let (rv, rt) = self.expr(value)?;
                 let common = unify_numeric(&oldt, &rt);
                 if !(oldt.is_numeric() && rt.is_numeric()) {
-                    return Err(CompileError::new(span, "compound assignment requires numeric operands"));
+                    return Err(CompileError::new(
+                        span,
+                        "compound assignment requires numeric operands",
+                    ));
                 }
                 let a = self.coerce(old, &oldt, &common, span)?;
                 let b = self.coerce(rv, &rt, &common, span)?;
@@ -881,7 +884,9 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
         let target_ty = place.ty(self);
         // Narrowing for compound assignment on smaller types (i += d is an
         // error in Java without cast; we require exact narrowing too).
-        let v = if vt.is_numeric() && target_ty.is_numeric() && !self.lw.table.assignable(&vt, &target_ty)
+        let v = if vt.is_numeric()
+            && target_ty.is_numeric()
+            && !self.lw.table.assignable(&vt, &target_ty)
         {
             if op.is_some() {
                 // implicit narrowing back to the target type, like Java's
@@ -938,7 +943,13 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
         Ok((if pre { newv } else { old }, ty))
     }
 
-    fn lower_cast(&mut self, r: Reg, from: &Ty, to: &Ty, span: Span) -> Result<(Reg, Ty), CompileError> {
+    fn lower_cast(
+        &mut self,
+        r: Reg,
+        from: &Ty,
+        to: &Ty,
+        span: Span,
+    ) -> Result<(Reg, Ty), CompileError> {
         if from == to {
             return Ok((r, to.clone()));
         }
@@ -965,7 +976,12 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
         Ok((dst, to.clone()))
     }
 
-    fn lower_field_load(&mut self, obj: &Expr, name: &str, span: Span) -> Result<(Reg, Ty), CompileError> {
+    fn lower_field_load(
+        &mut self,
+        obj: &Expr,
+        name: &str,
+        span: Span,
+    ) -> Result<(Reg, Ty), CompileError> {
         // `ClassName.staticField`
         if let ExprKind::Ident(cls_name) = &obj.kind {
             if self.lookup(cls_name).is_none() {
@@ -981,12 +997,11 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
             }
         }
         let (o, ot) = self.expr(obj)?;
-        if name == "length"
-            && ot.elem().is_some() {
-                let dst = self.new_reg(Ty::Int);
-                self.emit(Instr::ArrLen { dst, arr: o });
-                return Ok((dst, Ty::Int));
-            }
+        if name == "length" && ot.elem().is_some() {
+            let dst = self.new_reg(Ty::Int);
+            self.emit(Instr::ArrLen { dst, arr: o });
+            return Ok((dst, Ty::Int));
+        }
         match &ot {
             Ty::Class(c) => {
                 let cls = self.lw.table.class(*c);
@@ -997,7 +1012,10 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
                     ));
                 }
                 let fid = self.lw.table.find_instance_field(*c, name).ok_or_else(|| {
-                    CompileError::new(span, format!("no field `{name}` on `{}`", self.lw.table.class(*c).name))
+                    CompileError::new(
+                        span,
+                        format!("no field `{name}` on `{}`", self.lw.table.class(*c).name),
+                    )
                 })?;
                 let fld = self.lw.table.field(fid).clone();
                 let dst = self.new_reg(fld.ty.clone());
@@ -1051,7 +1069,11 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
             if meth.params.len() != args.len() {
                 return Err(CompileError::new(
                     span,
-                    format!("constructor expects {} arguments, got {}", meth.params.len(), args.len()),
+                    format!(
+                        "constructor expects {} arguments, got {}",
+                        meth.params.len(),
+                        args.len()
+                    ),
                 ));
             }
             let mut arg_regs = vec![dst];
@@ -1151,15 +1173,23 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
         match recv {
             None => {
                 // Unqualified: instance or static method of the current class.
-                let mid = self.lw.table.find_method(self.class, name).ok_or_else(|| {
-                    CompileError::new(span, format!("unknown method `{name}`"))
-                })?;
+                let mid =
+                    self.lw.table.find_method(self.class, name).ok_or_else(|| {
+                        CompileError::new(span, format!("unknown method `{name}`"))
+                    })?;
                 let meth = self.lw.table.method(mid).clone();
                 if meth.is_static {
                     self.emit_call(None, mid, args, span, want_result, is_spawn)
                 } else {
                     let this = self.this_reg(span)?;
-                    self.emit_call(Some((this, Ty::Class(self.class), true)), mid, args, span, want_result, is_spawn)
+                    self.emit_call(
+                        Some((this, Ty::Class(self.class), true)),
+                        mid,
+                        args,
+                        span,
+                        want_result,
+                        is_spawn,
+                    )
                 }
             }
             Some(robj) => {
@@ -1181,7 +1211,14 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
                             ));
                         }
                         let recv_is_this = matches!(robj.kind, ExprKind::This);
-                        self.emit_call(Some((o, ot.clone(), recv_is_this)), mid, args, span, want_result, is_spawn)
+                        self.emit_call(
+                            Some((o, ot.clone(), recv_is_this)),
+                            mid,
+                            args,
+                            span,
+                            want_result,
+                            is_spawn,
+                        )
                     }
                     _ => Err(CompileError::new(
                         span,
@@ -1205,7 +1242,12 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
         if meth.params.len() != args.len() {
             return Err(CompileError::new(
                 span,
-                format!("`{}` expects {} arguments, got {}", meth.name, meth.params.len(), args.len()),
+                format!(
+                    "`{}` expects {} arguments, got {}",
+                    meth.name,
+                    meth.params.len(),
+                    args.len()
+                ),
             ));
         }
         let mut arg_regs = Vec::with_capacity(args.len() + 1);
@@ -1350,7 +1392,10 @@ impl<'a, 'b> FuncBuilder<'a, 'b> {
                     ));
                 }
                 let fid = self.lw.table.find_instance_field(*c, name).ok_or_else(|| {
-                    CompileError::new(e.span, format!("no field `{name}` on `{}`", self.lw.table.class(*c).name))
+                    CompileError::new(
+                        e.span,
+                        format!("no field `{name}` on `{}`", self.lw.table.class(*c).name),
+                    )
                 })?;
                 let fld = self.lw.table.field(fid).clone();
                 Ok(Place::Field {
@@ -1513,11 +1558,7 @@ mod tests {
         .unwrap();
         let sites: Vec<_> = m
             .remote_call_sites()
-            .filter(|cs| {
-                cs.method
-                    .map(|mm| m.table.method(mm).name == "f")
-                    .unwrap_or(false)
-            })
+            .filter(|cs| cs.method.map(|mm| m.table.method(mm).name == "f").unwrap_or(false))
             .collect();
         assert_eq!(sites.len(), 2);
         assert!(sites[0].ret_ignored);
@@ -1550,11 +1591,7 @@ mod tests {
             "class M { static boolean f(boolean a, boolean b) { return a && b; } static void main() { } }",
         )
         .unwrap();
-        let f = m
-            .funcs
-            .iter()
-            .find(|f| f.name == "M.f")
-            .expect("function M.f");
+        let f = m.funcs.iter().find(|f| f.name == "M.f").expect("function M.f");
         assert!(f.blocks.len() >= 3, "short-circuit && must create blocks");
     }
 
@@ -1566,12 +1603,14 @@ mod tests {
             compile_frontend("class M { static void main() { if (1) { } } }").is_err(),
             "non-boolean condition"
         );
-        assert!(compile_frontend("class M { static void main() { double d = 1.0; long l = d; } }").is_err());
+        assert!(compile_frontend("class M { static void main() { double d = 1.0; long l = d; } }")
+            .is_err());
     }
 
     #[test]
     fn widening_allowed() {
-        assert!(compile_frontend("class M { static void main() { long l = 1; double d = l; } }").is_ok());
+        assert!(compile_frontend("class M { static void main() { long l = 1; double d = l; } }")
+            .is_ok());
     }
 
     #[test]
@@ -1587,10 +1626,9 @@ mod tests {
 
     #[test]
     fn static_inits_produce_clinit() {
-        let m = compile_frontend(
-            "class A { static int x = 7; } class M { static void main() { } }",
-        )
-        .unwrap();
+        let m =
+            compile_frontend("class A { static int x = 7; } class M { static void main() { } }")
+                .unwrap();
         assert_eq!(m.clinits.len(), 1);
     }
 

@@ -287,7 +287,7 @@ fn remove_unreachable(f: &mut Function, stats: &mut OptStats) {
         stack.extend(f.succs(b));
     }
     for (i, b) in f.blocks.iter_mut().enumerate() {
-        if !reachable[i] && !(b.instrs.is_empty() && matches!(b.term, Terminator::Ret(None))) {
+        if !reachable[i] && (!b.instrs.is_empty() || !matches!(b.term, Terminator::Ret(None))) {
             b.instrs.clear();
             b.term = Terminator::Ret(None);
             stats.blocks_removed += 1;
@@ -344,7 +344,7 @@ fn eliminate_dead(f: &mut Function, stats: &mut OptStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{parse_program, resolve_program, lower::lower_program};
+    use crate::{lower::lower_program, parse_program, resolve_program};
 
     fn lowered(src: &str) -> Module {
         let ast = parse_program(src).unwrap();
@@ -358,9 +358,8 @@ mod tests {
 
     #[test]
     fn folds_constant_arithmetic() {
-        let mut m = lowered(
-            "class M { static int f() { return (3 + 4) * 2; } static void main() { } }",
-        );
+        let mut m =
+            lowered("class M { static int f() { return (3 + 4) * 2; } static void main() { } }");
         let stats = optimize_module(&mut m);
         assert!(stats.folded >= 2, "folded {}", stats.folded);
         // result must be a single Const feeding the return
@@ -437,9 +436,7 @@ mod tests {
     #[test]
     fn folding_preserves_division_guard() {
         // 1/0 must NOT fold (runtime error semantics preserved)
-        let mut m = lowered(
-            "class M { static int f() { return 1 / 0; } static void main() { } }",
-        );
+        let mut m = lowered("class M { static int f() { return 1 / 0; } static void main() { } }");
         optimize_module(&mut m);
         let f = func(&m, "M.f");
         let divs = f

@@ -52,11 +52,7 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected {}, found {}",
-                kind.describe(),
-                self.peek().describe()
-            )))
+            Err(self.err(format!("expected {}, found {}", kind.describe(), self.peek().describe())))
         }
     }
 
@@ -89,7 +85,8 @@ impl Parser {
         let is_remote = self.eat(&TokenKind::KwRemote);
         self.expect(TokenKind::KwClass)?;
         let name = self.expect_ident()?;
-        let extends = if self.eat(&TokenKind::KwExtends) { Some(self.expect_ident()?) } else { None };
+        let extends =
+            if self.eat(&TokenKind::KwExtends) { Some(self.expect_ident()?) } else { None };
         self.expect(TokenKind::LBrace)?;
         let mut fields = Vec::new();
         let mut methods = Vec::new();
@@ -135,7 +132,15 @@ impl Parser {
         if self.peek() == &TokenKind::LParen {
             let params = self.params()?;
             let body = self.block()?;
-            methods.push(AstMethod { name, is_static, is_ctor: false, ret: ty, params, body, span });
+            methods.push(AstMethod {
+                name,
+                is_static,
+                is_ctor: false,
+                ret: ty,
+                params,
+                body,
+                span,
+            });
         } else {
             let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
             self.expect(TokenKind::Semi)?;
@@ -226,7 +231,8 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(TokenKind::RParen)?;
                 let then = Box::new(self.stmt()?);
-                let els = if self.eat(&TokenKind::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
+                let els =
+                    if self.eat(&TokenKind::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
                 Ok(Stmt::If { cond, then, els })
             }
             TokenKind::KwWhile => {
@@ -248,7 +254,8 @@ impl Parser {
                 };
                 let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
                 self.expect(TokenKind::Semi)?;
-                let step = if self.peek() == &TokenKind::RParen { None } else { Some(self.expr()?) };
+                let step =
+                    if self.peek() == &TokenKind::RParen { None } else { Some(self.expr()?) };
                 self.expect(TokenKind::RParen)?;
                 let body = Box::new(self.stmt()?);
                 Ok(Stmt::For { init, cond, step, body })
@@ -539,10 +546,7 @@ impl Parser {
                     let name = self.expect_ident()?;
                     if self.peek() == &TokenKind::LParen {
                         let args = self.args()?;
-                        e = Expr::new(
-                            ExprKind::Call { recv: Some(Box::new(e)), name, args },
-                            span,
-                        );
+                        e = Expr::new(ExprKind::Call { recv: Some(Box::new(e)), name, args }, span);
                     } else {
                         e = Expr::new(ExprKind::Field { obj: Box::new(e), name }, span);
                     }
@@ -622,11 +626,8 @@ impl Parser {
             TokenKind::Ident(s) => {
                 if self.peek() == &TokenKind::LParen {
                     let args = self.args()?;
-                    let placement = if self.eat(&TokenKind::At) {
-                        Some(Box::new(self.unary()?))
-                    } else {
-                        None
-                    };
+                    let placement =
+                        if self.eat(&TokenKind::At) { Some(Box::new(self.unary()?)) } else { None };
                     return Ok(Expr::new(ExprKind::New { class: s, args, placement }, span));
                 }
                 AstTy::Named(s)
@@ -663,7 +664,10 @@ impl Parser {
             self.expect(TokenKind::RBracket)?;
         }
         if dims.is_empty() {
-            return Err(CompileError::new(span, "array allocation requires at least one sized dimension"));
+            return Err(CompileError::new(
+                span,
+                "array allocation requires at least one sized dimension",
+            ));
         }
         Ok(Expr::new(ExprKind::NewArray { elem, dims, extra_dims }, span))
     }
@@ -707,7 +711,9 @@ mod tests {
 
     #[test]
     fn parses_constructor() {
-        let p = parse_ok("class LinkedList { LinkedList next; LinkedList(LinkedList n) { this.next = n; } }");
+        let p = parse_ok(
+            "class LinkedList { LinkedList next; LinkedList(LinkedList n) { this.next = n; } }",
+        );
         let c = &p.classes[0];
         assert!(c.methods[0].is_ctor);
         assert_eq!(c.methods[0].name, "LinkedList");
@@ -784,7 +790,8 @@ mod tests {
 
     #[test]
     fn parses_cast() {
-        let p = parse_ok("class P {} class A { void f(Object o) { P p = (P) o; int x = (int) 3.5; } }");
+        let p =
+            parse_ok("class P {} class A { void f(Object o) { P p = (P) o; int x = (int) 3.5; } }");
         let m = &p.classes[1].methods[0];
         assert!(matches!(
             &m.body[0],
@@ -811,7 +818,8 @@ mod tests {
 
     #[test]
     fn parses_spawn() {
-        let p = parse_ok("remote class T { void run() {} } class A { void f(T t) { spawn t.run(); } }");
+        let p =
+            parse_ok("remote class T { void run() {} } class A { void f(T t) { spawn t.run(); } }");
         let m = &p.classes[1].methods[0];
         assert!(matches!(&m.body[0], Stmt::Spawn { .. }));
     }
@@ -834,7 +842,9 @@ mod tests {
     #[test]
     fn parses_logical_and_bitwise_precedence() {
         // a || b && c  parses as  a || (b && c)
-        let p = parse_ok("class A { boolean f(boolean a, boolean b, boolean c) { return a || b && c; } }");
+        let p = parse_ok(
+            "class A { boolean f(boolean a, boolean b, boolean c) { return a || b && c; } }",
+        );
         let m = &p.classes[0].methods[0];
         match &m.body[0] {
             Stmt::Return { value: Some(e), .. } => {

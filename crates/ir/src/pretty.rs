@@ -11,7 +11,8 @@ use crate::ssa::SsaFunction;
 /// Render one function as text.
 pub fn print_function(m: &Module, f: &Function) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "func {} ({} blocks) -> {}", f.name, f.blocks.len(), m.table.ty_name(&f.ret));
+    let _ =
+        writeln!(s, "func {} ({} blocks) -> {}", f.name, f.blocks.len(), m.table.ty_name(&f.ret));
     let params: Vec<String> = f.params.iter().map(|p| format!("{p}")).collect();
     let _ = writeln!(s, "  params: [{}]", params.join(", "));
     for (bi, b) in f.blocks.iter().enumerate() {
@@ -31,8 +32,7 @@ pub fn print_ssa(m: &Module, f: &SsaFunction) -> String {
     for (bi, b) in f.blocks.iter().enumerate() {
         let _ = writeln!(s, "  bb{bi}:");
         for phi in &b.phis {
-            let args: Vec<String> =
-                phi.args.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
+            let args: Vec<String> = phi.args.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
             let _ = writeln!(s, "    {} = phi {}", phi.dst, args.join(", "));
         }
         for i in &b.instrs {
@@ -135,7 +135,8 @@ pub fn print_module(m: &Module) -> String {
         let _ = writeln!(s, "{rem}class {}{sup} {{", c.name);
         for &f in &c.layout {
             let fld = m.table.field(f);
-            let _ = writeln!(s, "  {} {}; // slot {}", m.table.ty_name(&fld.ty), fld.name, fld.slot);
+            let _ =
+                writeln!(s, "  {} {}; // slot {}", m.table.ty_name(&fld.ty), fld.name, fld.slot);
         }
         let _ = writeln!(s, "}}");
     }

@@ -79,6 +79,7 @@ impl Resolver {
         Ok(id)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn add_method(
         &mut self,
         owner: ClassId,
@@ -114,45 +115,246 @@ impl Resolver {
         debug_assert_eq!(object, OBJECT_CLASS);
 
         let system = self.add_class("System", false, ClassKind::NativeStatic, s).unwrap();
-        self.add_method(system, "println", true, false, vec![Ty::Str], Ty::Void, MethodBody::Native(Println), s);
-        self.add_method(system, "print", true, false, vec![Ty::Str], Ty::Void, MethodBody::Native(Print), s);
-        self.add_method(system, "timeMicros", true, false, vec![], Ty::Long, MethodBody::Native(TimeMicros), s);
-        self.add_method(system, "sleepMicros", true, false, vec![Ty::Long], Ty::Void, MethodBody::Native(SleepMicros), s);
+        self.add_method(
+            system,
+            "println",
+            true,
+            false,
+            vec![Ty::Str],
+            Ty::Void,
+            MethodBody::Native(Println),
+            s,
+        );
+        self.add_method(
+            system,
+            "print",
+            true,
+            false,
+            vec![Ty::Str],
+            Ty::Void,
+            MethodBody::Native(Print),
+            s,
+        );
+        self.add_method(
+            system,
+            "timeMicros",
+            true,
+            false,
+            vec![],
+            Ty::Long,
+            MethodBody::Native(TimeMicros),
+            s,
+        );
+        self.add_method(
+            system,
+            "sleepMicros",
+            true,
+            false,
+            vec![Ty::Long],
+            Ty::Void,
+            MethodBody::Native(SleepMicros),
+            s,
+        );
         self.add_method(system, "gc", true, false, vec![], Ty::Void, MethodBody::Native(Gc), s);
 
         let math = self.add_class("Math", false, ClassKind::NativeStatic, s).unwrap();
-        self.add_method(math, "sqrt", true, false, vec![Ty::Double], Ty::Double, MethodBody::Native(Sqrt), s);
-        self.add_method(math, "dabs", true, false, vec![Ty::Double], Ty::Double, MethodBody::Native(DAbs), s);
-        self.add_method(math, "lmin", true, false, vec![Ty::Long, Ty::Long], Ty::Long, MethodBody::Native(LMin), s);
-        self.add_method(math, "lmax", true, false, vec![Ty::Long, Ty::Long], Ty::Long, MethodBody::Native(LMax), s);
+        self.add_method(
+            math,
+            "sqrt",
+            true,
+            false,
+            vec![Ty::Double],
+            Ty::Double,
+            MethodBody::Native(Sqrt),
+            s,
+        );
+        self.add_method(
+            math,
+            "dabs",
+            true,
+            false,
+            vec![Ty::Double],
+            Ty::Double,
+            MethodBody::Native(DAbs),
+            s,
+        );
+        self.add_method(
+            math,
+            "lmin",
+            true,
+            false,
+            vec![Ty::Long, Ty::Long],
+            Ty::Long,
+            MethodBody::Native(LMin),
+            s,
+        );
+        self.add_method(
+            math,
+            "lmax",
+            true,
+            false,
+            vec![Ty::Long, Ty::Long],
+            Ty::Long,
+            MethodBody::Native(LMax),
+            s,
+        );
 
         let cluster = self.add_class("Cluster", false, ClassKind::NativeStatic, s).unwrap();
-        self.add_method(cluster, "machines", true, false, vec![], Ty::Int, MethodBody::Native(ClusterMachines), s);
-        self.add_method(cluster, "my", true, false, vec![], Ty::Int, MethodBody::Native(ClusterMy), s);
-        self.add_method(cluster, "barrier", true, false, vec![], Ty::Void, MethodBody::Native(ClusterBarrier), s);
-        self.add_method(cluster, "arg", true, false, vec![Ty::Int], Ty::Long, MethodBody::Native(ClusterArg), s);
+        self.add_method(
+            cluster,
+            "machines",
+            true,
+            false,
+            vec![],
+            Ty::Int,
+            MethodBody::Native(ClusterMachines),
+            s,
+        );
+        self.add_method(
+            cluster,
+            "my",
+            true,
+            false,
+            vec![],
+            Ty::Int,
+            MethodBody::Native(ClusterMy),
+            s,
+        );
+        self.add_method(
+            cluster,
+            "barrier",
+            true,
+            false,
+            vec![],
+            Ty::Void,
+            MethodBody::Native(ClusterBarrier),
+            s,
+        );
+        self.add_method(
+            cluster,
+            "arg",
+            true,
+            false,
+            vec![Ty::Int],
+            Ty::Long,
+            MethodBody::Native(ClusterArg),
+            s,
+        );
 
         let strutil = self.add_class("Str", false, ClassKind::NativeStatic, s).unwrap();
-        self.add_method(strutil, "fromLong", true, false, vec![Ty::Long], Ty::Str, MethodBody::Native(StrFromLong), s);
-        self.add_method(strutil, "fromDouble", true, false, vec![Ty::Double], Ty::Str, MethodBody::Native(StrFromDouble), s);
+        self.add_method(
+            strutil,
+            "fromLong",
+            true,
+            false,
+            vec![Ty::Long],
+            Ty::Str,
+            MethodBody::Native(StrFromLong),
+            s,
+        );
+        self.add_method(
+            strutil,
+            "fromDouble",
+            true,
+            false,
+            vec![Ty::Double],
+            Ty::Str,
+            MethodBody::Native(StrFromDouble),
+            s,
+        );
 
         let rng = self.add_class("Rng", false, ClassKind::NativeInstance, s).unwrap();
-        self.add_method(rng, "Rng", false, true, vec![Ty::Long], Ty::Void, MethodBody::Native(RngCtor), s);
-        self.add_method(rng, "nextInt", false, false, vec![Ty::Int], Ty::Int, MethodBody::Native(RngNextInt), s);
-        self.add_method(rng, "nextLong", false, false, vec![], Ty::Long, MethodBody::Native(RngNextLong), s);
-        self.add_method(rng, "nextDouble", false, false, vec![], Ty::Double, MethodBody::Native(RngNextDouble), s);
+        self.add_method(
+            rng,
+            "Rng",
+            false,
+            true,
+            vec![Ty::Long],
+            Ty::Void,
+            MethodBody::Native(RngCtor),
+            s,
+        );
+        self.add_method(
+            rng,
+            "nextInt",
+            false,
+            false,
+            vec![Ty::Int],
+            Ty::Int,
+            MethodBody::Native(RngNextInt),
+            s,
+        );
+        self.add_method(
+            rng,
+            "nextLong",
+            false,
+            false,
+            vec![],
+            Ty::Long,
+            MethodBody::Native(RngNextLong),
+            s,
+        );
+        self.add_method(
+            rng,
+            "nextDouble",
+            false,
+            false,
+            vec![],
+            Ty::Double,
+            MethodBody::Native(RngNextDouble),
+            s,
+        );
 
         let queue = self.add_class("Queue", false, ClassKind::NativeInstance, s).unwrap();
-        self.add_method(queue, "Queue", false, true, vec![Ty::Int], Ty::Void, MethodBody::Native(QueueCtor), s);
-        self.add_method(queue, "put", false, false, vec![Ty::Class(OBJECT_CLASS)], Ty::Void, MethodBody::Native(QueuePut), s);
-        self.add_method(queue, "take", false, false, vec![], Ty::Class(OBJECT_CLASS), MethodBody::Native(QueueTake), s);
-        self.add_method(queue, "size", false, false, vec![], Ty::Int, MethodBody::Native(QueueSize), s);
+        self.add_method(
+            queue,
+            "Queue",
+            false,
+            true,
+            vec![Ty::Int],
+            Ty::Void,
+            MethodBody::Native(QueueCtor),
+            s,
+        );
+        self.add_method(
+            queue,
+            "put",
+            false,
+            false,
+            vec![Ty::Class(OBJECT_CLASS)],
+            Ty::Void,
+            MethodBody::Native(QueuePut),
+            s,
+        );
+        self.add_method(
+            queue,
+            "take",
+            false,
+            false,
+            vec![],
+            Ty::Class(OBJECT_CLASS),
+            MethodBody::Native(QueueTake),
+            s,
+        );
+        self.add_method(
+            queue,
+            "size",
+            false,
+            false,
+            vec![],
+            Ty::Int,
+            MethodBody::Native(QueueSize),
+            s,
+        );
     }
 
     fn declare_classes(&mut self, ast: &AstProgram) -> Result<(), CompileError> {
         for (i, c) in ast.classes.iter().enumerate() {
             if c.name == "String" || c.name == "Object" {
-                return Err(CompileError::new(c.span, format!("`{}` is a reserved class name", c.name)));
+                return Err(CompileError::new(
+                    c.span,
+                    format!("`{}` is a reserved class name", c.name),
+                ));
             }
             let id = self.add_class(&c.name, c.is_remote, ClassKind::User, c.span)?;
             self.class_src.insert(id, i);
@@ -169,13 +371,22 @@ impl Resolver {
                 })?;
                 let sup_cls = self.table.class(sup);
                 if sup_cls.kind != ClassKind::User {
-                    return Err(CompileError::new(c.span, format!("cannot extend built-in class `{sup_name}`")));
+                    return Err(CompileError::new(
+                        c.span,
+                        format!("cannot extend built-in class `{sup_name}`"),
+                    ));
                 }
                 if sup_cls.is_remote {
-                    return Err(CompileError::new(c.span, "remote classes are final and cannot be extended"));
+                    return Err(CompileError::new(
+                        c.span,
+                        "remote classes are final and cannot be extended",
+                    ));
                 }
                 if c.is_remote {
-                    return Err(CompileError::new(c.span, "remote classes cannot extend other classes"));
+                    return Err(CompileError::new(
+                        c.span,
+                        "remote classes cannot extend other classes",
+                    ));
                 }
                 self.table.classes[id.index()].super_class = Some(sup);
             }
@@ -313,9 +524,7 @@ impl Resolver {
     fn build_layouts_and_vtables(&mut self) -> Result<(), CompileError> {
         for &cid in &self.order.clone() {
             let (sup_layout, sup_vtable) = match self.table.class(cid).super_class {
-                Some(s) => {
-                    (self.table.class(s).layout.clone(), self.table.class(s).vtable.clone())
-                }
+                Some(s) => (self.table.class(s).layout.clone(), self.table.class(s).vtable.clone()),
                 None => (Vec::new(), Vec::new()),
             };
             // Layout: inherited slots first, then own fields.
@@ -359,10 +568,7 @@ impl Resolver {
                         if b.params != meth.params || b.ret != meth.ret {
                             return Err(CompileError::new(
                                 meth.span,
-                                format!(
-                                    "override of `{}` changes the signature",
-                                    meth.name
-                                ),
+                                format!("override of `{}` changes the signature", meth.name),
                             ));
                         }
                         self.table.methods[m.index()].vslot = Some(slot);
@@ -385,7 +591,10 @@ impl Resolver {
             if m.name == "main" && m.is_static && matches!(m.body, MethodBody::Pending) {
                 if m.params.is_empty() && m.ret == Ty::Void {
                     if found.is_some() {
-                        return Err(CompileError::new(m.span, "multiple `static void main()` methods"));
+                        return Err(CompileError::new(
+                            m.span,
+                            "multiple `static void main()` methods",
+                        ));
                     }
                     found = Some(m.id);
                 } else {
@@ -430,7 +639,9 @@ mod tests {
 
     #[test]
     fn field_layout_includes_inherited() {
-        let p = resolve_ok("class A { int x; } class B extends A { int y; } class M { static void main() {} }");
+        let p = resolve_ok(
+            "class A { int x; } class B extends A { int y; } class M { static void main() {} }",
+        );
         let b = p.table.class_named("B").unwrap();
         let layout = &p.table.class(b).layout;
         assert_eq!(layout.len(), 2);
@@ -462,21 +673,26 @@ mod tests {
 
     #[test]
     fn remote_final() {
-        let e = resolve_err("remote class R {} class S extends R {} class M { static void main() {} }");
+        let e =
+            resolve_err("remote class R {} class S extends R {} class M { static void main() {} }");
         assert!(e.message.contains("final"));
-        let e2 = resolve_err("class A {} remote class R extends A {} class M { static void main() {} }");
+        let e2 =
+            resolve_err("class A {} remote class R extends A {} class M { static void main() {} }");
         assert!(e2.message.contains("cannot extend"));
     }
 
     #[test]
     fn inheritance_cycle_rejected() {
-        let e = resolve_err("class A extends B {} class B extends A {} class M { static void main() {} }");
+        let e = resolve_err(
+            "class A extends B {} class B extends A {} class M { static void main() {} }",
+        );
         assert!(e.message.contains("cycle"));
     }
 
     #[test]
     fn duplicate_method_rejected() {
-        let e = resolve_err("class A { void f() {} void f() {} } class M { static void main() {} }");
+        let e =
+            resolve_err("class A { void f() {} void f() {} } class M { static void main() {} }");
         assert!(e.message.contains("duplicate method"));
     }
 
@@ -502,7 +718,9 @@ mod tests {
 
     #[test]
     fn statics_are_numbered() {
-        let p = resolve_ok("class A { static int x; static double y; } class M { static void main() {} }");
+        let p = resolve_ok(
+            "class A { static int x; static double y; } class M { static void main() {} }",
+        );
         assert_eq!(p.table.num_statics, 2);
     }
 }

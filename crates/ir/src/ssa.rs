@@ -114,17 +114,18 @@ pub fn dominators(f: &Function) -> Dominators {
     let mut idom: Vec<Option<BlockId>> = vec![None; n];
     idom[f.entry.index()] = Some(f.entry);
 
-    let intersect = |idom: &[Option<BlockId>], rpo_num: &[usize], mut a: BlockId, mut b: BlockId| {
-        while a != b {
-            while rpo_num[a.index()] > rpo_num[b.index()] {
-                a = idom[a.index()].unwrap();
+    let intersect =
+        |idom: &[Option<BlockId>], rpo_num: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_num[a.index()] > rpo_num[b.index()] {
+                    a = idom[a.index()].unwrap();
+                }
+                while rpo_num[b.index()] > rpo_num[a.index()] {
+                    b = idom[b.index()].unwrap();
+                }
             }
-            while rpo_num[b.index()] > rpo_num[a.index()] {
-                b = idom[b.index()].unwrap();
-            }
-        }
-        a
-    };
+            a
+        };
 
     let mut changed = true;
     while changed {
@@ -154,9 +155,7 @@ pub fn dominators(f: &Function) -> Dominators {
 
     // Unreachable blocks: park them under the entry so downstream passes
     // have a total function.
-    let idom: Vec<BlockId> = (0..n)
-        .map(|i| idom[i].unwrap_or(f.entry))
-        .collect();
+    let idom: Vec<BlockId> = (0..n).map(|i| idom[i].unwrap_or(f.entry)).collect();
 
     let mut children = vec![Vec::new(); n];
     for i in 0..n {
@@ -215,8 +214,8 @@ pub fn build_ssa(f: &Function) -> SsaFunction {
 
     // Phi placement on iterated dominance frontiers.
     let mut phi_for: Vec<Vec<Reg>> = vec![Vec::new(); n_blocks]; // per block: orig regs needing phis
-    for v in 0..n_orig {
-        let mut work: Vec<BlockId> = def_blocks[v].clone();
+    for (v, defs) in def_blocks.iter().enumerate() {
+        let mut work: Vec<BlockId> = defs.clone();
         let mut has_phi = vec![false; n_blocks];
         let mut in_work = vec![false; n_blocks];
         for &b in &work {
@@ -536,7 +535,7 @@ mod tests {
             "M.f",
         );
         s.validate().unwrap(); // validate() rejects Move in SSA
-        // the returned value must be the parameter itself (copy propagated)
+                               // the returned value must be the parameter itself (copy propagated)
         let ret = s
             .blocks
             .iter()

@@ -55,11 +55,11 @@ pub enum TokenKind {
     At,
 
     // Operators
-    Assign,       // =
-    PlusAssign,   // +=
-    MinusAssign,  // -=
-    StarAssign,   // *=
-    SlashAssign,  // /=
+    Assign,      // =
+    PlusAssign,  // +=
+    MinusAssign, // -=
+    StarAssign,  // *=
+    SlashAssign, // /=
     Plus,
     Minus,
     Star,

@@ -3,8 +3,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use corm_obs::MetricsRegistry;
 use corm_wire::RmiStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::cost::CostModel;
 use crate::packet::Packet;
@@ -33,7 +34,10 @@ impl Mailbox {
 #[derive(Clone)]
 pub struct NetHandle {
     senders: Arc<Vec<Sender<Packet>>>,
-    pub stats: Arc<RmiStats>,
+    /// Sharded per-machine metrics; wire traffic is accounted to the
+    /// *sending* machine's shard (per-machine sums equal the old
+    /// cluster-global totals exactly).
+    pub obs: Arc<MetricsRegistry>,
     pub cost: CostModel,
     /// Accumulated modeled wire time over all messages, in nanoseconds.
     modeled_ns: Arc<AtomicU64>,
@@ -42,7 +46,8 @@ pub struct NetHandle {
 impl NetHandle {
     /// Create the fabric for `n` machines. Returns one mailbox per
     /// machine plus the shared send handle.
-    pub fn new(n: usize, cost: CostModel, stats: Arc<RmiStats>) -> (Vec<Mailbox>, NetHandle) {
+    pub fn new(n: usize, cost: CostModel, obs: Arc<MetricsRegistry>) -> (Vec<Mailbox>, NetHandle) {
+        debug_assert!(obs.num_machines() >= n, "registry must cover every machine");
         let mut senders = Vec::with_capacity(n);
         let mut mailboxes = Vec::with_capacity(n);
         for i in 0..n {
@@ -52,7 +57,12 @@ impl NetHandle {
         }
         (
             mailboxes,
-            NetHandle { senders: Arc::new(senders), stats, cost, modeled_ns: Arc::new(AtomicU64::new(0)) },
+            NetHandle {
+                senders: Arc::new(senders),
+                obs,
+                cost,
+                modeled_ns: Arc::new(AtomicU64::new(0)),
+            },
         )
     }
 
@@ -66,8 +76,9 @@ impl NetHandle {
     pub fn send(&self, from: u16, to: u16, packet: Packet) {
         let bytes = packet.wire_bytes();
         if !matches!(packet, Packet::Shutdown) {
-            RmiStats::bump(&self.stats.messages, 1);
-            RmiStats::bump(&self.stats.wire_bytes, bytes);
+            let stats = &self.obs.machine(from).stats;
+            RmiStats::bump(&stats.messages, 1);
+            RmiStats::bump(&stats.wire_bytes, bytes);
             if from != to {
                 self.modeled_ns.fetch_add(self.cost.message_ns(bytes), Ordering::Relaxed);
             }
@@ -113,7 +124,7 @@ mod tests {
     use super::*;
 
     fn fabric(n: usize) -> (Vec<Mailbox>, NetHandle) {
-        NetHandle::new(n, CostModel::default(), Arc::new(RmiStats::new()))
+        NetHandle::new(n, CostModel::default(), Arc::new(MetricsRegistry::new(n)))
     }
 
     #[test]
@@ -146,17 +157,20 @@ mod tests {
     fn stats_and_modeled_time_accumulate() {
         let (_mb, net) = fabric(2);
         net.send(0, 1, Packet::Reply { req_id: 1, payload: vec![0; 1000], err: None });
-        let snap = net.stats.snapshot();
+        let snap = net.obs.cluster_snapshot();
         assert_eq!(snap.messages, 1);
         assert_eq!(snap.wire_bytes, 1016);
         assert_eq!(net.modeled_ns(), net.cost.message_ns(1016));
+        // Accounted to the sender's shard, not the receiver's.
+        assert_eq!(net.obs.machine(0).stats.snapshot().messages, 1);
+        assert_eq!(net.obs.machine(1).stats.snapshot().messages, 0);
     }
 
     #[test]
     fn loopback_counts_stats_but_not_wire_time() {
         let (_mb, net) = fabric(2);
         net.send(1, 1, Packet::Reply { req_id: 1, payload: vec![0; 100], err: None });
-        assert_eq!(net.stats.snapshot().messages, 1);
+        assert_eq!(net.obs.cluster_snapshot().messages, 1);
         assert_eq!(net.modeled_ns(), 0, "local RPCs do not cross the wire");
     }
 
@@ -190,7 +204,14 @@ mod tests {
             net.send(
                 0,
                 1,
-                Packet::Request { req_id: i, from: 0, site: 0, target_obj: 0, payload: vec![], oneway: false },
+                Packet::Request {
+                    req_id: i,
+                    from: 0,
+                    site: 0,
+                    target_obj: 0,
+                    payload: vec![],
+                    oneway: false,
+                },
             );
             match mb0.recv().unwrap() {
                 Packet::Reply { req_id, .. } => assert_eq!(req_id, i),

@@ -1,0 +1,179 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! Latency and payload-size distributions are heavy-tailed; a log2
+//! bucket layout covers nanoseconds-to-minutes (or bytes-to-gigabytes)
+//! in 32 buckets with one atomic add per observation and no allocation
+//! on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets. Bucket `i` counts values `v` with
+/// `floor(log2(max(v,1))) == i`; the last bucket absorbs everything
+/// larger (>= 2^31, i.e. ~36 minutes in µs or 2 GiB in bytes).
+pub const NBUCKETS: usize = 32;
+
+/// Inclusive upper bound of bucket `i` (the Prometheus `le` label);
+/// `None` for the overflow bucket (`+Inf`).
+pub fn bucket_le(i: usize) -> Option<u64> {
+    if i + 1 >= NBUCKETS {
+        None
+    } else {
+        Some((1u64 << (i + 1)) - 1)
+    }
+}
+
+/// A lock-free log2 histogram: 32 buckets plus running sum and count.
+#[derive(Debug, Default)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; NBUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Log2Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn index(v: u64) -> usize {
+        (63 - (v | 1).leading_zeros() as usize).min(NBUCKETS - 1)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; NBUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of a histogram at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; NBUCKETS],
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot { buckets: [0; NBUCKETS], sum: 0, count: 0 }
+    }
+}
+
+impl HistSnapshot {
+    /// Merge another snapshot into this one (cluster aggregation).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (0.0..=1.0) from the bucket upper bounds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return bucket_le(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_matches_log2() {
+        assert_eq!(Log2Histogram::index(0), 0);
+        assert_eq!(Log2Histogram::index(1), 0);
+        assert_eq!(Log2Histogram::index(2), 1);
+        assert_eq!(Log2Histogram::index(3), 1);
+        assert_eq!(Log2Histogram::index(4), 2);
+        assert_eq!(Log2Histogram::index(1023), 9);
+        assert_eq!(Log2Histogram::index(1024), 10);
+        assert_eq!(Log2Histogram::index(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Log2Histogram::new();
+        for v in [0, 1, 2, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1008);
+        assert_eq!(s.buckets[0], 2); // 0, 1
+        assert_eq!(s.buckets[1], 1); // 2
+        assert_eq!(s.buckets[2], 1); // 5
+        assert_eq!(s.buckets[9], 1); // 1000
+        assert!((s.mean() - 201.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_pointwise() {
+        let a = Log2Histogram::new();
+        let b = Log2Histogram::new();
+        a.record(3);
+        b.record(3);
+        b.record(100);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[1], 2);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_index() {
+        for v in [0u64, 1, 7, 8, 500_000] {
+            let i = Log2Histogram::index(v);
+            if let Some(le) = bucket_le(i) {
+                assert!(v <= le, "{v} must be <= its bucket bound {le}");
+            }
+        }
+        assert_eq!(bucket_le(NBUCKETS - 1), None);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Log2Histogram::new();
+        for v in 0..100 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile(0.5) <= s.quantile(0.99));
+        assert!(s.quantile(0.99) >= 63, "p99 of 0..100 is in the 64..127 bucket");
+    }
+}

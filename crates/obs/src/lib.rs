@@ -1,0 +1,39 @@
+//! # corm-obs — cluster-wide observability
+//!
+//! The measurement layer behind the paper's evaluation: the whole
+//! argument of *Compiler Optimized RMI* rests on counter tables
+//! (Tables 4/6/8) and on knowing *where* RMI time goes (marshal vs
+//! wire vs unmarshal vs invoke). This crate provides:
+//!
+//! * [`metrics`] — a sharded metrics registry: one [`RmiStats`]
+//!   counter shard plus latency/size histograms *per machine*, and
+//!   per-call-site scopes, aggregating into the cluster-global
+//!   [`StatsSnapshot`] that the tables are printed from;
+//! * [`hist`] — fixed-bucket log2 histograms (lock-free atomics);
+//! * [`trace`] — the causal RMI event trace: every marshal, wire
+//!   crossing, unmarshal, invoke and collection, with explicit phase
+//!   spans linked across machines by a per-RMI request id;
+//! * [`chrome`] — a Chrome trace-event JSON exporter (loads directly
+//!   in Perfetto / `chrome://tracing`, one track per machine);
+//! * [`prometheus`] — a Prometheus text-exposition renderer;
+//! * [`report`] — per-phase time attribution splitting real
+//!   (measured) from modeled (cost-model) time.
+//!
+//! [`RmiStats`]: corm_wire::RmiStats
+//! [`StatsSnapshot`]: corm_wire::StatsSnapshot
+
+pub mod chrome;
+pub mod hist;
+pub mod metrics;
+pub mod prometheus;
+pub mod report;
+pub mod trace;
+
+pub use chrome::to_chrome_trace;
+pub use hist::{HistSnapshot, Log2Histogram, NBUCKETS};
+pub use metrics::{
+    MachineMetrics, MachineSnapshot, MetricsRegistry, MetricsSnapshot, SiteMetrics, SiteSnapshot,
+};
+pub use prometheus::render_prometheus;
+pub use report::{phase_report, render_phase_report, PhaseTotals};
+pub use trace::{render_timeline, to_json, Phase, TraceEvent, TraceKind};

@@ -1,0 +1,198 @@
+//! The sharded metrics registry.
+//!
+//! The seed implementation kept one cluster-global [`RmiStats`] that
+//! every machine bumped; this registry shards the same counters per
+//! machine (each machine's RMI path bumps only its own cache-local
+//! shard) and adds latency/size histograms, plus per-call-site scopes.
+//! [`MetricsRegistry::cluster_snapshot`] sums the shards back into the
+//! exact [`StatsSnapshot`] the paper's tables are printed from — the
+//! aggregation is bit-identical to the old global counters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use corm_wire::{RmiStats, StatsSnapshot};
+use parking_lot::Mutex;
+
+use crate::hist::{HistSnapshot, Log2Histogram};
+
+/// One machine's metrics shard: the Tables 4/6/8 counters plus the
+/// phase-latency and payload-size distributions observed on it.
+#[derive(Debug, Default)]
+pub struct MachineMetrics {
+    /// The paper's counters, scoped to this machine.
+    pub stats: RmiStats,
+    /// Caller-observed RMI round-trip time, µs.
+    pub rtt_us: Log2Histogram,
+    /// Argument-marshal time at calling sites, µs.
+    pub marshal_us: Log2Histogram,
+    /// Unmarshal time (args on the serving side, returns on the calling
+    /// side), µs.
+    pub unmarshal_us: Log2Histogram,
+    /// User-method execution time on the serving side, µs.
+    pub invoke_us: Log2Histogram,
+    /// Request payload bytes leaving this machine.
+    pub payload_bytes: Log2Histogram,
+}
+
+/// Per-call-site metrics (cluster-wide scope: a site's calls may
+/// originate on any machine).
+#[derive(Debug, Default)]
+pub struct SiteMetrics {
+    pub calls: AtomicU64,
+    pub rtt_us: Log2Histogram,
+    pub payload_bytes: Log2Histogram,
+}
+
+/// The cluster's metrics: one shard per machine, fixed at cluster
+/// creation, plus a lazily-populated per-call-site table.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    machines: Vec<MachineMetrics>,
+    sites: Mutex<HashMap<u32, Arc<SiteMetrics>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new(machines: usize) -> Self {
+        MetricsRegistry {
+            machines: (0..machines).map(|_| MachineMetrics::default()).collect(),
+            sites: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The shard for `machine`. Hot path: no locking.
+    #[inline]
+    pub fn machine(&self, machine: u16) -> &MachineMetrics {
+        &self.machines[machine as usize]
+    }
+
+    /// The per-site scope for `site`, created on first use.
+    pub fn site(&self, site: u32) -> Arc<SiteMetrics> {
+        self.sites.lock().entry(site).or_default().clone()
+    }
+
+    /// Sum the per-machine shards into the cluster-global snapshot —
+    /// the exact quantity the seed's single `RmiStats` produced.
+    pub fn cluster_snapshot(&self) -> StatsSnapshot {
+        self.machines.iter().fold(StatsSnapshot::default(), |acc, m| acc + m.stats.snapshot())
+    }
+
+    /// Plain-value copy of every scope, for rendering after a run.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let machines = self
+            .machines
+            .iter()
+            .map(|m| MachineSnapshot {
+                stats: m.stats.snapshot(),
+                rtt_us: m.rtt_us.snapshot(),
+                marshal_us: m.marshal_us.snapshot(),
+                unmarshal_us: m.unmarshal_us.snapshot(),
+                invoke_us: m.invoke_us.snapshot(),
+                payload_bytes: m.payload_bytes.snapshot(),
+            })
+            .collect();
+        let mut sites: Vec<SiteSnapshot> = self
+            .sites
+            .lock()
+            .iter()
+            .map(|(&site, m)| SiteSnapshot {
+                site,
+                calls: m.calls.load(Ordering::Relaxed),
+                rtt_us: m.rtt_us.snapshot(),
+                payload_bytes: m.payload_bytes.snapshot(),
+            })
+            .collect();
+        sites.sort_by_key(|s| s.site);
+        MetricsSnapshot { machines, sites }
+    }
+}
+
+/// Plain-value copy of one machine shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MachineSnapshot {
+    pub stats: StatsSnapshot,
+    pub rtt_us: HistSnapshot,
+    pub marshal_us: HistSnapshot,
+    pub unmarshal_us: HistSnapshot,
+    pub invoke_us: HistSnapshot,
+    pub payload_bytes: HistSnapshot,
+}
+
+/// Plain-value copy of one call site's scope.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteSnapshot {
+    pub site: u32,
+    pub calls: u64,
+    pub rtt_us: HistSnapshot,
+    pub payload_bytes: HistSnapshot,
+}
+
+/// Plain-value copy of the whole registry at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub machines: Vec<MachineSnapshot>,
+    pub sites: Vec<SiteSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Cluster aggregate of the per-machine counter shards.
+    pub fn cluster_stats(&self) -> StatsSnapshot {
+        self.machines.iter().fold(StatsSnapshot::default(), |acc, m| acc + m.stats)
+    }
+
+    /// Cluster aggregate of one histogram across machines.
+    pub fn cluster_hist(&self, f: impl Fn(&MachineSnapshot) -> &HistSnapshot) -> HistSnapshot {
+        let mut out = HistSnapshot::default();
+        for m in &self.machines {
+            out.merge(f(m));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_sum_into_cluster_snapshot() {
+        let reg = MetricsRegistry::new(3);
+        RmiStats::bump(&reg.machine(0).stats.remote_rpcs, 2);
+        RmiStats::bump(&reg.machine(1).stats.remote_rpcs, 3);
+        RmiStats::bump(&reg.machine(2).stats.wire_bytes, 100);
+        let snap = reg.cluster_snapshot();
+        assert_eq!(snap.remote_rpcs, 5);
+        assert_eq!(snap.wire_bytes, 100);
+        let ms = reg.snapshot();
+        assert_eq!(ms.cluster_stats(), snap);
+    }
+
+    #[test]
+    fn site_scope_is_shared_across_lookups() {
+        let reg = MetricsRegistry::new(1);
+        reg.site(7).calls.fetch_add(1, Ordering::Relaxed);
+        reg.site(7).calls.fetch_add(1, Ordering::Relaxed);
+        reg.site(9).calls.fetch_add(1, Ordering::Relaxed);
+        let snap = reg.snapshot();
+        assert_eq!(snap.sites.len(), 2);
+        assert_eq!(snap.sites[0].site, 7);
+        assert_eq!(snap.sites[0].calls, 2);
+        assert_eq!(snap.sites[1].calls, 1);
+    }
+
+    #[test]
+    fn cluster_hist_merges_machines() {
+        let reg = MetricsRegistry::new(2);
+        reg.machine(0).rtt_us.record(10);
+        reg.machine(1).rtt_us.record(20);
+        let snap = reg.snapshot();
+        let agg = snap.cluster_hist(|m| &m.rtt_us);
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.sum, 30);
+    }
+}

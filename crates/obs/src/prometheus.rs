@@ -1,0 +1,231 @@
+//! Prometheus text-exposition rendering of a [`MetricsSnapshot`].
+//!
+//! Naming conventions (documented in DESIGN.md):
+//!
+//! * every series is prefixed `corm_`;
+//! * per-machine series carry a `machine="<id>"` label, per-call-site
+//!   series a `site="<id>"` label;
+//! * counters end in `_total`, histograms follow the standard
+//!   `_bucket{le=...}` / `_sum` / `_count` triple with cumulative
+//!   log2 buckets;
+//! * time histograms are in microseconds (`_microseconds`), size
+//!   histograms in bytes (`_bytes`).
+
+use std::fmt::Write;
+
+use crate::hist::{bucket_le, HistSnapshot};
+use crate::metrics::MetricsSnapshot;
+
+fn counter(out: &mut String, name: &str, help: &str, series: &[(String, u64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (labels, v) in series {
+        let _ = writeln!(out, "{name}{{{labels}}} {v}");
+    }
+}
+
+fn histogram(out: &mut String, name: &str, help: &str, series: &[(String, HistSnapshot)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (labels, h) in series {
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            cum += c;
+            // Skip interior zero-count buckets to keep the exposition
+            // readable; always emit the +Inf bucket.
+            match bucket_le(i) {
+                Some(le) if c > 0 => {
+                    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cum}");
+                }
+                Some(_) => {}
+                None => {
+                    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {cum}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum);
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count);
+    }
+}
+
+/// Render the registry snapshot as a Prometheus text exposition.
+pub fn render_prometheus(m: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    let per_machine = |f: &dyn Fn(&corm_wire::StatsSnapshot) -> u64| -> Vec<(String, u64)> {
+        m.machines
+            .iter()
+            .enumerate()
+            .map(|(i, ms)| (format!("machine=\"{i}\""), f(&ms.stats)))
+            .collect()
+    };
+
+    counter(
+        &mut out,
+        "corm_local_rpcs_total",
+        "RMIs whose target lived on the calling machine",
+        &per_machine(&|s| s.local_rpcs),
+    );
+    counter(
+        &mut out,
+        "corm_remote_rpcs_total",
+        "RMIs that crossed machines",
+        &per_machine(&|s| s.remote_rpcs),
+    );
+    counter(
+        &mut out,
+        "corm_reused_objects_total",
+        "Objects recycled by the reuse caches",
+        &per_machine(&|s| s.reused_objs),
+    );
+    counter(
+        &mut out,
+        "corm_cycle_lookups_total",
+        "Cycle-table lookups in (de)serializers",
+        &per_machine(&|s| s.cycle_lookups),
+    );
+    counter(
+        &mut out,
+        "corm_ser_invocations_total",
+        "Dynamic serializer-routine invocations",
+        &per_machine(&|s| s.ser_invocations),
+    );
+    counter(
+        &mut out,
+        "corm_wire_bytes_total",
+        "Payload bytes sent onto the simulated network",
+        &per_machine(&|s| s.wire_bytes),
+    );
+    counter(
+        &mut out,
+        "corm_type_info_bytes_total",
+        "Dynamic type-information bytes within wire bytes",
+        &per_machine(&|s| s.type_info_bytes),
+    );
+    counter(
+        &mut out,
+        "corm_messages_total",
+        "Network messages sent",
+        &per_machine(&|s| s.messages),
+    );
+    counter(
+        &mut out,
+        "corm_deser_bytes_total",
+        "Bytes allocated by deserialization",
+        &per_machine(&|s| s.deser_bytes),
+    );
+    counter(
+        &mut out,
+        "corm_deser_allocs_total",
+        "Objects allocated by deserialization",
+        &per_machine(&|s| s.deser_allocs),
+    );
+
+    let per_machine_hist =
+        |f: &dyn Fn(&crate::metrics::MachineSnapshot) -> HistSnapshot| -> Vec<(String, HistSnapshot)> {
+            m.machines
+                .iter()
+                .enumerate()
+                .map(|(i, ms)| (format!("machine=\"{i}\""), f(ms)))
+                .collect()
+        };
+
+    histogram(
+        &mut out,
+        "corm_rmi_rtt_microseconds",
+        "Caller-observed RMI round-trip time",
+        &per_machine_hist(&|ms| ms.rtt_us),
+    );
+    histogram(
+        &mut out,
+        "corm_marshal_microseconds",
+        "Argument-marshal time at calling sites",
+        &per_machine_hist(&|ms| ms.marshal_us),
+    );
+    histogram(
+        &mut out,
+        "corm_unmarshal_microseconds",
+        "Unmarshal time (args and returns)",
+        &per_machine_hist(&|ms| ms.unmarshal_us),
+    );
+    histogram(
+        &mut out,
+        "corm_invoke_microseconds",
+        "Served user-method execution time",
+        &per_machine_hist(&|ms| ms.invoke_us),
+    );
+    histogram(
+        &mut out,
+        "corm_rmi_payload_bytes",
+        "Request payload size",
+        &per_machine_hist(&|ms| ms.payload_bytes),
+    );
+
+    let site_calls: Vec<(String, u64)> =
+        m.sites.iter().map(|s| (format!("site=\"{}\"", s.site), s.calls)).collect();
+    counter(&mut out, "corm_site_calls_total", "RMIs issued per remote call site", &site_calls);
+    let site_rtt: Vec<(String, HistSnapshot)> =
+        m.sites.iter().map(|s| (format!("site=\"{}\"", s.site), s.rtt_us)).collect();
+    histogram(
+        &mut out,
+        "corm_site_rtt_microseconds",
+        "Round-trip time per remote call site",
+        &site_rtt,
+    );
+    let site_bytes: Vec<(String, HistSnapshot)> =
+        m.sites.iter().map(|s| (format!("site=\"{}\"", s.site), s.payload_bytes)).collect();
+    histogram(
+        &mut out,
+        "corm_site_payload_bytes",
+        "Request payload size per remote call site",
+        &site_bytes,
+    );
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use corm_wire::RmiStats;
+
+    #[test]
+    fn exposition_has_machine_and_site_series() {
+        let reg = MetricsRegistry::new(2);
+        RmiStats::bump(&reg.machine(0).stats.remote_rpcs, 4);
+        reg.machine(0).rtt_us.record(100);
+        let site = reg.site(7);
+        site.calls.fetch_add(4, std::sync::atomic::Ordering::Relaxed);
+        site.rtt_us.record(100);
+
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE corm_remote_rpcs_total counter"));
+        assert!(text.contains(r#"corm_remote_rpcs_total{machine="0"} 4"#));
+        assert!(text.contains(r#"corm_remote_rpcs_total{machine="1"} 0"#));
+        assert!(text.contains("# TYPE corm_rmi_rtt_microseconds histogram"));
+        assert!(text.contains(r#"corm_rmi_rtt_microseconds_bucket{machine="0",le="127"} 1"#));
+        assert!(text.contains(r#"corm_rmi_rtt_microseconds_bucket{machine="0",le="+Inf"} 1"#));
+        assert!(text.contains(r#"corm_rmi_rtt_microseconds_sum{machine="0"} 100"#));
+        assert!(text.contains(r#"corm_site_calls_total{site="7"} 4"#));
+        assert!(text.contains(r#"corm_site_rtt_microseconds_count{site="7"} 1"#));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let reg = MetricsRegistry::new(1);
+        for v in [1, 2, 4, 8, 1000, 100000] {
+            reg.machine(0).rtt_us.record(v);
+        }
+        let text = render_prometheus(&reg.snapshot());
+        let mut last = 0u64;
+        for line in text.lines() {
+            if line.starts_with("corm_rmi_rtt_microseconds_bucket") {
+                let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last, "cumulative counts must be monotone: {line}");
+                last = v;
+            }
+        }
+        assert_eq!(last, 6, "+Inf bucket equals the count");
+    }
+}

@@ -194,10 +194,7 @@ pub fn call(
     }
 }
 
-fn str_of<'a>(
-    guard: &'a MutexGuard<'_, MachineState>,
-    v: Value,
-) -> Result<&'a str, VmError> {
+fn str_of<'a>(guard: &'a MutexGuard<'_, MachineState>, v: Value) -> Result<&'a str, VmError> {
     match v {
         Value::Ref(r) => Ok(guard.heap.str_value(r).map_err(VmError::from)?),
         Value::Null => Err(VmError::new("null dereference on String")),
@@ -205,11 +202,7 @@ fn str_of<'a>(
     }
 }
 
-fn queue_id(
-    interp: &Interp,
-    guard: &MutexGuard<'_, MachineState>,
-    v: Value,
-) -> VmResult<u32> {
+fn queue_id(interp: &Interp, guard: &MutexGuard<'_, MachineState>, v: Value) -> VmResult<u32> {
     let r = interp.obj_of(v)?;
     match guard.heap.body(r).map_err(VmError::from)? {
         ObjBody::Native { data: NativeData::Queue(id), .. } => Ok(*id),
@@ -217,11 +210,7 @@ fn queue_id(
     }
 }
 
-fn next_rng(
-    interp: &Interp,
-    guard: &mut MutexGuard<'_, MachineState>,
-    v: Value,
-) -> VmResult<u64> {
+fn next_rng(interp: &Interp, guard: &mut MutexGuard<'_, MachineState>, v: Value) -> VmResult<u64> {
     let r = interp.obj_of(v)?;
     match guard.heap.body_mut(r).map_err(VmError::from)? {
         ObjBody::Native { data: NativeData::Rng(state), .. } => Ok(splitmix64(state)),

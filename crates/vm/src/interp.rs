@@ -197,11 +197,7 @@ impl Interp {
         }
     }
 
-    fn exec(
-        &mut self,
-        guard: &mut MutexGuard<'_, MachineState>,
-        instr: &Instr,
-    ) -> VmResult<()> {
+    fn exec(&mut self, guard: &mut MutexGuard<'_, MachineState>, instr: &Instr) -> VmResult<()> {
         match instr {
             Instr::Const { dst, v } => {
                 let value = match v {
@@ -413,16 +409,13 @@ impl Interp {
             other => return Err(self.err(format!("method call on {other:?}"))),
         };
         let vt = &self.rt.module.table.class(class).vtable;
-        vt.get(vslot as usize)
-            .copied()
-            .ok_or_else(|| self.err("vtable slot out of range"))
+        vt.get(vslot as usize).copied().ok_or_else(|| self.err("vtable slot out of range"))
     }
 
     pub fn func_of(&self, mid: MethodId) -> VmResult<FuncId> {
-        self.rt
-            .module
-            .func_of_method(mid)
-            .ok_or_else(|| self.err(format!("method {} has no body", self.rt.module.table.method(mid).name)))
+        self.rt.module.func_of_method(mid).ok_or_else(|| {
+            self.err(format!("method {} has no body", self.rt.module.table.method(mid).name))
+        })
     }
 
     fn spawn_local(&mut self, mid: MethodId, argv: Vec<Value>) -> VmResult<()> {
@@ -600,12 +593,7 @@ impl Interp {
         Ok(out)
     }
 
-    fn cast(
-        &self,
-        guard: &MutexGuard<'_, MachineState>,
-        v: Value,
-        to: &Ty,
-    ) -> VmResult<Value> {
+    fn cast(&self, guard: &MutexGuard<'_, MachineState>, v: Value, to: &Ty) -> VmResult<Value> {
         Ok(match (v, to) {
             // numeric conversions
             (Value::Int(x), Ty::Int) => Value::Int(x),
@@ -656,10 +644,8 @@ impl Interp {
                 }
             }
             (v, t) => {
-                return Err(self.err(format!(
-                    "invalid cast of {v:?} to {}",
-                    self.rt.module.table.ty_name(t)
-                )))
+                return Err(self
+                    .err(format!("invalid cast of {v:?} to {}", self.rt.module.table.ty_name(t))))
             }
         })
     }

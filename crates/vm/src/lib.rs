@@ -22,8 +22,11 @@ pub mod interp;
 pub mod machine;
 pub mod rmi;
 pub mod runtime;
-pub mod trace;
 
+/// Trace types live in `corm-obs` (shared with the exporters); re-export
+/// the module so `corm_vm::trace::…` paths keep working.
+pub use corm_obs::trace;
+
+pub use corm_obs::{render_timeline, to_chrome_trace, to_json, Phase, TraceEvent, TraceKind};
 pub use error::VmError;
 pub use runtime::{run_program, RunOptions, RunOutcome, Runtime};
-pub use trace::{render_timeline, to_json, TraceEvent, TraceKind};

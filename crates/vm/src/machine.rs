@@ -179,11 +179,16 @@ pub struct MachineShared {
 
 impl MachineShared {
     pub fn new(id: u16, num_statics: usize) -> Self {
-        MachineShared { id, state: Mutex::new(MachineState::new(num_statics)), cv: Condvar::new() }
+        Self::with_statics(id, vec![Value::Null; num_statics])
     }
 
     pub fn with_statics(id: u16, statics: Vec<Value>) -> Self {
-        MachineShared { id, state: Mutex::new(MachineState::with_statics(statics)), cv: Condvar::new() }
+        let mut state = MachineState::with_statics(statics);
+        // Namespace request ids by machine so every RMI carries a
+        // cluster-unique id (trace events of one call link across
+        // machines by it). 48 bits of counter per machine.
+        state.next_req = ((id as u64) << 48) + 1;
+        MachineShared { id, state: Mutex::new(state), cv: Condvar::new() }
     }
 }
 

@@ -13,6 +13,7 @@ use crate::error::{VmError, VmResult};
 use crate::interp::Interp;
 use crate::machine::{MachineState, ReplySlot};
 use crate::runtime::Runtime;
+use crate::trace::{Phase, TraceKind};
 
 /// Execute a remote (or local-RPC) call at `site`.
 pub fn remote_call(
@@ -40,18 +41,35 @@ pub fn remote_call(
         other => return Err(VmError::new(format!("remote call on {other:?}"))),
     };
 
-    // Marshal the arguments (Figure 1's `serialize_objects`).
-    let ser = Serializer::new(&plans, &rt.module.table, &rt.stats);
+    // Mint the cluster-unique request id up front so the marshal phase
+    // is already attributable to this RMI.
+    let my = interp.machine_id();
+    let req = guard.fresh_req_id();
+    let shard = rt.obs.machine(my);
+
+    // Marshal the arguments (Figure 1's `serialize_objects`). The
+    // serializer bumps this machine's metrics shard.
+    let ser = Serializer::new(&plans, &rt.module.table, &shard.stats);
+    rt.trace_event(my, TraceKind::PhaseBegin { phase: Phase::Marshal, req, site: site.0 });
+    let m0 = rt.start.elapsed();
     let mut msg = Message::new();
     let mut ct = if plan.args_cycle_table { Some(SerCycleTable::new()) } else { None };
     for (i, node) in plan.args.iter().enumerate() {
         ser.serialize(&guard.heap, node, argv[i + 1], &mut ct, &mut msg)?;
     }
+    shard.marshal_us.record((rt.start.elapsed() - m0).as_micros() as u64);
+    rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Marshal, req, site: site.0 });
 
-    if receiver.machine == interp.machine_id() {
-        local_rpc(interp, guard, plan, &ser, site, receiver, msg, oneway)
+    let site_scope = rt.obs.site(site.0);
+    site_scope.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let payload_len = msg.as_bytes().len() as u64;
+    site_scope.payload_bytes.record(payload_len);
+    shard.payload_bytes.record(payload_len);
+
+    if receiver.machine == my {
+        local_rpc(interp, guard, plan, &ser, site, req, receiver, msg, oneway)
     } else {
-        wire_rpc(interp, guard, plan, &ser, site, receiver, msg, oneway)
+        wire_rpc(interp, guard, plan, &ser, site, req, receiver, msg, oneway)
     }
 }
 
@@ -66,17 +84,24 @@ fn local_rpc(
     plan: &MarshalPlan,
     ser: &Serializer<'_>,
     site: CallSiteId,
+    req: u64,
     receiver: corm_heap::RemoteRef,
     msg: Message,
     oneway: bool,
 ) -> VmResult<Value> {
     let rt = interp.rt.clone();
-    RmiStats::bump(&rt.stats.local_rpcs, 1);
+    let my = interp.machine_id();
+    let shard = rt.obs.machine(my);
+    RmiStats::bump(&shard.stats.local_rpcs, 1);
     let t0 = rt.start.elapsed();
 
     let reader_msg = msg;
     let mut reader = reader_msg.reader();
+    rt.trace_event(my, TraceKind::PhaseBegin { phase: Phase::Unmarshal, req, site: site.0 });
+    let u0 = rt.start.elapsed();
     let vals = deserialize_args(guard, ser, plan, site, &mut reader)?;
+    shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
+    rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Unmarshal, req, site: site.0 });
 
     let f = interp.func_of(plan.method)?;
     let mut args = vec![Value::Remote(receiver)];
@@ -96,15 +121,16 @@ fn local_rpc(
         return Ok(Value::Null);
     }
 
+    rt.trace_event(my, TraceKind::PhaseBegin { phase: Phase::Invoke, req, site: site.0 });
+    let i0 = rt.start.elapsed();
     let ret = interp.call_in(guard, f, args)?;
+    shard.invoke_us.record((rt.start.elapsed() - i0).as_micros() as u64);
+    rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Invoke, req, site: site.0 });
     update_arg_caches(guard, plan, site, &vals);
-    rt.trace_event(
-        interp.machine_id(),
-        crate::trace::TraceKind::LocalRpc {
-            site: site.0,
-            us: (rt.start.elapsed() - t0).as_micros() as u64,
-        },
-    );
+    let us = (rt.start.elapsed() - t0).as_micros() as u64;
+    shard.rtt_us.record(us);
+    rt.obs.site(site.0).rtt_us.record(us);
+    rt.trace_event(my, TraceKind::LocalRpc { req, site: site.0, us });
 
     // Clone the return value through serialization as well.
     if plan.ret_ignored || plan.ret.is_none() {
@@ -124,36 +150,35 @@ fn wire_rpc(
     plan: &MarshalPlan,
     ser: &Serializer<'_>,
     site: CallSiteId,
+    req: u64,
     receiver: corm_heap::RemoteRef,
     msg: Message,
     oneway: bool,
 ) -> VmResult<Value> {
     let rt = interp.rt.clone();
-    RmiStats::bump(&rt.stats.remote_rpcs, 1);
+    let my = interp.machine_id();
+    let shard = rt.obs.machine(my);
+    RmiStats::bump(&shard.stats.remote_rpcs, 1);
     let t0 = rt.start.elapsed();
 
-    let req_id = guard.fresh_req_id();
     if !oneway {
-        guard.replies.insert(req_id, ReplySlot::Waiting);
+        guard.replies.insert(req, ReplySlot::Waiting);
     }
-    let my = interp.machine_id();
     let payload = msg.into_bytes();
     let net = rt.net.clone();
     let bytes = payload.len() as u64;
     let packet = Packet::Request {
-        req_id,
+        req_id: req,
         from: my,
         site: site.0,
         target_obj: receiver.obj.0,
         payload,
         oneway,
     };
-    rt.trace_event(my, crate::trace::TraceKind::RmiSend {
-        site: site.0,
-        to: receiver.machine,
-        bytes,
-        oneway,
-    });
+    rt.trace_event(
+        my,
+        TraceKind::RmiSend { req, site: site.0, to: receiver.machine, bytes, oneway },
+    );
     MutexGuard::unlocked(guard, || net.send(my, receiver.machine, packet));
     if oneway {
         return Ok(Value::Null);
@@ -162,8 +187,8 @@ fn wire_rpc(
     // Figure 1's `wait(Machine 1)`.
     let machine = interp.machine.clone();
     let result = loop {
-        if matches!(guard.replies.get(&req_id), Some(ReplySlot::Ready(_))) {
-            match guard.replies.remove(&req_id) {
+        if matches!(guard.replies.get(&req), Some(ReplySlot::Ready(_))) {
+            match guard.replies.remove(&req) {
                 Some(ReplySlot::Ready(r)) => break r,
                 _ => unreachable!(),
             }
@@ -174,15 +199,25 @@ fn wire_rpc(
     match result {
         Err(remote_err) => Err(VmError::new(format!("remote exception: {remote_err}"))),
         Ok(payload) => {
-            rt.trace_event(my, crate::trace::TraceKind::RmiReturn {
-                site: site.0,
-                us: (rt.start.elapsed() - t0).as_micros() as u64,
-                reply_bytes: payload.len() as u64,
-            });
+            let us = (rt.start.elapsed() - t0).as_micros() as u64;
+            shard.rtt_us.record(us);
+            rt.obs.site(site.0).rtt_us.record(us);
+            rt.trace_event(
+                my,
+                TraceKind::RmiReturn { req, site: site.0, us, reply_bytes: payload.len() as u64 },
+            );
             if plan.ret_ignored || plan.ret.is_none() {
                 return Ok(Value::Null);
             }
-            deserialize_ret(guard, ser, plan, site, &payload)
+            rt.trace_event(
+                my,
+                TraceKind::PhaseBegin { phase: Phase::Unmarshal, req, site: site.0 },
+            );
+            let u0 = rt.start.elapsed();
+            let out = deserialize_ret(guard, ser, plan, site, &payload);
+            shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
+            rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Unmarshal, req, site: site.0 });
+            out
         }
     }
 }
@@ -200,8 +235,7 @@ fn deserialize_args(
     let mut total_reused = 0;
     let mut err = None;
     for (i, node) in plan.args.iter().enumerate() {
-        let reuse =
-            if plan.arg_reuse[i] { guard.take_arg_cache(site, i) } else { Value::Null };
+        let reuse = if plan.arg_reuse[i] { guard.take_arg_cache(site, i) } else { Value::Null };
         match ser.deserialize(&mut guard.heap, node, reader, &mut dt, reuse) {
             Ok(out) => {
                 total_reused += out.reused;
@@ -313,20 +347,31 @@ pub fn handle_request(
     let machine = rt.machine(my).clone();
     let mut interp = Interp::new(rt.clone(), my);
     let t0 = rt.start.elapsed();
-    let reused_before = rt.stats.snapshot().reused_objs;
+    let shard = rt.obs.machine(my);
+    let reused_before = shard.stats.snapshot().reused_objs;
 
     let result: VmResult<Vec<u8>> = (|| {
         let plan = plans
             .plan(site)
             .ok_or_else(|| VmError::new(format!("no unmarshal plan for site {}", site.0)))?;
-        let ser = Serializer::new(&plans, &rt.module.table, &rt.stats);
+        let ser = Serializer::new(&plans, &rt.module.table, &shard.stats);
         let mut guard = machine.state.lock();
         guard.active_threads += 1;
 
         let run = (|| {
             let msg = Message::from_bytes(payload);
             let mut reader = msg.reader();
+            rt.trace_event(
+                my,
+                TraceKind::PhaseBegin { phase: Phase::Unmarshal, req: req_id, site: site.0 },
+            );
+            let u0 = rt.start.elapsed();
             let vals = deserialize_args(&mut guard, &ser, plan, site, &mut reader)?;
+            shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
+            rt.trace_event(
+                my,
+                TraceKind::PhaseEnd { phase: Phase::Unmarshal, req: req_id, site: site.0 },
+            );
 
             let meth = rt.module.table.method(plan.method);
             let this = Value::Remote(corm_heap::RemoteRef {
@@ -338,7 +383,17 @@ pub fn handle_request(
             let mut args = vec![this];
             args.extend(vals.iter().copied());
 
+            rt.trace_event(
+                my,
+                TraceKind::PhaseBegin { phase: Phase::Invoke, req: req_id, site: site.0 },
+            );
+            let i0 = rt.start.elapsed();
             let ret = interp.call_in(&mut guard, f, args)?;
+            shard.invoke_us.record((rt.start.elapsed() - i0).as_micros() as u64);
+            rt.trace_event(
+                my,
+                TraceKind::PhaseEnd { phase: Phase::Invoke, req: req_id, site: site.0 },
+            );
             update_arg_caches(&mut guard, plan, site, &vals);
 
             if oneway || plan.ret_ignored || plan.ret.is_none() {
@@ -346,8 +401,7 @@ pub fn handle_request(
             }
             let node = plan.ret.as_ref().unwrap();
             let mut rmsg = Message::new();
-            let mut rct =
-                if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
+            let mut rct = if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
             ser.serialize(&guard.heap, node, ret, &mut rct, &mut rmsg)?;
             Ok(rmsg.into_bytes())
         })();
@@ -357,11 +411,15 @@ pub fn handle_request(
         run
     })();
 
-    rt.trace_event(my, crate::trace::TraceKind::Handle {
-        site: site.0,
-        us: (rt.start.elapsed() - t0).as_micros() as u64,
-        reused: rt.stats.snapshot().reused_objs - reused_before,
-    });
+    rt.trace_event(
+        my,
+        TraceKind::Handle {
+            req: req_id,
+            site: site.0,
+            us: (rt.start.elapsed() - t0).as_micros() as u64,
+            reused: shard.stats.snapshot().reused_objs - reused_before,
+        },
+    );
     if oneway {
         if let Err(e) = result {
             rt.print(&format!("[machine {my}] one-way request failed: {e}\n"));

@@ -7,6 +7,7 @@ use corm_codegen::Plans;
 use corm_heap::HeapStats;
 use corm_ir::Module;
 use corm_net::{ClusterBarrier, CostModel, Mailbox, NetHandle, Packet};
+use corm_obs::{MetricsRegistry, MetricsSnapshot};
 use corm_wire::{RmiStats, StatsSnapshot};
 use parking_lot::Mutex;
 
@@ -53,7 +54,10 @@ impl Default for RunOptions {
 pub struct Runtime {
     pub module: Arc<Module>,
     pub plans: Arc<Plans>,
-    pub stats: Arc<RmiStats>,
+    /// Sharded per-machine metrics (counters + histograms); see
+    /// `corm_obs::MetricsRegistry`. The old cluster-global `RmiStats`
+    /// is recovered exactly by `obs.cluster_snapshot()`.
+    pub obs: Arc<MetricsRegistry>,
     pub net: NetHandle,
     pub machines: Vec<Arc<MachineShared>>,
     pub barrier: ClusterBarrier,
@@ -73,11 +77,17 @@ impl Runtime {
         &self.machines[id as usize]
     }
 
-    /// Record a trace event (no-op when tracing is off).
+    /// Record a trace event (no-op when tracing is off). The timestamp
+    /// is read and the sequence number assigned *under the trace lock*,
+    /// so `seq` order and `t_us` order agree — per-machine timestamps
+    /// are monotone in recording order and same-microsecond ties break
+    /// deterministically.
     pub fn trace_event(&self, machine: u16, kind: crate::trace::TraceKind) {
         if let Some(tr) = &self.trace {
+            let mut events = tr.lock();
             let t_us = self.start.elapsed().as_micros() as u64;
-            tr.lock().push(crate::trace::TraceEvent { t_us, machine, kind });
+            let seq = events.len() as u64;
+            events.push(crate::trace::TraceEvent { t_us, seq, machine, kind });
         }
     }
 
@@ -99,8 +109,12 @@ pub struct RunOutcome {
     pub wall: Duration,
     /// Modeled wire + allocation time (Myrinet cost model).
     pub modeled: Duration,
-    /// RMI statistics (Tables 4/6/8 raw counters).
+    /// RMI statistics (Tables 4/6/8 raw counters), summed over the
+    /// per-machine shards.
     pub stats: StatsSnapshot,
+    /// Full per-machine / per-call-site metrics (counters + latency and
+    /// payload histograms).
+    pub metrics: MetricsSnapshot,
     /// Aggregated heap statistics over all machines.
     pub heap: HeapStats,
     /// Error raised by `main`, if any.
@@ -120,8 +134,8 @@ impl RunOutcome {
 
 /// Execute `module` (compiled into `plans`) on a simulated cluster.
 pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> RunOutcome {
-    let stats = Arc::new(RmiStats::new());
-    let (mailboxes, net) = NetHandle::new(opts.machines, opts.cost, stats.clone());
+    let obs = Arc::new(MetricsRegistry::new(opts.machines));
+    let (mailboxes, net) = NetHandle::new(opts.machines, opts.cost, obs.clone());
     let static_defaults = crate::machine::MachineState::static_defaults(&module.table);
     let machines: Vec<Arc<MachineShared>> = (0..opts.machines)
         .map(|i| Arc::new(MachineShared::with_statics(i as u16, static_defaults.clone())))
@@ -130,7 +144,7 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
     let rt = Arc::new(Runtime {
         module,
         plans,
-        stats: stats.clone(),
+        obs: obs.clone(),
         net,
         machines,
         barrier: ClusterBarrier::new(opts.machines),
@@ -200,7 +214,9 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
         let _ = s.join();
     }
 
-    // Aggregate heap statistics and modeled allocation cost.
+    // Aggregate heap statistics and modeled allocation cost. Each
+    // machine's deserialization allocations land in its own shard, so
+    // per-machine metrics attribute them to the heap that paid them.
     let mut heap = HeapStats::default();
     for m in &rt.machines {
         let st = m.state.lock();
@@ -212,16 +228,17 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
         heap.freed += hs.freed;
         heap.freed_bytes += hs.freed_bytes;
         heap.gc_runs += hs.gc_runs;
+        let shard = &rt.obs.machine(m.id).stats;
+        RmiStats::bump(&shard.deser_bytes, hs.deser_bytes);
+        RmiStats::bump(&shard.deser_allocs, hs.deser_allocs);
     }
-    RmiStats::bump(&rt.stats.deser_bytes, heap.deser_bytes);
-    RmiStats::bump(&rt.stats.deser_allocs, heap.deser_allocs);
     // Modeled managed-runtime overhead: dynamic serializer dispatch,
     // cycle-table lookups and deserialization allocations all executed at
     // native-Rust speed here, but cost real time on the paper's Manta/JVM
     // substrate. The per-op costs are calibrated from the paper's own
     // table deltas (see `corm_net::CostModel`); this is what makes the
     // three optimizations' gains visible at the paper's magnitudes.
-    let snap = stats.snapshot();
+    let snap = obs.cluster_snapshot();
     rt.net.add_modeled_ns(rt.net.cost.runtime_ns(
         snap.ser_invocations,
         snap.cycle_lookups,
@@ -232,7 +249,16 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
     let output = rt.output.lock().clone();
     let trace = rt.trace.as_ref().map(|t| t.lock().clone()).unwrap_or_default();
 
-    RunOutcome { output, wall, modeled, stats: stats.snapshot(), heap, error, trace }
+    RunOutcome {
+        output,
+        wall,
+        modeled,
+        stats: obs.cluster_snapshot(),
+        metrics: obs.snapshot(),
+        heap,
+        error,
+        trace,
+    }
 }
 
 /// Spawn a VM thread with a large stack: recursive serializer programs
@@ -302,7 +328,9 @@ fn drain_loop(
                     // cannot starve the request pool.
                     let rt2 = rt.clone();
                     let handle = spawn_vm_thread("corm-spawn", move || {
-                        rmi::handle_request(&rt2, my, req_id, from, site, target_obj, payload, true);
+                        rmi::handle_request(
+                            &rt2, my, req_id, from, site, target_obj, payload, true,
+                        );
                     });
                     rt.spawned.lock().push(handle);
                 } else {

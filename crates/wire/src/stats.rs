@@ -98,6 +98,27 @@ impl StatsSnapshot {
     }
 }
 
+/// Pointwise sum — aggregating per-machine shards into the cluster
+/// snapshot (see `corm-obs`).
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            local_rpcs: self.local_rpcs + rhs.local_rpcs,
+            remote_rpcs: self.remote_rpcs + rhs.remote_rpcs,
+            reused_objs: self.reused_objs + rhs.reused_objs,
+            cycle_lookups: self.cycle_lookups + rhs.cycle_lookups,
+            ser_invocations: self.ser_invocations + rhs.ser_invocations,
+            wire_bytes: self.wire_bytes + rhs.wire_bytes,
+            type_info_bytes: self.type_info_bytes + rhs.type_info_bytes,
+            messages: self.messages + rhs.messages,
+            deser_bytes: self.deser_bytes + rhs.deser_bytes,
+            deser_allocs: self.deser_allocs + rhs.deser_allocs,
+        }
+    }
+}
+
 impl std::ops::Sub for StatsSnapshot {
     type Output = StatsSnapshot;
 
@@ -141,6 +162,16 @@ mod tests {
         RmiStats::bump(&s.messages, 2);
         let b = s.snapshot();
         assert_eq!((b - a).messages, 2);
+    }
+
+    #[test]
+    fn snapshot_sum() {
+        let a = StatsSnapshot { messages: 2, wire_bytes: 10, ..Default::default() };
+        let b = StatsSnapshot { messages: 3, reused_objs: 1, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.messages, 5);
+        assert_eq!(c.wire_bytes, 10);
+        assert_eq!(c.reused_objs, 1);
     }
 
     #[test]

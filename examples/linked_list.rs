@@ -12,7 +12,10 @@ fn main() {
     let reps = args.get(1).copied().unwrap_or(100);
 
     println!("LinkedList benchmark: {elems} elements, {reps} repetitions, 2 machines\n");
-    println!("{:<22} {:>12} {:>10} {:>12} {:>12}", "config", "modeled ms", "gain", "reused objs", "cycle lkps");
+    println!(
+        "{:<22} {:>12} {:>10} {:>12} {:>12}",
+        "config", "modeled ms", "gain", "reused objs", "cycle lkps"
+    );
 
     let mut base = None;
     for (name, cfg) in OptConfig::TABLE_ROWS {

@@ -41,5 +41,7 @@ fn main() {
     let mut lines = output.lines();
     println!("\ntrace(LU)  = {}", lines.next().unwrap_or("?"));
     println!("checksum   = {}", lines.next().unwrap_or("?"));
-    println!("\nPaper (Table 3, 1024x1024): class 79.81s | site 13.2% | site+cycle 16.2% | all 18.7%");
+    println!(
+        "\nPaper (Table 3, 1024x1024): class 79.81s | site 13.2% | site+cycle 16.2% | all 18.7%"
+    );
 }

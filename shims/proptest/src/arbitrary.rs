@@ -1,0 +1,112 @@
+//! `any::<T>()` — default strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Bias toward the interesting edge of the domain, like real
+        // proptest's default f64 strategy (which includes NaN and the
+        // infinities); otherwise uniform over bit patterns.
+        const SPECIAL: &[f64] = &[
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1.0e-9,
+        ];
+        if rng.below(8) == 0 {
+            SPECIAL[rng.below(SPECIAL.len() as u64) as usize]
+        } else {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        if rng.below(8) == 0 {
+            [0.0f32, -0.0, 1.0, f32::INFINITY, f32::NEG_INFINITY, f32::NAN][rng.below(6) as usize]
+        } else {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        if rng.below(4) == 0 {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            char::from(b' ' + rng.below(95) as u8)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_covers_specials_and_ordinary() {
+        let mut rng = TestRng::for_case(2);
+        let vals: Vec<f64> = (0..512).map(|_| f64::arbitrary(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_nan()));
+        assert!(vals.iter().any(|v| v.is_finite() && *v != 0.0));
+    }
+
+    #[test]
+    fn any_is_a_strategy() {
+        let mut rng = TestRng::for_case(9);
+        let _: i32 = any::<i32>().generate(&mut rng);
+        let _: bool = any::<bool>().generate(&mut rng);
+    }
+}

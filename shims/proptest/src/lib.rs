@@ -1,0 +1,201 @@
+//! Offline shim for `proptest`: the API subset this workspace uses.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case panics with the ordinary assert
+//!   message (the deterministic per-case seeding keeps failures
+//!   reproducible: case `k` always sees the same random stream);
+//! - string "regex" strategies support only the literal patterns the
+//!   workspace uses (`.{lo,hi}` and `\PC{lo,hi}` char-class repeats);
+//! - `prop_recursive` ignores the desired-size/branch hints and bounds
+//!   depth only.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Per-`proptest!` block configuration (`cases` is the only knob the
+/// workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// `proptest! { #![proptest_config(...)] #[test] fn name(args) { body } ... }`
+///
+/// Argument forms: `ident in strategy_expr` and `ident: Type`
+/// (sugar for `ident in any::<Type>()`), mixed freely.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::__proptest_munch!(($cfg); $body; []; $($args)*);
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_munch {
+    // `ident in strategy,` ...
+    (($cfg:expr); $body:block; [$($acc:tt)*]; $id:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_munch!(($cfg); $body; [$($acc)* ($id, ($strat))]; $($rest)*);
+    };
+    // `ident in strategy` (final, no trailing comma)
+    (($cfg:expr); $body:block; [$($acc:tt)*]; $id:ident in $strat:expr) => {
+        $crate::__proptest_munch!(($cfg); $body; [$($acc)* ($id, ($strat))];);
+    };
+    // `ident: Type,` ...
+    (($cfg:expr); $body:block; [$($acc:tt)*]; $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_munch!(($cfg); $body;
+            [$($acc)* ($id, ($crate::arbitrary::any::<$ty>()))]; $($rest)*);
+    };
+    // `ident: Type` (final)
+    (($cfg:expr); $body:block; [$($acc:tt)*]; $id:ident : $ty:ty) => {
+        $crate::__proptest_munch!(($cfg); $body;
+            [$($acc)* ($id, ($crate::arbitrary::any::<$ty>()))];);
+    };
+    // All args munched: bind strategies once, then loop the cases. The
+    // value bindings inside the loop shadow the strategy bindings of the
+    // same name, so the body sees plain generated values.
+    (($cfg:expr); $body:block; [$(($id:ident, $strat:tt))*];) => {
+        let __config: $crate::ProptestConfig = $cfg;
+        $(let $id = $strat;)*
+        for __case in 0..__config.cases {
+            let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+            $(let $id = $crate::strategy::Strategy::generate(&$id, &mut __rng);)*
+            $body
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice between strategies that
+/// share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn typed_args_and_strategies(a: i32, b: bool, n in 5usize..10, s in ".{0,16}") {
+            let _ = (a, b);
+            prop_assert!((5..10).contains(&n));
+            prop_assert!(s.len() <= 16);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in crate::collection::vec((0usize..4, any::<bool>()), 1..8),
+            pair in [(0i64..3), (10i64..13)],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&(n, _)| n < 4));
+            prop_assert!((0..3).contains(&pair[0]) && (10..13).contains(&pair[1]));
+        }
+
+        #[test]
+        fn recursive_union_filter(
+            t in prop_oneof![
+                (-5i64..5).prop_map(Tree::Leaf),
+                Just(Tree::Leaf(99)),
+            ]
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(a.into(), b.into()))
+            })
+            .prop_filter("nonzero leaves only", |t| t != &Tree::Leaf(0)),
+        ) {
+            prop_assert!(depth(&t) <= 4);
+            prop_assert_ne!(t, Tree::Leaf(0));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = (0u64..1_000_000, ".{3,9}");
+        let mut r1 = crate::test_runner::TestRng::for_case(7);
+        let mut r2 = crate::test_runner::TestRng::for_case(7);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,329 @@
+//! The `Strategy` trait and the combinators the workspace uses.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejection-sample until `f` accepts (bounded; panics with `whence`
+    /// if the predicate looks unsatisfiable).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng| inner.generate(rng)))
+    }
+
+    /// Depth-bounded recursive strategy: level k+1 draws either a leaf
+    /// (from `self`) or one expansion step (from `f`) over level k. The
+    /// size/branch hints of real proptest are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let expanded = f(level).boxed();
+            level = Union::new(vec![leaf.clone(), expanded]).boxed();
+        }
+        level
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map { inner: self.inner.clone(), f: self.f.clone() }
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for Filter<S, F> {
+    fn clone(&self) -> Self {
+        Filter { inner: self.inner.clone(), whence: self.whence, f: self.f.clone() }
+    }
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?}: predicate rejected 10000 consecutive samples", self.whence);
+    }
+}
+
+/// Type-erased strategy; cheap to clone.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "Union of zero strategies");
+        Union(options)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Span fits u64 for every 64-bit-or-smaller int type.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let r = if span > u64::MAX as u128 {
+                    rng.next_u64() // full 64-bit domain
+                } else {
+                    rng.below(span as u64)
+                };
+                (*self.start() as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// Pattern strategies for `&'static str`, covering the repeated
+/// char-class shapes the workspace uses: `.{lo,hi}` (printable ASCII)
+/// and `\PC{lo,hi}` (non-control unicode). Anything else falls back to
+/// 0–16 printable-ASCII chars.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(match class {
+                CharClass::AsciiPrintable => ascii_printable(rng),
+                CharClass::NonControl => {
+                    // Mostly ASCII, with enough multibyte content to
+                    // exercise UTF-8 length handling.
+                    if rng.below(8) == 0 {
+                        const POOL: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '𝔘', '🦀', '☃', 'ñ', 'ع'];
+                        POOL[rng.below(POOL.len() as u64) as usize]
+                    } else {
+                        ascii_printable(rng)
+                    }
+                }
+            });
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy)]
+enum CharClass {
+    AsciiPrintable,
+    NonControl,
+}
+
+fn ascii_printable(rng: &mut TestRng) -> char {
+    char::from(b' ' + rng.below(95) as u8) // 0x20..=0x7E
+}
+
+fn parse_pattern(pat: &str) -> (CharClass, usize, usize) {
+    let (prefix, lo, hi) = match pat.strip_suffix('}').and_then(|p| p.rsplit_once('{')) {
+        Some((prefix, bounds)) => {
+            let (lo, hi) = match bounds.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok(), hi.trim().parse().ok()),
+                None => (bounds.trim().parse().ok(), bounds.trim().parse().ok()),
+            };
+            match (lo, hi) {
+                (Some(lo), Some(hi)) if lo <= hi => (prefix, lo, hi),
+                _ => (pat, 0, 16),
+            }
+        }
+        None => (pat, 0, 16),
+    };
+    let class = match prefix {
+        "." => CharClass::AsciiPrintable,
+        r"\PC" => CharClass::NonControl,
+        _ => CharClass::AsciiPrintable,
+    };
+    (class, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tuples_and_patterns() {
+        let mut rng = TestRng::for_case(11);
+        for _ in 0..200 {
+            let n = (3i64..7).generate(&mut rng);
+            assert!((3..7).contains(&n));
+            let m = (0u8..=255).generate(&mut rng);
+            let _ = m; // full-domain inclusive range must not panic
+            let (a, b) = ((0usize..2), (5i32..6)).generate(&mut rng);
+            assert!(a < 2 && b == 5);
+            let s = ".{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            let u = r"\PC{0,10}".generate(&mut rng);
+            assert!(u.chars().count() <= 10);
+            assert!(!u.chars().any(char::is_control));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let u = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed()]);
+        let mut rng = TestRng::for_case(5);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[(u.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn filter_rejects_and_map_applies() {
+        let s = (0u32..10).prop_filter("even", |v| v % 2 == 0).prop_map(|v| v + 100);
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && (100..110).contains(&v));
+        }
+    }
+}

@@ -17,16 +17,17 @@ fn static_tree_program(widths: &[usize]) -> String {
     // potential sharing by the paper's seen-twice rule.
     let depth = widths.len();
     let mut classes = String::new();
-    for d in 0..depth {
-        let fields: String = (0..widths[d])
-            .map(|i| {
-                if d + 1 == depth {
-                    format!("int f{i};")
-                } else {
-                    format!("C{} f{i};", d + 1)
-                }
-            })
-            .collect();
+    for (d, &width) in widths.iter().enumerate() {
+        let fields: String =
+            (0..width)
+                .map(|i| {
+                    if d + 1 == depth {
+                        format!("int f{i};")
+                    } else {
+                        format!("C{} f{i};", d + 1)
+                    }
+                })
+                .collect();
         classes.push_str(&format!("class C{d} {{ {fields} }}\n"));
     }
     let mut build = String::new();
@@ -219,11 +220,14 @@ fn reuse_cache_does_not_leak_state_between_calls() {
     // expected: sum over rounds of (4*round*10 + 0+1+2+3)
     let expected: i64 = (1..=10).map(|r| 4 * r * 10 + 6).sum();
     for cfg in [OptConfig::SITE_CYCLE, OptConfig::ALL] {
-        let out = compile_and_run(src, cfg, RunOptions { machines: 2, ..Default::default() }).unwrap();
+        let out =
+            compile_and_run(src, cfg, RunOptions { machines: 2, ..Default::default() }).unwrap();
         assert!(out.error.is_none(), "{:?}", out.error);
         assert_eq!(out.output, format!("{expected}\n"));
     }
-    let reuse = compile_and_run(src, OptConfig::ALL, RunOptions { machines: 2, ..Default::default() }).unwrap();
+    let reuse =
+        compile_and_run(src, OptConfig::ALL, RunOptions { machines: 2, ..Default::default() })
+            .unwrap();
     assert!(reuse.stats.reused_objs >= 9, "buffer recycled on calls 2..10");
 }
 
@@ -295,7 +299,8 @@ fn site_plans_never_mistype_under_polymorphism() {
         }
     "#;
     for (name, cfg) in OptConfig::TABLE_ROWS {
-        let out = compile_and_run(src, cfg, RunOptions { machines: 2, ..Default::default() }).unwrap();
+        let out =
+            compile_and_run(src, cfg, RunOptions { machines: 2, ..Default::default() }).unwrap();
         assert!(out.error.is_none(), "[{name}] {:?}", out.error);
         assert_eq!(out.output, "1\n0\n");
     }

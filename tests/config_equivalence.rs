@@ -26,10 +26,7 @@ fn assert_equivalent(src: &str, machines: usize) -> String {
         match &reference {
             None => reference = Some((name.to_string(), out.output)),
             Some((ref_name, ref_out)) => {
-                assert_eq!(
-                    &out.output, ref_out,
-                    "config {name} disagrees with {ref_name}"
-                );
+                assert_eq!(&out.output, ref_out, "config {name} disagrees with {ref_name}");
             }
         }
     }
@@ -101,7 +98,9 @@ fn generated_graph_programs_agree_across_configs() {
 /// elision. The ALL config must keep tables exactly where needed.
 #[test]
 fn cyclic_and_shared_structures_agree() {
-    for (label, link) in [("ring", "last.next = first;"), ("line", ""), ("self", "first.next = first;")] {
+    for (label, link) in
+        [("ring", "last.next = first;"), ("line", ""), ("self", "first.next = first;")]
+    {
         let src = format!(
             r#"
             class Node {{ Node next; int v; }}
@@ -230,7 +229,8 @@ fn rpc_counts_identical_across_configs() {
     "#;
     let mut counts = Vec::new();
     for (name, cfg) in ALL_CONFIGS {
-        let out = compile_and_run(src, cfg, RunOptions { machines: 2, ..Default::default() }).unwrap();
+        let out =
+            compile_and_run(src, cfg, RunOptions { machines: 2, ..Default::default() }).unwrap();
         assert!(out.error.is_none(), "[{name}] {:?}", out.error);
         counts.push((name, out.stats.remote_rpcs, out.stats.local_rpcs));
     }

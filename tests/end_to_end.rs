@@ -145,9 +145,8 @@ fn string_arguments_and_returns() {
         }
     "#;
     // Java hashCode of "hello, cluster"
-    let h: i32 = "hello, cluster"
-        .chars()
-        .fold(0i32, |acc, c| acc.wrapping_mul(31).wrapping_add(c as i32));
+    let h: i32 =
+        "hello, cluster".chars().fold(0i32, |acc, c| acc.wrapping_mul(31).wrapping_add(c as i32));
     run_all_configs(src, 2, &format!("hello, cluster\n14\n{h}\n"));
 }
 
@@ -339,8 +338,15 @@ fn ignored_return_becomes_ack() {
         remote class R { double[] make() { return new double[128]; } }
         class M { static void main() { R r = new R() @ 1; r.make(); System.println("done"); } }
     "#;
-    let used = compile_and_run(src_used, OptConfig::ALL, RunOptions { machines: 2, ..Default::default() }).unwrap();
-    let ignored = compile_and_run(src_ignored, OptConfig::ALL, RunOptions { machines: 2, ..Default::default() }).unwrap();
+    let used =
+        compile_and_run(src_used, OptConfig::ALL, RunOptions { machines: 2, ..Default::default() })
+            .unwrap();
+    let ignored = compile_and_run(
+        src_ignored,
+        OptConfig::ALL,
+        RunOptions { machines: 2, ..Default::default() },
+    )
+    .unwrap();
     assert!(used.error.is_none() && ignored.error.is_none());
     assert!(
         ignored.stats.wire_bytes + 1000 < used.stats.wire_bytes,
@@ -391,16 +397,15 @@ fn trace_records_the_rmi_pipeline() {
         }
     "#;
     let c = corm::compile(src, OptConfig::ALL).unwrap();
-    let out = corm::run(
-        &c,
-        RunOptions { machines: 2, trace: true, ..Default::default() },
-    );
+    let out = corm::run(&c, RunOptions { machines: 2, trace: true, ..Default::default() });
     assert!(out.error.is_none(), "{:?}", out.error);
     use corm::TraceKind;
     let sends = out.trace.iter().filter(|e| matches!(e.kind, TraceKind::RmiSend { .. })).count();
     let handles = out.trace.iter().filter(|e| matches!(e.kind, TraceKind::Handle { .. })).count();
-    let returns = out.trace.iter().filter(|e| matches!(e.kind, TraceKind::RmiReturn { .. })).count();
-    let exports = out.trace.iter().filter(|e| matches!(e.kind, TraceKind::NewRemote { .. })).count();
+    let returns =
+        out.trace.iter().filter(|e| matches!(e.kind, TraceKind::RmiReturn { .. })).count();
+    let exports =
+        out.trace.iter().filter(|e| matches!(e.kind, TraceKind::NewRemote { .. })).count();
     assert_eq!(sends, 2);
     assert_eq!(handles, 2);
     assert_eq!(returns, 2);

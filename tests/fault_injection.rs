@@ -7,12 +7,10 @@ use corm::{compile_and_run, OptConfig, RunOptions};
 fn expect_error(src: &str, machines: usize, needle: &str) {
     let out = compile_and_run(src, OptConfig::ALL, RunOptions { machines, ..Default::default() })
         .expect("compile failed");
-    let err = out.error.unwrap_or_else(|| panic!("expected error containing {needle:?}, output: {}", out.output));
-    assert!(
-        err.message.contains(needle),
-        "expected {needle:?} in error, got: {}",
-        err.message
-    );
+    let err = out
+        .error
+        .unwrap_or_else(|| panic!("expected error containing {needle:?}, output: {}", out.output));
+    assert!(err.message.contains(needle), "expected {needle:?} in error, got: {}", err.message);
 }
 
 #[test]
@@ -172,11 +170,7 @@ fn cluster_arg_out_of_range() {
 
 #[test]
 fn queue_capacity_must_be_positive() {
-    expect_error(
-        r#"class M { static void main() { Queue q = new Queue(0); } }"#,
-        1,
-        "positive",
-    );
+    expect_error(r#"class M { static void main() { Queue q = new Queue(0); } }"#, 1, "positive");
 }
 
 #[test]

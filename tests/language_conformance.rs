@@ -5,8 +5,9 @@
 use corm::{compile_and_run, OptConfig, RunOptions};
 
 fn check(src: &str, expected: &str) {
-    let out = compile_and_run(src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
-        .expect("compile failed");
+    let out =
+        compile_and_run(src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
+            .expect("compile failed");
     assert!(out.error.is_none(), "runtime error: {:?}\nsource: {src}", out.error);
     assert_eq!(out.output, expected, "source: {src}");
 }

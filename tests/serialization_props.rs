@@ -39,7 +39,10 @@ struct GraphSpec {
 
 fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
     let node = (0usize..64, 0usize..64, any::<i32>(), any::<bool>(), any::<bool>());
-    (proptest::collection::vec(node, 1..24), proptest::collection::vec((0usize..24, 0usize..24), 0..4))
+    (
+        proptest::collection::vec(node, 1..24),
+        proptest::collection::vec((0usize..24, 0usize..24), 0..4),
+    )
         .prop_map(|(raw, backs)| {
             let n = raw.len();
             let nodes = raw
@@ -51,10 +54,7 @@ fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
                     (a, b, v)
                 })
                 .collect();
-            let back_edges = backs
-                .into_iter()
-                .map(|(f, t)| (f % n, t % n))
-                .collect();
+            let back_edges = backs.into_iter().map(|(f, t)| (f % n, t % n)).collect();
             GraphSpec { nodes, back_edges }
         })
 }
@@ -164,10 +164,10 @@ fn handle_table_restores_exact_sharing_pattern() {
     // diamond: root -> {x, y}, x.a == y.a == shared
     let spec = GraphSpec {
         nodes: vec![
-            (None, None, 1),             // 0: shared
-            (Some(0), None, 2),          // 1: x
-            (Some(0), None, 3),          // 2: y
-            (Some(1), Some(2), 4),       // 3: root
+            (None, None, 1),       // 0: shared
+            (Some(0), None, 2),    // 1: x
+            (Some(0), None, 3),    // 2: y
+            (Some(1), Some(2), 4), // 3: root
         ],
         back_edges: vec![],
     };

@@ -46,8 +46,11 @@ fn expr_strategy() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shr(a.into(), b.into())),
             inner.clone().prop_map(|a| E::Neg(a.into())),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| E::Pick(c.into(), a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| E::Pick(
+                c.into(),
+                a.into(),
+                b.into()
+            )),
         ]
     })
 }
@@ -174,19 +177,23 @@ proptest! {
 fn corner_semantics() {
     let cases = [
         // (expression, expected)
-        ("9223372036854775807 + 1", i64::MIN.to_string()),          // wrap
-        ("(0 - 7) / 2", "-3".to_string()),                          // trunc toward zero
-        ("(0 - 7) % 2", "-1".to_string()),                          // sign of dividend
-        ("1 << 64", "1".to_string()),                               // masked shift
-        ("(0 - 8) >> 1", "-4".to_string()),                         // arithmetic shift
+        ("9223372036854775807 + 1", i64::MIN.to_string()), // wrap
+        ("(0 - 7) / 2", "-3".to_string()),                 // trunc toward zero
+        ("(0 - 7) % 2", "-1".to_string()),                 // sign of dividend
+        ("1 << 64", "1".to_string()),                      // masked shift
+        ("(0 - 8) >> 1", "-4".to_string()),                // arithmetic shift
         ("5 / 2", "2".to_string()),
     ];
     for (expr, expected) in cases {
         let src = format!(
             r#"class M {{ static void main() {{ long r = {expr}; System.println(Str.fromLong(r)); }} }}"#
         );
-        let out = compile_and_run(&src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
-            .unwrap();
+        let out = compile_and_run(
+            &src,
+            OptConfig::CLASS,
+            RunOptions { machines: 1, ..Default::default() },
+        )
+        .unwrap();
         assert!(out.error.is_none(), "{expr}: {:?}", out.error);
         assert_eq!(out.output.trim(), expected, "expr: {expr}");
     }
@@ -206,8 +213,9 @@ fn double_semantics() {
             }
         }
     "#;
-    let out = compile_and_run(src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
-        .unwrap();
+    let out =
+        compile_and_run(src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
+            .unwrap();
     assert!(out.error.is_none(), "{:?}", out.error);
     assert_eq!(out.output, format!("inf\nnan\n{}\n", 0.1f64 + 0.2f64));
 }
@@ -231,8 +239,9 @@ fn int_narrowing() {
             }
         }
     "#;
-    let out = compile_and_run(src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
-        .unwrap();
+    let out =
+        compile_and_run(src, OptConfig::CLASS, RunOptions { machines: 1, ..Default::default() })
+            .unwrap();
     assert!(out.error.is_none(), "{:?}", out.error);
     assert_eq!(out.output, "5\n-2147483648\n3\n-3\n");
 }
