@@ -15,6 +15,7 @@
 //! bit-for-bit, so tests verify *correctness* under every optimization
 //! configuration, not merely cross-configuration agreement.
 
+pub mod equivalence;
 pub mod oracle;
 
 use corm::{compile, run, Compiled, OptConfig, RunOptions, RunOutcome};

@@ -1,0 +1,47 @@
+//! Transport-equivalence sweep (CI).
+//!
+//! Runs every app under every table configuration on both the
+//! in-process channel fabric and the loopback-TCP mesh, diffs program
+//! output and the shard-folded counters with the rules from
+//! `corm_apps::equivalence`, and exits nonzero on any divergence.
+//!
+//! Usage:
+//!   cargo run --release -p corm-bench --bin equivalence
+
+use corm::{OptConfig, TransportKind};
+use corm_apps::equivalence::{diff_runs, run_under};
+use corm_apps::ALL_APPS;
+
+fn main() {
+    let mut checked = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for spec in ALL_APPS {
+        for (_, config) in OptConfig::TABLE_ROWS {
+            let a = run_under(&spec, config, TransportKind::Channel);
+            let b = run_under(&spec, config, TransportKind::Tcp);
+            let bad = diff_runs(spec.name, &config.label(), &a, &b);
+            checked += 1;
+            if bad.is_empty() {
+                println!(
+                    "ok   {:<12} {:<22} wire(meas) {:>9} ns over tcp",
+                    spec.name,
+                    config.label(),
+                    b.measured_wire_ns
+                );
+            } else {
+                println!("FAIL {:<12} {:<22}", spec.name, config.label());
+                failures.extend(bad);
+            }
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("transport equivalence: {checked}/{checked} app x config cells agree");
+        return;
+    }
+    eprintln!("transport equivalence: {} divergence(s) across {checked} cells:", failures.len());
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    std::process::exit(1);
+}

@@ -6,10 +6,12 @@
 //!   cargo run --release -p corm-bench --bin tables -- --quick  # CI scale
 //!   cargo run --release -p corm-bench --bin tables -- --reps 3
 //!   cargo run --release -p corm-bench --bin tables -- --json BENCH_tables.json
+//!   cargo run --release -p corm-bench --bin tables -- --transport tcp
 
+use corm::TransportKind;
 use corm_apps::{ARRAY2D, LINKED_LIST, LU, SUPEROPT, WEBSERVER};
 use corm_bench::{
-    format_stats_table, format_time_table, measure_table, render_tables_json, shape_verdicts,
+    format_stats_table, format_time_table, measure_table_on, render_tables_json, shape_verdicts,
     JsonTable, MeasuredRow, PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE5, PAPER_TABLE7,
 };
 
@@ -23,11 +25,25 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(1);
     let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let transport = match args.iter().position(|a| a == "--transport").map(|i| args.get(i + 1)) {
+        None => TransportKind::Channel,
+        Some(Some(v)) => v.parse().unwrap_or_else(|e| {
+            eprintln!("--transport {v}: {e}");
+            std::process::exit(2);
+        }),
+        Some(None) => {
+            eprintln!("--transport requires a value (channel|tcp)");
+            std::process::exit(2);
+        }
+    };
+    let measure_table = |spec: &corm_apps::AppSpec, args: &[i64], machines: usize, reps: usize| {
+        measure_table_on(spec, args, machines, reps, transport)
+    };
 
     println!("# COR-RMI: reproduction of the paper's Tables 1-8");
     println!();
     println!(
-        "Scale: {} | repetitions per cell: {reps} | machines: 2 (as in the paper)",
+        "Scale: {} | repetitions per cell: {reps} | machines: 2 (as in the paper) | transport: {transport}",
         if quick { "quick" } else { "default" }
     );
     println!();
@@ -140,6 +156,7 @@ fn main() {
             if quick { "quick" } else { "default" },
             reps,
             2,
+            transport,
             &tables,
             &verdicts,
         );

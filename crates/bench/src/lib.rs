@@ -9,8 +9,13 @@
 //! III hardware — so the claim under test is the *shape*: the ordering of
 //! the five configurations and the approximate relative gains.
 
-use corm::{HistSnapshot, MetricsSnapshot, OptConfig, RunOutcome, StatsSnapshot};
+use corm::{
+    HistSnapshot, MetricsSnapshot, OptConfig, RunOptions, RunOutcome, StatsSnapshot, TransportKind,
+};
 use corm_apps::AppSpec;
+
+pub mod gate;
+pub mod json;
 
 /// One measured row of a timing table.
 #[derive(Debug, Clone)]
@@ -27,6 +32,9 @@ pub struct MeasuredRow {
     /// Full per-machine / per-site metrics of the measured run (the last
     /// repetition).
     pub metrics: MetricsSnapshot,
+    /// Transport-measured wire nanoseconds of the measured run (zero on
+    /// the channel backend; real socket time on TCP).
+    pub measured_wire_ns: u64,
 }
 
 /// A row of the paper's published numbers.
@@ -51,13 +59,30 @@ pub fn measure_table(
     machines: usize,
     reps: usize,
 ) -> Vec<MeasuredRow> {
+    measure_table_on(spec, args, machines, reps, TransportKind::Channel)
+}
+
+/// [`measure_table`] on an explicit transport backend — `tables
+/// --transport tcp` measures over real loopback sockets and fills in
+/// `measured_wire_ns`.
+pub fn measure_table_on(
+    spec: &AppSpec,
+    args: &[i64],
+    machines: usize,
+    reps: usize,
+    transport: TransportKind,
+) -> Vec<MeasuredRow> {
     let mut rows = Vec::new();
     let mut class_seconds = None;
     for (name, cfg) in OptConfig::TABLE_ROWS {
         let mut min_wall = f64::INFINITY;
         let mut last: Option<RunOutcome> = None;
         for _ in 0..reps.max(1) {
-            let out = spec.run_with(cfg, args, machines);
+            let compiled = spec.compile(cfg);
+            let out = corm::run(
+                &compiled,
+                RunOptions { machines, args: args.to_vec(), transport, ..Default::default() },
+            );
             assert!(out.error.is_none(), "{} failed under {name}: {:?}", spec.name, out.error);
             min_wall = min_wall.min(out.wall.as_secs_f64());
             last = Some(out);
@@ -72,6 +97,7 @@ pub fn measure_table(
             gain: (base - seconds) / base * 100.0,
             stats: out.stats,
             metrics: out.metrics,
+            measured_wire_ns: out.measured_wire_ns.iter().sum(),
         });
     }
     rows
@@ -144,7 +170,9 @@ pub fn shape_verdicts(table: &str, measured: &[MeasuredRow]) -> Vec<(String, boo
 
 /// Schema version of the JSON document produced by [`render_tables_json`].
 /// Bump on any breaking change to the layout.
-pub const BENCH_JSON_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: top-level `"transport"` field; per-row `"measured_wire_ns"`.
+pub const BENCH_JSON_SCHEMA_VERSION: u32 = 2;
 
 /// One table to export: stable id, human title, unit of the `seconds`
 /// column, and the measured rows.
@@ -214,12 +242,13 @@ fn row_json(r: &MeasuredRow) -> String {
     format!(
         concat!(
             r#"{{"config":"{}","seconds":{:.6},"wall_s":{:.6},"gain_pct":{:.2},"#,
-            r#""counters":{},"histograms":{}}}"#
+            r#""measured_wire_ns":{},"counters":{},"histograms":{}}}"#
         ),
         esc(r.config),
         r.seconds,
         r.wall,
         r.gain,
+        r.measured_wire_ns,
         counters_json(&r.stats),
         hists,
     )
@@ -233,6 +262,7 @@ pub fn render_tables_json(
     scale: &str,
     reps: usize,
     machines: usize,
+    transport: TransportKind,
     tables: &[JsonTable<'_>],
     verdicts: &[(String, bool)],
 ) -> String {
@@ -240,8 +270,9 @@ pub fn render_tables_json(
     let mut s = String::new();
     let _ = write!(
         s,
-        r#"{{"schema_version":{BENCH_JSON_SCHEMA_VERSION},"generator":"corm-bench tables","scale":"{}","reps":{reps},"machines":{machines},"tables":["#,
-        esc(scale)
+        r#"{{"schema_version":{BENCH_JSON_SCHEMA_VERSION},"generator":"corm-bench tables","scale":"{}","reps":{reps},"machines":{machines},"transport":"{}","tables":["#,
+        esc(scale),
+        transport.label()
     );
     for (ti, t) in tables.iter().enumerate() {
         if ti > 0 {
@@ -349,9 +380,11 @@ mod tests {
             rows: &rows,
         }];
         let verdicts = vec![("site beats class".to_string(), true)];
-        let json = render_tables_json("quick", 1, 2, &tables, &verdicts);
+        let json = render_tables_json("quick", 1, 2, TransportKind::Channel, &tables, &verdicts);
         assert!(json.starts_with(&format!("{{\"schema_version\":{BENCH_JSON_SCHEMA_VERSION}")));
         assert!(json.ends_with("]}"));
+        assert!(json.contains(r#""transport":"channel""#));
+        assert!(json.contains(r#""measured_wire_ns":0"#));
         assert!(json.contains(r#""id":"table2_array""#));
         assert!(json.contains(r#"Table \"2\""#), "quotes in titles must be escaped");
         assert!(json.contains(r#""config":"class""#));

@@ -22,11 +22,11 @@
 
 use std::process::ExitCode;
 
-use corm::{compile, run, OptConfig, RunOptions};
+use corm::{compile, run, OptConfig, RunOptions, TransportKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing"
+        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default) or tcp\n                     (real loopback sockets; also measures wire time)\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing"
     );
     std::process::exit(2);
 }
@@ -60,6 +60,7 @@ struct Cli {
     trace: bool,
     trace_json: Option<String>,
     metrics: bool,
+    transport: TransportKind,
 }
 
 fn parse_cli() -> Cli {
@@ -78,6 +79,7 @@ fn parse_cli() -> Cli {
         trace: false,
         trace_json: None,
         metrics: false,
+        transport: TransportKind::default(),
     };
     let mut i = 2;
     while i < argv.len() {
@@ -112,6 +114,14 @@ fn parse_cli() -> Cli {
                 cli.trace_json = Some(path.clone());
             }
             "--metrics" => cli.metrics = true,
+            "--transport" => {
+                i += 1;
+                let Some(kind) = argv.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("bad --transport value (expected channel|tcp)");
+                    usage();
+                };
+                cli.transport = kind;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage();
@@ -148,6 +158,7 @@ fn main() -> ExitCode {
                 // --trace-json needs the trace recorded even when the
                 // textual timeline is off.
                 trace: cli.trace || cli.trace_json.is_some(),
+                transport: cli.transport,
                 ..Default::default()
             };
             let cost = opts.cost;
@@ -156,7 +167,8 @@ fn main() -> ExitCode {
                 eprintln!("--- RMI timeline ---");
                 eprint!("{}", corm::render_timeline(&outcome.trace));
                 eprintln!("--- phase attribution ---");
-                let report = corm::phase_report(&outcome.trace, |bytes| cost.message_ns(bytes));
+                let mut report = corm::phase_report(&outcome.trace, |bytes| cost.message_ns(bytes));
+                corm::attach_measured_wire(&mut report, &outcome.measured_wire_ns);
                 eprint!("{}", corm::render_phase_report(&report));
             }
             if let Some(path) = &cli.trace_json {
@@ -175,8 +187,15 @@ fn main() -> ExitCode {
             if cli.stats {
                 let st = &outcome.stats;
                 eprintln!("--- run statistics ({}) ---", cli.config.label());
+                eprintln!("transport       : {}", outcome.transport);
                 eprintln!("wall            : {:?}", outcome.wall);
                 eprintln!("modeled         : {:.3} ms", outcome.modeled.as_secs_f64() * 1e3);
+                if outcome.transport == TransportKind::Tcp {
+                    eprintln!(
+                        "wire (measured) : {:.3} ms",
+                        outcome.measured_wire.as_secs_f64() * 1e3
+                    );
+                }
                 eprintln!("local rpcs      : {}", st.local_rpcs);
                 eprintln!("remote rpcs     : {}", st.remote_rpcs);
                 eprintln!("messages        : {}", st.messages);

@@ -44,10 +44,10 @@ pub use corm_analysis::{AnalysisOptions, AnalysisResult, RemoteSiteInfo, Shape};
 pub use corm_codegen::{describe_plan, EngineMode, MarshalPlan, OptConfig, Plans};
 pub use corm_heap::{deep_equal_across, structure_digest, HeapStats, Value};
 pub use corm_ir::{CompileError, Module};
-pub use corm_net::CostModel;
+pub use corm_net::{CostModel, TransportKind};
 pub use corm_obs::{
-    phase_report, render_phase_report, render_prometheus, HistSnapshot, MachineSnapshot,
-    MetricsSnapshot, PhaseTotals, SiteSnapshot,
+    attach_measured_wire, phase_report, render_phase_report, render_prometheus, HistSnapshot,
+    MachineSnapshot, MetricsSnapshot, PhaseTotals, SiteSnapshot,
 };
 pub use corm_vm::{
     render_timeline, to_chrome_trace, to_json, Phase, RunOptions, RunOutcome, TraceEvent,

@@ -15,8 +15,12 @@
 
 pub mod cost;
 pub mod packet;
+pub mod tcp;
 pub mod transport;
 
 pub use cost::CostModel;
 pub use packet::Packet;
-pub use transport::{ClusterBarrier, Mailbox, NetHandle};
+pub use tcp::TcpTransport;
+pub use transport::{
+    ClusterBarrier, Mailbox, Mailboxes, NetHandle, RecvError, Transport, TransportKind,
+};

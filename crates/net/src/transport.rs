@@ -1,39 +1,180 @@
-//! Channel-based transport between simulated machines.
+//! Transport abstraction between simulated machines.
+//!
+//! [`NetHandle`] is the VM-facing fabric: it does *all* statistics
+//! accounting (message counts, wire bytes, modeled wire time) before
+//! handing the packet to the selected [`Transport`] backend, so counters
+//! and Tables 4/6/8 accounting are identical no matter what carries the
+//! bytes. Two backends exist: the in-process channel fabric in this
+//! module (the default) and a real loopback-TCP mesh in [`crate::tcp`].
 
+use std::fmt;
+use std::io;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use corm_obs::MetricsRegistry;
 use corm_wire::RmiStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
 use crate::cost::CostModel;
 use crate::packet::Packet;
+use crate::tcp::TcpTransport;
+
+/// Why a receive could not produce a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The sending side is gone (fabric torn down or every sender
+    /// dropped). Distinct from "no packet yet" so the drain loop can
+    /// tell shutdown from quiescence.
+    Disconnected,
+}
 
 /// Receiving end of one machine's network interface. The VM's drain loop
 /// owns this (GM-style single drainer).
-pub struct Mailbox {
-    pub machine: u16,
-    rx: Receiver<Packet>,
-}
+pub trait Mailbox: Send {
+    /// The machine this mailbox belongs to.
+    fn machine(&self) -> u16;
 
-impl Mailbox {
     /// Block until the next packet arrives.
-    pub fn recv(&self) -> Option<Packet> {
-        self.rx.recv().ok()
-    }
+    fn recv(&self) -> Result<Packet, RecvError>;
 
     /// Non-blocking poll (the paper's "allow the runtime system to poll
     /// for messages while the GM-poll-thread remains blocked").
-    pub fn try_recv(&self) -> Option<Packet> {
-        self.rx.try_recv().ok()
+    /// `Ok(None)` means "no packet yet".
+    fn try_recv(&self) -> Result<Option<Packet>, RecvError>;
+}
+
+/// Every machine's receive side, indexed by machine id — what transport
+/// constructors hand to the VM.
+pub type Mailboxes = Vec<Box<dyn Mailbox>>;
+
+/// A packet carrier: moves already-accounted packets between machines.
+/// Implementations must preserve per-(sender, receiver) FIFO order —
+/// the only ordering the VM relies on.
+pub trait Transport: Send + Sync {
+    fn kind(&self) -> TransportKind;
+
+    fn machines(&self) -> usize;
+
+    /// Deliver `packet` to `to`'s mailbox. A delivery to a machine whose
+    /// drain loop already exited is silently dropped, matching a network
+    /// whose peer powered down during shutdown.
+    fn deliver(&self, from: u16, to: u16, packet: Packet);
+
+    /// Wall-clock nanoseconds packets spent in flight to `machine`
+    /// (send to receive), as measured by the backend. Zero for backends
+    /// that deliver by moving a pointer.
+    fn measured_wire_ns(&self, machine: u16) -> u64;
+
+    /// Orderly teardown: close carriers and join I/O threads so drops
+    /// never hang. Idempotent.
+    fn shutdown(&self);
+}
+
+/// Which backend carries the packets. Selected at run time
+/// (`corm run --transport channel|tcp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process lock-free channels; wire transit is modeled only.
+    #[default]
+    Channel,
+    /// Real loopback TCP mesh; wire transit is additionally measured.
+    Tcp,
+}
+
+impl TransportKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportKind::Channel => "channel",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "channel" => Ok(TransportKind::Channel),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport {other:?} (expected channel|tcp)")),
+        }
+    }
+}
+
+/// The original in-process fabric: one unbounded channel per machine.
+pub struct ChannelTransport {
+    senders: Vec<Sender<Packet>>,
+}
+
+impl ChannelTransport {
+    pub fn new(n: usize) -> (Mailboxes, Arc<ChannelTransport>) {
+        let mut senders = Vec::with_capacity(n);
+        let mut mailboxes: Mailboxes = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            mailboxes.push(Box::new(ChannelMailbox { machine: i as u16, rx }));
+        }
+        (mailboxes, Arc::new(ChannelTransport { senders }))
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Channel
+    }
+
+    fn machines(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn deliver(&self, _from: u16, to: u16, packet: Packet) {
+        let _ = self.senders[to as usize].send(packet);
+    }
+
+    fn measured_wire_ns(&self, _machine: u16) -> u64 {
+        0
+    }
+
+    fn shutdown(&self) {}
+}
+
+struct ChannelMailbox {
+    machine: u16,
+    rx: Receiver<Packet>,
+}
+
+impl Mailbox for ChannelMailbox {
+    fn machine(&self) -> u16 {
+        self.machine
+    }
+
+    fn recv(&self) -> Result<Packet, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    fn try_recv(&self) -> Result<Option<Packet>, RecvError> {
+        match self.rx.try_recv() {
+            Ok(p) => Ok(Some(p)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(RecvError::Disconnected),
+        }
     }
 }
 
 /// Shared sending fabric: any thread can send to any machine.
 #[derive(Clone)]
 pub struct NetHandle {
-    senders: Arc<Vec<Sender<Packet>>>,
+    transport: Arc<dyn Transport>,
     /// Sharded per-machine metrics; wire traffic is accounted to the
     /// *sending* machine's shard (per-machine sums equal the old
     /// cluster-global totals exactly).
@@ -44,38 +185,50 @@ pub struct NetHandle {
 }
 
 impl NetHandle {
-    /// Create the fabric for `n` machines. Returns one mailbox per
-    /// machine plus the shared send handle.
-    pub fn new(n: usize, cost: CostModel, obs: Arc<MetricsRegistry>) -> (Vec<Mailbox>, NetHandle) {
+    /// Create the default (channel) fabric for `n` machines. Returns one
+    /// mailbox per machine plus the shared send handle.
+    pub fn new(n: usize, cost: CostModel, obs: Arc<MetricsRegistry>) -> (Mailboxes, NetHandle) {
+        Self::with_kind(TransportKind::Channel, n, cost, obs)
+            .expect("channel transport cannot fail to construct")
+    }
+
+    /// Create the fabric on the selected backend. TCP construction can
+    /// fail (socket limits, no loopback) — channel never does.
+    pub fn with_kind(
+        kind: TransportKind,
+        n: usize,
+        cost: CostModel,
+        obs: Arc<MetricsRegistry>,
+    ) -> io::Result<(Mailboxes, NetHandle)> {
         debug_assert!(obs.num_machines() >= n, "registry must cover every machine");
-        let mut senders = Vec::with_capacity(n);
-        let mut mailboxes = Vec::with_capacity(n);
-        for i in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            mailboxes.push(Mailbox { machine: i as u16, rx });
-        }
-        (
-            mailboxes,
-            NetHandle {
-                senders: Arc::new(senders),
-                obs,
-                cost,
-                modeled_ns: Arc::new(AtomicU64::new(0)),
-            },
-        )
+        let (mailboxes, transport): (Mailboxes, Arc<dyn Transport>) = match kind {
+            TransportKind::Channel => {
+                let (mb, t) = ChannelTransport::new(n);
+                (mb, t)
+            }
+            TransportKind::Tcp => {
+                let (mb, t) = TcpTransport::new(n)?;
+                (mb, t)
+            }
+        };
+        Ok((mailboxes, NetHandle { transport, obs, cost, modeled_ns: Arc::new(AtomicU64::new(0)) }))
+    }
+
+    pub fn kind(&self) -> TransportKind {
+        self.transport.kind()
     }
 
     pub fn machines(&self) -> usize {
-        self.senders.len()
+        self.transport.machines()
     }
 
     /// Send `packet` to `to`, accounting wire bytes and modeled time.
     /// Loopback sends (local RPCs) are delivered but cost nothing on the
-    /// modeled wire.
+    /// modeled wire. Accounting happens *before* the backend is invoked,
+    /// so counters are backend-independent.
     pub fn send(&self, from: u16, to: u16, packet: Packet) {
         let bytes = packet.wire_bytes();
-        if !matches!(packet, Packet::Shutdown) {
+        if !matches!(packet, Packet::Shutdown | Packet::PeerGone { .. }) {
             let stats = &self.obs.machine(from).stats;
             RmiStats::bump(&stats.messages, 1);
             RmiStats::bump(&stats.wire_bytes, bytes);
@@ -83,9 +236,7 @@ impl NetHandle {
                 self.modeled_ns.fetch_add(self.cost.message_ns(bytes), Ordering::Relaxed);
             }
         }
-        // A send to a machine whose drain loop already exited is dropped,
-        // matching a network whose peer powered down during shutdown.
-        let _ = self.senders[to as usize].send(packet);
+        self.transport.deliver(from, to, packet);
     }
 
     pub fn modeled_ns(&self) -> u64 {
@@ -99,6 +250,24 @@ impl NetHandle {
 
     pub fn reset_modeled(&self) {
         self.modeled_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Measured in-flight wall time for packets received by `machine`
+    /// (zero on the channel backend).
+    pub fn measured_wire_ns(&self, machine: u16) -> u64 {
+        self.transport.measured_wire_ns(machine)
+    }
+
+    /// Per-machine measured wire time, indexed by receiving machine.
+    pub fn measured_wire_ns_per_machine(&self) -> Vec<u64> {
+        (0..self.machines()).map(|m| self.transport.measured_wire_ns(m as u16)).collect()
+    }
+
+    /// Tear down the backend (close sockets, join I/O threads). Safe to
+    /// call more than once; required before dropping a TCP fabric to
+    /// guarantee no thread is left blocked.
+    pub fn shutdown(&self) {
+        self.transport.shutdown();
     }
 }
 
@@ -123,34 +292,42 @@ impl ClusterBarrier {
 mod tests {
     use super::*;
 
-    fn fabric(n: usize) -> (Vec<Mailbox>, NetHandle) {
+    fn fabric(n: usize) -> (Mailboxes, NetHandle) {
         NetHandle::new(n, CostModel::default(), Arc::new(MetricsRegistry::new(n)))
+    }
+
+    fn fabric_of(kind: TransportKind, n: usize) -> (Mailboxes, NetHandle) {
+        NetHandle::with_kind(kind, n, CostModel::default(), Arc::new(MetricsRegistry::new(n)))
+            .expect("fabric construction")
     }
 
     #[test]
     fn point_to_point_delivery() {
-        let (mailboxes, net) = fabric(2);
-        net.send(
-            0,
-            1,
-            Packet::Request {
-                req_id: 7,
-                from: 0,
-                site: 3,
-                target_obj: 9,
-                payload: vec![1, 2, 3],
-                oneway: false,
-            },
-        );
-        match mailboxes[1].recv().unwrap() {
-            Packet::Request { req_id, site, payload, .. } => {
-                assert_eq!(req_id, 7);
-                assert_eq!(site, 3);
-                assert_eq!(payload, vec![1, 2, 3]);
+        for kind in [TransportKind::Channel, TransportKind::Tcp] {
+            let (mailboxes, net) = fabric_of(kind, 2);
+            net.send(
+                0,
+                1,
+                Packet::Request {
+                    req_id: 7,
+                    from: 0,
+                    site: 3,
+                    target_obj: 9,
+                    payload: vec![1, 2, 3],
+                    oneway: false,
+                },
+            );
+            match mailboxes[1].recv().unwrap() {
+                Packet::Request { req_id, site, payload, .. } => {
+                    assert_eq!(req_id, 7);
+                    assert_eq!(site, 3);
+                    assert_eq!(payload, vec![1, 2, 3]);
+                }
+                other => panic!("unexpected {other:?}"),
             }
-            other => panic!("unexpected {other:?}"),
+            assert_eq!(mailboxes[0].try_recv().unwrap(), None);
+            net.shutdown();
         }
-        assert!(mailboxes[0].try_recv().is_none());
     }
 
     #[test]
@@ -167,11 +344,45 @@ mod tests {
     }
 
     #[test]
+    fn stats_are_identical_across_backends() {
+        let mut snaps = Vec::new();
+        for kind in [TransportKind::Channel, TransportKind::Tcp] {
+            let (mailboxes, net) = fabric_of(kind, 2);
+            net.send(0, 1, Packet::Reply { req_id: 1, payload: vec![0; 1000], err: None });
+            net.send(1, 1, Packet::NewRemote { req_id: 2, from: 1, class: 0 });
+            // Wait for actual delivery so TCP reader threads are done.
+            mailboxes[1].recv().unwrap();
+            mailboxes[1].recv().unwrap();
+            snaps.push((net.obs.cluster_snapshot(), net.modeled_ns()));
+            net.shutdown();
+        }
+        assert_eq!(snaps[0], snaps[1], "accounting must not depend on the backend");
+    }
+
+    #[test]
     fn loopback_counts_stats_but_not_wire_time() {
         let (_mb, net) = fabric(2);
         net.send(1, 1, Packet::Reply { req_id: 1, payload: vec![0; 100], err: None });
         assert_eq!(net.obs.cluster_snapshot().messages, 1);
         assert_eq!(net.modeled_ns(), 0, "local RPCs do not cross the wire");
+    }
+
+    #[test]
+    fn disconnect_is_distinguished_from_empty() {
+        let (mailboxes, net) = fabric(1);
+        assert_eq!(mailboxes[0].try_recv().unwrap(), None, "empty, not disconnected");
+        drop(net);
+        assert_eq!(mailboxes[0].recv(), Err(RecvError::Disconnected));
+        assert_eq!(mailboxes[0].try_recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn transport_kind_parses() {
+        assert_eq!("channel".parse::<TransportKind>().unwrap(), TransportKind::Channel);
+        assert_eq!("tcp".parse::<TransportKind>().unwrap(), TransportKind::Tcp);
+        assert!("gm".parse::<TransportKind>().is_err());
+        assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+        assert_eq!(TransportKind::default(), TransportKind::Channel);
     }
 
     #[test]
@@ -193,7 +404,7 @@ mod tests {
         let t = std::thread::spawn(move || {
             let mut got = 0;
             while got < 100 {
-                if let Some(Packet::Request { req_id, from, .. }) = mb1.recv() {
+                if let Ok(Packet::Request { req_id, from, .. }) = mb1.recv() {
                     net2.send(1, from, Packet::Reply { req_id, payload: vec![], err: None });
                     got += 1;
                 }

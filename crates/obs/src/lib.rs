@@ -35,5 +35,5 @@ pub use metrics::{
     MachineMetrics, MachineSnapshot, MetricsRegistry, MetricsSnapshot, SiteMetrics, SiteSnapshot,
 };
 pub use prometheus::render_prometheus;
-pub use report::{phase_report, render_phase_report, PhaseTotals};
+pub use report::{attach_measured_wire, phase_report, render_phase_report, PhaseTotals};
 pub use trace::{render_timeline, to_json, Phase, TraceEvent, TraceKind};

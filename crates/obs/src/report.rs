@@ -22,6 +22,11 @@ pub struct PhaseTotals {
     /// Modeled: wire transit of requests + replies sent by this
     /// machine, priced by the cost model.
     pub wire_modeled_us: u64,
+    /// Measured: wall-clock in-flight time of packets *received* by
+    /// this machine, as observed by the transport backend. Zero on the
+    /// in-process channel backend; the TCP backend fills it in, putting
+    /// a real network number next to the modeled one.
+    pub wire_measured_us: u64,
     /// RMIs sent from this machine (remote only).
     pub rmi_sent: u64,
     /// Requests served on this machine.
@@ -83,6 +88,18 @@ pub fn phase_report(
     totals
 }
 
+/// Merge transport-measured wire time (nanoseconds indexed by receiving
+/// machine, from `RunOutcome::measured_wire_ns`) into a phase report.
+/// Machines that only received (never traced a span) get a row too.
+pub fn attach_measured_wire(totals: &mut BTreeMap<u16, PhaseTotals>, per_machine_ns: &[u64]) {
+    for (machine, &ns) in per_machine_ns.iter().enumerate() {
+        if ns == 0 {
+            continue;
+        }
+        totals.entry(machine as u16).or_default().wire_measured_us += ns / 1000;
+    }
+}
+
 /// Render the attribution as an aligned text table with a cluster
 /// total row and a real-vs-modeled split.
 pub fn render_phase_report(totals: &BTreeMap<u16, PhaseTotals>) -> String {
@@ -90,19 +107,20 @@ pub fn render_phase_report(totals: &BTreeMap<u16, PhaseTotals>) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:>8} {:>10} {:>12} {:>10} {:>12} {:>8} {:>8}",
-        "machine", "marshal", "unmarshal", "invoke", "wire(model)", "sent", "handled"
+        "{:>8} {:>10} {:>12} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "machine", "marshal", "unmarshal", "invoke", "wire(model)", "wire(meas)", "sent", "handled"
     );
     let mut sum = PhaseTotals::default();
     for (m, t) in totals {
         let _ = writeln!(
             s,
-            "{:>8} {:>8} us {:>10} us {:>8} us {:>10} us {:>8} {:>8}",
+            "{:>8} {:>8} us {:>10} us {:>8} us {:>10} us {:>10} us {:>8} {:>8}",
             format!("m{m}"),
             t.marshal_us,
             t.unmarshal_us,
             t.invoke_us,
             t.wire_modeled_us,
+            t.wire_measured_us,
             t.rmi_sent,
             t.rmi_handled
         );
@@ -110,26 +128,32 @@ pub fn render_phase_report(totals: &BTreeMap<u16, PhaseTotals>) -> String {
         sum.unmarshal_us += t.unmarshal_us;
         sum.invoke_us += t.invoke_us;
         sum.wire_modeled_us += t.wire_modeled_us;
+        sum.wire_measured_us += t.wire_measured_us;
         sum.rmi_sent += t.rmi_sent;
         sum.rmi_handled += t.rmi_handled;
     }
     let _ = writeln!(
         s,
-        "{:>8} {:>8} us {:>10} us {:>8} us {:>10} us {:>8} {:>8}",
+        "{:>8} {:>8} us {:>10} us {:>8} us {:>10} us {:>10} us {:>8} {:>8}",
         "total",
         sum.marshal_us,
         sum.unmarshal_us,
         sum.invoke_us,
         sum.wire_modeled_us,
+        sum.wire_measured_us,
         sum.rmi_sent,
         sum.rmi_handled
     );
-    let _ = writeln!(
+    let _ = write!(
         s,
         "real (measured) {} us = marshal + unmarshal + invoke; modeled (cost model) {} us = wire",
         sum.real_us(),
         sum.wire_modeled_us
     );
+    if sum.wire_measured_us > 0 {
+        let _ = write!(s, "; transport-measured wire {} us", sum.wire_measured_us);
+    }
+    s.push('\n');
     s
 }
 
@@ -169,6 +193,23 @@ mod tests {
         let text = render_phase_report(&rep);
         assert!(text.contains("m0") && text.contains("m1") && text.contains("total"));
         assert!(text.contains("real (measured) 21 us"));
+        assert!(
+            !text.contains("transport-measured"),
+            "measured wire is only reported when a backend recorded it"
+        );
+    }
+
+    #[test]
+    fn measured_wire_attaches_per_receiving_machine() {
+        let mut rep: BTreeMap<u16, PhaseTotals> = BTreeMap::new();
+        rep.insert(0, PhaseTotals { rmi_sent: 1, ..Default::default() });
+        attach_measured_wire(&mut rep, &[0, 42_000, 7_500]);
+        assert_eq!(rep[&0].wire_measured_us, 0);
+        assert_eq!(rep[&1].wire_measured_us, 42);
+        assert_eq!(rep[&2].wire_measured_us, 7, "machine 2 gains a row even without spans");
+        let text = render_phase_report(&rep);
+        assert!(text.contains("wire(meas)"));
+        assert!(text.contains("transport-measured wire 49 us"));
     }
 
     #[test]

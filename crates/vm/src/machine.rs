@@ -19,7 +19,11 @@ pub struct VmQueue {
 /// State of one outstanding RMI awaiting its reply.
 #[derive(Debug)]
 pub enum ReplySlot {
-    Waiting,
+    /// Waiting for a reply from machine `dest` — recorded so that when a
+    /// peer dies, only calls aimed at it are failed.
+    Waiting {
+        dest: u16,
+    },
     Ready(Result<Vec<u8>, String>),
 }
 

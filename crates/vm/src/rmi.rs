@@ -162,7 +162,7 @@ fn wire_rpc(
     let t0 = rt.start.elapsed();
 
     if !oneway {
-        guard.replies.insert(req, ReplySlot::Waiting);
+        guard.replies.insert(req, ReplySlot::Waiting { dest: receiver.machine });
     }
     let payload = msg.into_bytes();
     let net = rt.net.clone();
@@ -309,7 +309,7 @@ pub fn new_remote(
         return Ok(Value::Remote(corm_heap::RemoteRef { machine: my, obj, class }));
     }
     let req_id = guard.fresh_req_id();
-    guard.replies.insert(req_id, ReplySlot::Waiting);
+    guard.replies.insert(req_id, ReplySlot::Waiting { dest: target });
     let net = rt.net.clone();
     MutexGuard::unlocked(guard, || {
         net.send(my, target, Packet::NewRemote { req_id, from: my, class: class.0 })

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use corm_codegen::Plans;
 use corm_heap::HeapStats;
 use corm_ir::Module;
-use corm_net::{ClusterBarrier, CostModel, Mailbox, NetHandle, Packet};
+use corm_net::{ClusterBarrier, CostModel, Mailbox, NetHandle, Packet, RecvError, TransportKind};
 use corm_obs::{MetricsRegistry, MetricsSnapshot};
 use corm_wire::{RmiStats, StatsSnapshot};
 use parking_lot::Mutex;
@@ -34,6 +34,10 @@ pub struct RunOptions {
     pub workers_per_machine: usize,
     /// Record an RMI event trace (see [`crate::trace`]).
     pub trace: bool,
+    /// Which backend carries the packets (`channel` in-process fabric or
+    /// a real loopback TCP mesh). Counters are identical either way;
+    /// only TCP also *measures* wire time.
+    pub transport: TransportKind,
 }
 
 impl Default for RunOptions {
@@ -46,6 +50,7 @@ impl Default for RunOptions {
             auto_gc: true,
             workers_per_machine: 3,
             trace: false,
+            transport: TransportKind::default(),
         }
     }
 }
@@ -121,6 +126,15 @@ pub struct RunOutcome {
     pub error: Option<VmError>,
     /// RMI event trace (empty unless [`RunOptions::trace`] was set).
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Which backend carried the packets.
+    pub transport: TransportKind,
+    /// Measured in-flight wire time summed over machines. Always zero on
+    /// the channel backend; on TCP this is the first *real* (not
+    /// modeled) network number in the report.
+    pub measured_wire: Duration,
+    /// Per-machine measured wire nanoseconds, indexed by the receiving
+    /// machine.
+    pub measured_wire_ns: Vec<u64>,
 }
 
 impl RunOutcome {
@@ -135,7 +149,9 @@ impl RunOutcome {
 /// Execute `module` (compiled into `plans`) on a simulated cluster.
 pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> RunOutcome {
     let obs = Arc::new(MetricsRegistry::new(opts.machines));
-    let (mailboxes, net) = NetHandle::new(opts.machines, opts.cost, obs.clone());
+    let (mailboxes, net) =
+        NetHandle::with_kind(opts.transport, opts.machines, opts.cost, obs.clone())
+            .unwrap_or_else(|e| panic!("cannot bring up {} transport: {e}", opts.transport));
     let static_defaults = crate::machine::MachineState::static_defaults(&module.table);
     let machines: Vec<Arc<MachineShared>> = (0..opts.machines)
         .map(|i| Arc::new(MachineShared::with_statics(i as u16, static_defaults.clone())))
@@ -166,7 +182,7 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
         for _ in 0..opts.workers_per_machine.max(1) {
             let rt2 = rt.clone();
             let rx = work_rx.clone();
-            let mid = mailbox.machine;
+            let mid = mailbox.machine();
             services.push(spawn_vm_thread("corm-worker", move || {
                 while let Ok((req_id, from, site, target_obj, payload, oneway)) = rx.recv() {
                     rmi::handle_request(&rt2, mid, req_id, from, site, target_obj, payload, oneway);
@@ -213,6 +229,11 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
     for s in services {
         let _ = s.join();
     }
+    // Tear the backend down (joins TCP reader threads; no-op on channel)
+    // so measured wire time is final and nothing outlives the run.
+    rt.net.shutdown();
+    let measured_wire_ns = rt.net.measured_wire_ns_per_machine();
+    let measured_wire = Duration::from_nanos(measured_wire_ns.iter().sum());
 
     // Aggregate heap statistics and modeled allocation cost. Each
     // machine's deserialization allocations land in its own shard, so
@@ -258,6 +279,9 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
         heap,
         error,
         trace,
+        transport: opts.transport,
+        measured_wire,
+        measured_wire_ns,
     }
 }
 
@@ -286,19 +310,53 @@ fn run_clinits(rt: &Arc<Runtime>) -> Option<VmError> {
     None
 }
 
+/// Fail outstanding RMIs waiting on `peer` (or on anyone, when `peer` is
+/// `None`) with an error reply, waking their callers. Invoked when the
+/// transport reports a dead peer or a full disconnect — turning what
+/// would be silent quiescence into an orderly remote error.
+fn fail_pending_replies(machine: &MachineShared, peer: Option<u16>, why: &str) {
+    let mut st = machine.state.lock();
+    for slot in st.replies.values_mut() {
+        let hit = match slot {
+            crate::machine::ReplySlot::Waiting { dest } => peer.is_none_or(|p| *dest == p),
+            crate::machine::ReplySlot::Ready(_) => false,
+        };
+        if hit {
+            *slot = crate::machine::ReplySlot::Ready(Err(why.to_string()));
+        }
+    }
+    machine.cv.notify_all();
+}
+
 /// The per-machine receive loop: exactly one drainer per machine, as in
 /// the paper's modified GM layer. Requests go to the worker pool (or a
 /// dedicated thread for one-way spawns); replies wake the waiting caller;
 /// `NewRemote` allocations are served inline.
 fn drain_loop(
     rt: Arc<Runtime>,
-    mailbox: Mailbox,
+    mailbox: Box<dyn Mailbox>,
     work_tx: crossbeam::channel::Sender<(u64, u16, u32, u32, Vec<u8>, bool)>,
 ) {
-    let my = mailbox.machine;
-    while let Some(packet) = mailbox.recv() {
+    let my = mailbox.machine();
+    loop {
+        let packet = match mailbox.recv() {
+            Ok(p) => p,
+            Err(RecvError::Disconnected) => {
+                // The fabric is gone (not an orderly Shutdown packet):
+                // no reply can ever arrive, so fail every waiter.
+                fail_pending_replies(rt.machine(my), None, "transport disconnected");
+                break;
+            }
+        };
         match packet {
             Packet::Shutdown => break,
+            Packet::PeerGone { peer } => {
+                fail_pending_replies(
+                    rt.machine(my),
+                    Some(peer),
+                    &format!("peer machine {peer} disconnected"),
+                );
+            }
             Packet::Reply { req_id, payload, err } => {
                 let machine = rt.machine(my);
                 let mut st = machine.state.lock();
@@ -337,6 +395,46 @@ fn drain_loop(
                     let _ = work_tx.send((req_id, from, site, target_obj, payload, oneway));
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ReplySlot;
+
+    #[test]
+    fn fail_pending_is_scoped_to_the_dead_peer() {
+        let machine = MachineShared::new(0, 0);
+        {
+            let mut st = machine.state.lock();
+            st.replies.insert(1, ReplySlot::Waiting { dest: 1 });
+            st.replies.insert(2, ReplySlot::Waiting { dest: 2 });
+            st.replies.insert(3, ReplySlot::Ready(Ok(vec![9])));
+        }
+        fail_pending_replies(&machine, Some(1), "peer machine 1 disconnected");
+        let st = machine.state.lock();
+        assert!(matches!(st.replies.get(&1), Some(ReplySlot::Ready(Err(e))) if e.contains("1")));
+        assert!(
+            matches!(st.replies.get(&2), Some(ReplySlot::Waiting { dest: 2 })),
+            "a call to a live peer must keep waiting"
+        );
+        assert!(matches!(st.replies.get(&3), Some(ReplySlot::Ready(Ok(_)))));
+    }
+
+    #[test]
+    fn fail_pending_without_peer_fails_everything_waiting() {
+        let machine = MachineShared::new(0, 0);
+        {
+            let mut st = machine.state.lock();
+            st.replies.insert(1, ReplySlot::Waiting { dest: 1 });
+            st.replies.insert(2, ReplySlot::Waiting { dest: 2 });
+        }
+        fail_pending_replies(&machine, None, "transport disconnected");
+        let st = machine.state.lock();
+        for id in [1, 2] {
+            assert!(matches!(st.replies.get(&id), Some(ReplySlot::Ready(Err(_)))));
         }
     }
 }

@@ -23,20 +23,30 @@ pub mod prelude {
 
 /// Per-`proptest!` block configuration (`cases` is the only knob the
 /// workspace uses).
+///
+/// Like real proptest, the `PROPTEST_CASES` environment variable
+/// deepens runs (CI's weekly scheduled job sets it to 2048). The
+/// workspace pins every block with an explicit `with_cases`, so unlike
+/// upstream the variable acts as a *floor* over explicit counts rather
+/// than only replacing the default — otherwise it could never fire.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
     pub cases: u32,
 }
 
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig::with_cases(64)
     }
 }
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig { cases: env_cases().map_or(cases, |floor| cases.max(floor)) }
     }
 }
 
@@ -188,6 +198,19 @@ mod tests {
             prop_assert!(depth(&t) <= 4);
             prop_assert_ne!(t, Tree::Leaf(0));
         }
+    }
+
+    #[test]
+    fn env_var_is_a_floor_over_explicit_counts() {
+        // Serialized against nothing: the other tests in this binary
+        // only read the variable through configs built while it is
+        // unset or below their explicit counts.
+        std::env::set_var("PROPTEST_CASES", "9");
+        assert_eq!(crate::ProptestConfig::with_cases(3).cases, 9);
+        assert_eq!(crate::ProptestConfig::with_cases(50).cases, 50);
+        assert_eq!(crate::ProptestConfig::default().cases, 64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(crate::ProptestConfig::with_cases(3).cases, 3);
     }
 
     #[test]

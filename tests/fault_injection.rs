@@ -1,16 +1,26 @@
 //! Failure-path coverage: runtime faults on either side of an RMI must
 //! surface as orderly errors (remote exceptions propagate to the caller,
 //! Figure 1's semantics), never as hangs or panics of the harness.
+//! TCP-transport faults (killed peers, teardown during traffic) are
+//! covered at the bottom.
 
-use corm::{compile_and_run, OptConfig, RunOptions};
+use corm::{compile_and_run, OptConfig, RunOptions, TransportKind};
 
-fn expect_error(src: &str, machines: usize, needle: &str) {
-    let out = compile_and_run(src, OptConfig::ALL, RunOptions { machines, ..Default::default() })
-        .expect("compile failed");
+fn expect_error_on(src: &str, machines: usize, needle: &str, transport: TransportKind) {
+    let out = compile_and_run(
+        src,
+        OptConfig::ALL,
+        RunOptions { machines, transport, ..Default::default() },
+    )
+    .expect("compile failed");
     let err = out
         .error
         .unwrap_or_else(|| panic!("expected error containing {needle:?}, output: {}", out.output));
     assert!(err.message.contains(needle), "expected {needle:?} in error, got: {}", err.message);
+}
+
+fn expect_error(src: &str, machines: usize, needle: &str) {
+    expect_error_on(src, machines, needle, TransportKind::Channel);
 }
 
 #[test]
@@ -189,6 +199,108 @@ fn rng_bound_must_be_positive() {
         1,
         "positive",
     );
+}
+
+// ---------------------------------------------------------------------
+// TCP-transport faults. Remote errors must cross real sockets the same
+// way they cross channels, and torn-down or killed fabrics must produce
+// orderly errors (or clean exits) — never hangs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tcp_remote_exception_propagates() {
+    expect_error_on(
+        r#"
+        remote class R { int div(int a, int b) { return a / b; } }
+        class M { static void main() { R r = new R() @ 1; System.println(Str.fromLong(r.div(1, 0))); } }
+        "#,
+        2,
+        "division by zero",
+        TransportKind::Tcp,
+    );
+}
+
+#[test]
+fn tcp_nested_rmi_error_propagates_to_origin() {
+    expect_error_on(
+        r#"
+        remote class C { int boom() { int[] a = new int[1]; return a[5]; } }
+        remote class B {
+            C c;
+            void wire(C c) { this.c = c; }
+            int relay() { return this.c.boom(); }
+        }
+        class M {
+            static void main() {
+                C c = new C() @ 0;
+                B b = new B() @ 1;
+                b.wire(c);
+                System.println(Str.fromLong(b.relay()));
+            }
+        }
+        "#,
+        2,
+        "out of bounds",
+        TransportKind::Tcp,
+    );
+}
+
+#[test]
+fn tcp_runs_shut_down_cleanly_under_load() {
+    // Heavy cross-machine traffic immediately followed by run teardown:
+    // the whole fabric (listeners, readers, writers) must wind down
+    // without hanging this test. Several iterations to catch races.
+    let src = r#"
+        remote class R { int echo(int x) { return x; } }
+        class M {
+            static void main() {
+                R r = new R() @ 1;
+                int s = 0;
+                int i = 0;
+                while (i < 200) { s = s + r.echo(i); i = i + 1; }
+                System.println(Str.fromLong(s));
+            }
+        }
+    "#;
+    for _ in 0..3 {
+        let out = compile_and_run(
+            src,
+            OptConfig::ALL,
+            RunOptions { machines: 3, transport: TransportKind::Tcp, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.error.is_none(), "{:?}", out.error);
+        assert_eq!(out.output, "19900\n");
+    }
+}
+
+#[test]
+fn tcp_killed_peer_surfaces_as_orderly_remote_error() {
+    // Transport-level variant of "machine 1's power cord is pulled":
+    // sever every stream touching machine 1 without an orderly shutdown
+    // and verify the survivors observe PeerGone for exactly that peer —
+    // the signal the VM drain loop turns into a failed reply (see
+    // `corm_vm`'s fail_pending tests for the reply-side half).
+    use corm_net::{Packet, TcpTransport, Transport};
+
+    let (mailboxes, transport) = TcpTransport::new(3).unwrap();
+    // Traffic flows before the crash…
+    transport.deliver(1, 0, Packet::Reply { req_id: 9, payload: vec![1], err: None });
+    match mailboxes[0].recv().unwrap() {
+        Packet::Reply { req_id, .. } => assert_eq!(req_id, 9),
+        other => panic!("unexpected {other:?}"),
+    }
+    // …then machine 1 dies.
+    transport.sever(1);
+    for mb in [&mailboxes[0], &mailboxes[2]] {
+        match mb.recv().unwrap() {
+            Packet::PeerGone { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // Sends toward the dead peer are dropped, not hung.
+    transport.deliver(0, 1, Packet::Reply { req_id: 10, payload: vec![], err: None });
+    transport.shutdown();
 }
 
 #[test]

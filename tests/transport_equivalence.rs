@@ -1,0 +1,91 @@
+//! Cross-transport equivalence: every app under every configuration
+//! must behave identically whether packets move over the in-process
+//! channel fabric or the real loopback-TCP mesh.
+//!
+//! All counter accounting happens in `NetHandle::send` before the
+//! backend carries the packet, so for the poll-free apps
+//! (`linked_list`, `array2d`, `webserver`) *every per-machine counter*
+//! is asserted bit-equal. The polling apps (`lu`, `superopt`) keep
+//! exact timing-free counters and tolerance-checked poll-affected ones
+//! — see `corm_apps::equivalence` for the full classification.
+
+use corm::{OptConfig, RunOptions, TransportKind};
+use corm_apps::equivalence::{assert_equivalent, run_under};
+use corm_apps::{AppSpec, ALL_APPS, ARRAY2D, LINKED_LIST, LU, SUPEROPT, WEBSERVER};
+
+fn check_all_configs(spec: &AppSpec) {
+    for (_, config) in OptConfig::TABLE_ROWS {
+        assert_equivalent(spec, config, TransportKind::Channel, TransportKind::Tcp);
+    }
+}
+
+#[test]
+fn linked_list_is_transport_invariant() {
+    check_all_configs(&LINKED_LIST);
+}
+
+#[test]
+fn array2d_is_transport_invariant() {
+    check_all_configs(&ARRAY2D);
+}
+
+#[test]
+fn lu_is_transport_invariant() {
+    check_all_configs(&LU);
+}
+
+#[test]
+fn superopt_is_transport_invariant() {
+    check_all_configs(&SUPEROPT);
+}
+
+#[test]
+fn webserver_is_transport_invariant() {
+    check_all_configs(&WEBSERVER);
+}
+
+#[test]
+fn tcp_output_matches_the_oracle() {
+    // Not only backend-vs-backend agreement: the TCP run reproduces the
+    // host-side oracle bit-for-bit, same as channel runs do elsewhere.
+    for spec in ALL_APPS {
+        let run = run_under(&spec, OptConfig::ALL, TransportKind::Tcp);
+        assert_eq!(run.error, None, "{} errored under tcp", spec.name);
+        assert_eq!(
+            run.output,
+            spec.expected_output(spec.quick_args, spec.machines),
+            "{} output diverged from the oracle under tcp",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn tcp_measures_wire_time_and_channel_does_not() {
+    let tcp = run_under(&ARRAY2D, OptConfig::ALL, TransportKind::Tcp);
+    assert!(tcp.measured_wire_ns > 0, "TCP must record real in-flight time");
+    let chan = run_under(&ARRAY2D, OptConfig::ALL, TransportKind::Channel);
+    assert_eq!(chan.measured_wire_ns, 0, "channel delivery is a pointer move");
+}
+
+#[test]
+fn modeled_time_is_backend_independent_for_poll_free_apps() {
+    // Modeled wire time is a pure function of the (deterministic)
+    // counters, so it cannot depend on the carrier.
+    let compiled = ARRAY2D.compile(OptConfig::ALL);
+    let mut modeled = Vec::new();
+    for transport in [TransportKind::Channel, TransportKind::Tcp] {
+        let out = corm::run(
+            &compiled,
+            RunOptions {
+                machines: ARRAY2D.machines,
+                args: ARRAY2D.quick_args.to_vec(),
+                transport,
+                ..Default::default()
+            },
+        );
+        assert!(out.error.is_none());
+        modeled.push(out.modeled);
+    }
+    assert_eq!(modeled[0], modeled[1]);
+}
