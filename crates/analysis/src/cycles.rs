@@ -76,7 +76,56 @@ pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
             }
         }
     }
-    seen_twice
+    if seen_twice {
+        return true;
+    }
+
+    // Multiplicity pass. Arrival counting visits each heap-graph edge set
+    // once, but one array node stands for *all* runtime slots of the
+    // array: `[t, u, u]` shares `u` across two slots without any node
+    // being seen twice. A store is "fresh" when the stored value was
+    // allocated in the same basic block as the store (so every executed
+    // store deposits a distinct object); non-fresh stores may alias.
+    for &n in arrivals.keys() {
+        let node = g.node(n);
+        if node.elem_nonfresh && !node.elems.is_empty() {
+            return true;
+        }
+    }
+    // Nodes reached through array elements may stand for several runtime
+    // objects at once; a non-fresh field store on such a node can make
+    // their instances share a target.
+    let mut multi = NodeSet::new();
+    let mut work: Vec<NodeId> = Vec::new();
+    for &n in arrivals.keys() {
+        for &t in &g.node(n).elems {
+            if multi.insert(t) {
+                work.push(t);
+            }
+        }
+    }
+    while let Some(m) = work.pop() {
+        let node = g.node(m);
+        for (slot, set) in node.fields.iter().enumerate() {
+            if !set.is_empty() && node.nonfresh_fields.contains(&(slot as u32)) {
+                return true;
+            }
+            for &t in set {
+                if multi.insert(t) {
+                    work.push(t);
+                }
+            }
+        }
+        if node.elem_nonfresh && !node.elems.is_empty() {
+            return true;
+        }
+        for &t in &node.elems {
+            if multi.insert(t) {
+                work.push(t);
+            }
+        }
+    }
+    false
 }
 
 /// Is `slot` the only field of `n` that points back to `n` itself, with no
@@ -178,6 +227,61 @@ mod tests {
         let inner = g.add_node(AllocSiteId(1), Ty::Double.array_of(), 0, None);
         g.add_elem_edge(outer, &NodeSet::from([inner]));
         assert!(!may_cycle(&g, &[NodeSet::from([outer])], CycleOptions::default()));
+    }
+
+    /// Two runtime slots of one array can alias a single object even when
+    /// the heap graph sees every node only once ([t, u, u]); a non-fresh
+    /// element store is the only way to build that, so it must flag.
+    #[test]
+    fn nonfresh_elem_store_flags_slot_aliasing() {
+        let mut g = HeapGraph::default();
+        let arr = g.add_node(AllocSiteId(0), Ty::Class(ClassId(1)).array_of(), 0, None);
+        let t = obj(&mut g, 1, 0);
+        g.add_elem_edge(arr, &NodeSet::from([t]));
+        assert!(!may_cycle(&g, &[NodeSet::from([arr])], CycleOptions::default()));
+        g.mark_elem_nonfresh(arr);
+        assert!(may_cycle(&g, &[NodeSet::from([arr])], CycleOptions::default()));
+    }
+
+    /// Fresh element stores (value allocated next to the store) deposit a
+    /// distinct object per slot — no aliasing, no flag.
+    #[test]
+    fn fresh_elem_stores_stay_acyclic() {
+        let mut g = HeapGraph::default();
+        let arr = g.add_node(AllocSiteId(0), Ty::Class(ClassId(1)).array_of(), 0, None);
+        let a = obj(&mut g, 1, 0);
+        let b = obj(&mut g, 2, 0);
+        g.add_elem_edge(arr, &NodeSet::from([a, b]));
+        assert!(!may_cycle(&g, &[NodeSet::from([arr])], CycleOptions::default()));
+    }
+
+    /// A node reached through array elements stands for many runtime
+    /// objects; a non-fresh field store on it can make their instances
+    /// share one target.
+    #[test]
+    fn nonfresh_field_on_array_element_flags() {
+        let mut g = HeapGraph::default();
+        let arr = g.add_node(AllocSiteId(0), Ty::Class(ClassId(1)).array_of(), 0, None);
+        let elem = obj(&mut g, 1, 1);
+        let child = obj(&mut g, 2, 0);
+        g.add_elem_edge(arr, &NodeSet::from([elem]));
+        g.add_field_edge(elem, 0, &NodeSet::from([child]));
+        assert!(!may_cycle(&g, &[NodeSet::from([arr])], CycleOptions::default()));
+        g.mark_field_nonfresh(elem, 0);
+        assert!(may_cycle(&g, &[NodeSet::from([arr])], CycleOptions::default()));
+    }
+
+    /// The same non-fresh field store on a node NOT reached through array
+    /// elements is harmless — arrival counting already covers sharing
+    /// between singleton objects.
+    #[test]
+    fn nonfresh_field_outside_arrays_is_harmless() {
+        let mut g = HeapGraph::default();
+        let root = obj(&mut g, 0, 1);
+        let child = obj(&mut g, 1, 0);
+        g.add_field_edge(root, 0, &NodeSet::from([child]));
+        g.mark_field_nonfresh(root, 0);
+        assert!(!may_cycle(&g, &[NodeSet::from([root])], CycleOptions::default()));
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub struct HeapNode {
     pub fields: Vec<NodeSet>,
     /// May-point-to targets of array elements (reference arrays).
     pub elems: NodeSet,
+    /// Some element store wrote a value that was not freshly allocated
+    /// alongside the store — two slots of one runtime array may then hold
+    /// the same object, which the single `elems` set cannot express.
+    pub elem_nonfresh: bool,
+    /// Field slots with a non-fresh store (relevant when this node stands
+    /// for several runtime objects: their instances may share the target).
+    pub nonfresh_fields: BTreeSet<u32>,
     /// For clone nodes: the base node this was (transitively) cloned from.
     pub clone_of: Option<NodeId>,
 }
@@ -85,9 +92,24 @@ impl HeapGraph {
             ty,
             fields: vec![NodeSet::new(); nfields],
             elems: NodeSet::new(),
+            elem_nonfresh: false,
+            nonfresh_fields: BTreeSet::new(),
             clone_of,
         });
         id
+    }
+
+    /// Record a non-fresh element store into `node`; returns true if the
+    /// marker is new.
+    pub fn mark_elem_nonfresh(&mut self, node: NodeId) -> bool {
+        let n = &mut self.nodes[node.index()];
+        !std::mem::replace(&mut n.elem_nonfresh, true)
+    }
+
+    /// Record a non-fresh store to `node.fields[slot]`; returns true if
+    /// the marker is new.
+    pub fn mark_field_nonfresh(&mut self, node: NodeId, slot: u32) -> bool {
+        self.nodes[node.index()].nonfresh_fields.insert(slot)
     }
 
     /// Add `targets` to `node.fields[slot]`; returns true if anything new.

@@ -84,7 +84,93 @@ struct Engine<'a> {
     sync_seen: HashSet<(NodeId, NodeId, Ctx)>,
     /// CHA cache: declaration method -> possible override targets.
     cha: HashMap<MethodId, Vec<MethodId>>,
+    /// `[func] reg -> block` for registers that hold a *fresh* object: the
+    /// result of a `New`/`NewArray` in that block, or of a same-block call
+    /// to a fresh-returning function (propagated through `Move`/`Cast`). A
+    /// store whose value register maps to the store's own block writes a
+    /// freshly allocated object on every execution — any other store is
+    /// "non-fresh" and may re-store an existing object (see
+    /// `HeapNode::elem_nonfresh`).
+    alloc_def: Vec<HashMap<corm_ir::Reg, usize>>,
     changed: bool,
+}
+
+/// Compute the fresh-def maps for all functions (see `Engine::alloc_def`).
+///
+/// A function is *fresh-returning* when every `return v` yields an object
+/// allocated during that very invocation (directly or via another
+/// fresh-returning static call) — so consecutive calls can never return
+/// the same object. This covers the paper's superoptimizer idiom of a
+/// single `make(..)` construction helper feeding array slots.
+fn alloc_defs(m: &Module, ssa: &[SsaFunction]) -> Vec<HashMap<corm_ir::Reg, usize>> {
+    // reg -> (block, None = direct allocation | Some(callee) = static call)
+    let mut raw: Vec<HashMap<corm_ir::Reg, (usize, Option<usize>)>> = Vec::with_capacity(ssa.len());
+    for f in ssa {
+        let mut map: HashMap<corm_ir::Reg, (usize, Option<usize>)> = HashMap::new();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for instr in &b.instrs {
+                match instr {
+                    Instr::New { dst, .. } | Instr::NewArray { dst, .. } => {
+                        map.insert(*dst, (bi, None));
+                    }
+                    // Only direct static/ctor targets: virtual, remote
+                    // and builtin calls may hand back existing objects.
+                    Instr::Call {
+                        dst: Some(d),
+                        target: CallTarget::Static(mid) | CallTarget::Ctor(mid),
+                        ..
+                    } => {
+                        if let Some(tf) = m.func_of_method(*mid) {
+                            map.insert(*d, (bi, Some(tf.index())));
+                        }
+                    }
+                    Instr::Move { dst, src } | Instr::Cast { dst, src, .. } => {
+                        if let Some(&def) = map.get(src) {
+                            map.insert(*dst, def);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        raw.push(map);
+    }
+    // Least fixpoint: recursion stays conservatively non-fresh.
+    let mut fresh = vec![false; ssa.len()];
+    loop {
+        let mut changed = false;
+        for (fi, f) in ssa.iter().enumerate() {
+            if fresh[fi] {
+                continue;
+            }
+            let ok = f.blocks.iter().all(|b| match &b.term {
+                Terminator::Ret(Some(v)) => match raw[fi].get(v) {
+                    Some((_, None)) => true,
+                    Some((_, Some(tf))) => fresh[*tf],
+                    None => false,
+                },
+                _ => true,
+            });
+            if ok {
+                fresh[fi] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    raw.iter()
+        .map(|map| {
+            map.iter()
+                .filter_map(|(r, (bi, src))| match src {
+                    None => Some((*r, *bi)),
+                    Some(tf) if fresh[*tf] => Some((*r, *bi)),
+                    Some(_) => None,
+                })
+                .collect()
+        })
+        .collect()
 }
 
 impl<'a> Engine<'a> {
@@ -105,8 +191,15 @@ impl<'a> Engine<'a> {
             sync: Vec::new(),
             sync_seen: HashSet::new(),
             cha: HashMap::new(),
+            alloc_def: alloc_defs(m, ssa),
             changed: false,
         }
+    }
+
+    /// Does `v` hold an object allocated in block `bi` itself (so every
+    /// execution of a store in `bi` writes a brand-new object)?
+    fn is_fresh(&self, fi: usize, bi: usize, v: corm_ir::Reg) -> bool {
+        self.alloc_def[fi].get(&v) == Some(&bi)
     }
 
     fn nfields_of(&self, ty: &Ty) -> usize {
@@ -186,6 +279,18 @@ impl<'a> Engine<'a> {
             for t in elems {
                 let ct = self.clone_for(ctx, t);
                 if self.graph.add_elem_edge(clone, &NodeSet::from([ct])) {
+                    self.changed = true;
+                }
+            }
+            // Clones mirror the original's store-freshness markers: a
+            // deep copy of an aliased graph is just as aliased.
+            if self.graph.node(orig).elem_nonfresh && self.graph.mark_elem_nonfresh(clone) {
+                self.changed = true;
+            }
+            let nonfresh: Vec<u32> =
+                self.graph.node(orig).nonfresh_fields.iter().copied().collect();
+            for slot in nonfresh {
+                if self.graph.mark_field_nonfresh(clone, slot) {
                     self.changed = true;
                 }
             }
@@ -293,7 +398,7 @@ impl<'a> Engine<'a> {
 
     fn transfer_function(&mut self, fi: usize) {
         let f = &self.ssa[fi];
-        for b in &f.blocks {
+        for (bi, b) in f.blocks.iter().enumerate() {
             for phi in &b.phis {
                 for &(_, v) in &phi.args {
                     let set = self.pts(fi, v).clone();
@@ -301,7 +406,7 @@ impl<'a> Engine<'a> {
                 }
             }
             for instr in &b.instrs {
-                self.transfer_instr(fi, instr);
+                self.transfer_instr(fi, bi, instr);
             }
             if let Terminator::Ret(Some(v)) = &b.term {
                 let set = self.pts(fi, *v).clone();
@@ -315,7 +420,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn transfer_instr(&mut self, fi: usize, instr: &Instr) {
+    fn transfer_instr(&mut self, fi: usize, bi: usize, instr: &Instr) {
         match instr {
             Instr::New { dst, class, site, .. } => {
                 let n = self.base_node_for(*site, &Ty::Class(*class));
@@ -347,12 +452,16 @@ impl<'a> Engine<'a> {
                 if vals.is_empty() {
                     return;
                 }
+                let fresh = self.is_fresh(fi, bi, *val);
                 let objs = self.pts(fi, *obj).clone();
                 for o in objs {
-                    if (field.slot as usize) < self.graph.node(o).fields.len()
-                        && self.graph.add_field_edge(o, field.slot as usize, &vals)
-                    {
-                        self.changed = true;
+                    if (field.slot as usize) < self.graph.node(o).fields.len() {
+                        if self.graph.add_field_edge(o, field.slot as usize, &vals) {
+                            self.changed = true;
+                        }
+                        if !fresh && self.graph.mark_field_nonfresh(o, field.slot) {
+                            self.changed = true;
+                        }
                     }
                 }
             }
@@ -382,9 +491,13 @@ impl<'a> Engine<'a> {
                 if vals.is_empty() {
                     return;
                 }
+                let fresh = self.is_fresh(fi, bi, *val);
                 let arrs = self.pts(fi, *arr).clone();
                 for a in arrs {
                     if self.graph.add_elem_edge(a, &vals) {
+                        self.changed = true;
+                    }
+                    if !fresh && self.graph.mark_elem_nonfresh(a) {
                         self.changed = true;
                     }
                 }

@@ -52,6 +52,50 @@ pub struct DeserOutcome {
     pub reused: u64,
 }
 
+/// Shadow-mode cycle audit (see DESIGN §10): when a marshal plan claims
+/// cycle-freedom (the real [`SerCycleTable`] was statically elided), this
+/// visited-set runs the same identity check *off the wire* — it writes no
+/// bytes and bumps no counters, so audited runs stay bit-identical to
+/// unaudited ones. Any revisited object means the cycle analysis verdict
+/// was unsound: without a table, the serializer would silently duplicate
+/// the shared subgraph (or diverge on a true cycle).
+#[derive(Debug, Default)]
+pub struct ShadowCycleCheck {
+    seen: std::collections::HashSet<ObjRef>,
+    /// Objects checked (diagnostic only; never fed into `RmiStats`).
+    pub checks: u64,
+}
+
+impl ShadowCycleCheck {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a visit; `true` means `obj` was already serialized in this
+    /// message — a violated cycle-freedom claim.
+    fn revisited(&mut self, obj: ObjRef) -> bool {
+        self.checks += 1;
+        !self.seen.insert(obj)
+    }
+}
+
+/// The distinctive prefix of every auditor-raised serialization error;
+/// the fuzz oracle and the soundness tests match on it.
+pub const AUDIT_ERROR_PREFIX: &str = "analysis-audit";
+
+fn audit_check(shadow: &mut Option<ShadowCycleCheck>, r: ObjRef) -> Result<(), SerError> {
+    if let Some(sh) = shadow {
+        if sh.revisited(r) {
+            return serr(format!(
+                "{AUDIT_ERROR_PREFIX}: cycle-freedom claim violated: object {} reached twice \
+                 by a serializer whose plan elided the cycle table",
+                r.0
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// The serializer engine: executes [`SerNode`] programs.
 pub struct Serializer<'a> {
     pub plans: &'a Plans,
@@ -82,10 +126,27 @@ impl<'a> Serializer<'a> {
         cycle: &mut Option<SerCycleTable>,
         msg: &mut Message,
     ) -> Result<(), SerError> {
-        let mut stack = Vec::new();
-        self.ser_rec(heap, node, v, cycle, msg, &mut stack)
+        self.serialize_audited(heap, node, v, cycle, msg, &mut None)
     }
 
+    /// [`Serializer::serialize`] with an optional shadow cycle audit. The
+    /// VM passes `Some` when audit mode is on *and* the plan elided the
+    /// real cycle table; the shadow check then fails loudly on any
+    /// revisited object instead of silently duplicating it.
+    pub fn serialize_audited(
+        &self,
+        heap: &Heap,
+        node: &SerNode,
+        v: Value,
+        cycle: &mut Option<SerCycleTable>,
+        msg: &mut Message,
+        shadow: &mut Option<ShadowCycleCheck>,
+    ) -> Result<(), SerError> {
+        let mut stack = Vec::new();
+        self.ser_rec(heap, node, v, cycle, msg, shadow, &mut stack)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn ser_rec<'n>(
         &self,
         heap: &Heap,
@@ -93,6 +154,7 @@ impl<'a> Serializer<'a> {
         v: Value,
         cycle: &mut Option<SerCycleTable>,
         msg: &mut Message,
+        shadow: &mut Option<ShadowCycleCheck>,
         stack: &mut Vec<&'n SerNode>,
     ) -> Result<(), SerError> {
         if stack.len() > 50_000 {
@@ -125,7 +187,7 @@ impl<'a> Serializer<'a> {
                 other => serr(format!("expected remote ref, found {other:?}")),
             },
             SerNode::Inline { class, fields, .. } => {
-                let Some(r) = self.header(heap, v, cycle, msg)? else { return Ok(()) };
+                let Some(r) = self.header(heap, v, cycle, msg, shadow)? else { return Ok(()) };
                 let actual = heap.body(r)?.class();
                 if actual != Some(*class) {
                     return serr(format!(
@@ -139,35 +201,35 @@ impl<'a> Serializer<'a> {
                     let fv = heap.field(r, *slot as usize)?;
                     match sub {
                         SerNode::Prim(k) => self.write_prim(*k, fv, msg)?,
-                        _ => self.ser_rec(heap, sub, fv, cycle, msg, stack)?,
+                        _ => self.ser_rec(heap, sub, fv, cycle, msg, shadow, stack)?,
                     }
                 }
                 stack.pop();
                 Ok(())
             }
             SerNode::ArrPrim { elem } => {
-                let Some(r) = self.header(heap, v, cycle, msg)? else { return Ok(()) };
+                let Some(r) = self.header(heap, v, cycle, msg, shadow)? else { return Ok(()) };
                 self.write_prim_array_payload(heap, r, *elem, msg)
             }
             SerNode::ArrRef { elem, .. } => {
-                let Some(r) = self.header(heap, v, cycle, msg)? else { return Ok(()) };
+                let Some(r) = self.header(heap, v, cycle, msg, shadow)? else { return Ok(()) };
                 let len = heap.array_len(r)?;
                 msg.write_u32(len as u32);
                 stack.push(node);
                 for i in 0..len {
                     let ev = heap.array_get(r, i)?;
-                    self.ser_rec(heap, elem, ev, cycle, msg, stack)?;
+                    self.ser_rec(heap, elem, ev, cycle, msg, shadow, stack)?;
                 }
                 stack.pop();
                 Ok(())
             }
-            SerNode::Dynamic => self.serialize_dynamic(heap, v, cycle, msg),
+            SerNode::Dynamic => self.serialize_dynamic(heap, v, cycle, msg, shadow),
             SerNode::Recur { up } => {
                 let idx = stack.len().checked_sub(*up as usize).ok_or_else(|| {
                     SerError(format!("recursion level {up} underflows plan stack"))
                 })?;
                 let target = stack[idx];
-                self.ser_rec(heap, target, v, cycle, msg, stack)
+                self.ser_rec(heap, target, v, cycle, msg, shadow, stack)
             }
         }
     }
@@ -180,6 +242,7 @@ impl<'a> Serializer<'a> {
         v: Value,
         cycle: &mut Option<SerCycleTable>,
         msg: &mut Message,
+        shadow: &mut Option<ShadowCycleCheck>,
     ) -> Result<Option<ObjRef>, SerError> {
         let r = match v {
             Value::Null => {
@@ -196,6 +259,8 @@ impl<'a> Serializer<'a> {
                 msg.write_u32(handle);
                 return Ok(None);
             }
+        } else {
+            audit_check(shadow, r)?;
         }
         msg.write_u8(TAG_PRESENT);
         Ok(Some(r))
@@ -250,6 +315,7 @@ impl<'a> Serializer<'a> {
         v: Value,
         cycle: &mut Option<SerCycleTable>,
         msg: &mut Message,
+        shadow: &mut Option<ShadowCycleCheck>,
     ) -> Result<(), SerError> {
         match v {
             Value::Null => {
@@ -278,6 +344,10 @@ impl<'a> Serializer<'a> {
                 msg.write_u32(handle);
                 return Ok(());
             }
+        } else {
+            // Shadow audit mirrors the real table's scope exactly (it
+            // covers strings here, just as `table.check` would).
+            audit_check(shadow, r)?;
         }
         match heap.body(r)? {
             ObjBody::Str(s) => {
@@ -297,7 +367,7 @@ impl<'a> Serializer<'a> {
                     let fv = heap.field(r, slot)?;
                     match kind {
                         SlotKind::Prim(k) => self.write_prim(*k, fv, msg)?,
-                        SlotKind::Ref => self.serialize_dynamic(heap, fv, cycle, msg)?,
+                        SlotKind::Ref => self.serialize_dynamic(heap, fv, cycle, msg, shadow)?,
                     }
                 }
                 Ok(())
@@ -324,7 +394,7 @@ impl<'a> Serializer<'a> {
                 msg.write_u32(len as u32);
                 for i in 0..len {
                     let ev = heap.array_get(r, i)?;
-                    self.serialize_dynamic(heap, ev, cycle, msg)?;
+                    self.serialize_dynamic(heap, ev, cycle, msg, shadow)?;
                 }
                 Ok(())
             }

@@ -23,7 +23,7 @@
 pub mod engine;
 pub mod plan;
 
-pub use engine::{DeserOutcome, SerError, Serializer};
+pub use engine::{DeserOutcome, SerError, Serializer, ShadowCycleCheck, AUDIT_ERROR_PREFIX};
 pub use plan::{
     describe_plan, generate_plans, ClassSerInfo, EngineMode, MarshalPlan, OptConfig, Plans,
     PrimKind, SerNode, SlotKind,

@@ -7,6 +7,8 @@
 //! corm analyze <file.mp> [--config CFG]     # analysis report + marshalers
 //! corm ir <file.mp>                         # lowered IR + SSA dump
 //! corm graph <file.mp>                      # points-to heap graph
+//! corm fuzz [--seed N] [--iters N] [--shrink] [--out DIR]
+//!                                           # differential fuzzing oracle
 //! ```
 //!
 //! Observability flags:
@@ -26,7 +28,7 @@ use corm::{compile, run, OptConfig, RunOptions, TransportKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default) or tcp\n                     (real loopback sockets; also measures wire time)\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing"
+        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default) or tcp\n                     (real loopback sockets; also measures wire time)\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing"
     );
     std::process::exit(2);
 }
@@ -133,6 +135,12 @@ fn parse_cli() -> Cli {
 }
 
 fn main() -> ExitCode {
+    // `fuzz` takes no <file.mp> operand — intercept it before the
+    // positional parser.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("fuzz") {
+        return ExitCode::from(corm_fuzz::cli::fuzz_main(&argv[1..]) as u8);
+    }
     let cli = parse_cli();
     let src = match std::fs::read_to_string(&cli.file) {
         Ok(s) => s,

@@ -41,17 +41,18 @@
 use std::sync::Arc;
 
 pub use corm_analysis::{AnalysisOptions, AnalysisResult, RemoteSiteInfo, Shape};
+pub use corm_codegen::AUDIT_ERROR_PREFIX;
 pub use corm_codegen::{describe_plan, EngineMode, MarshalPlan, OptConfig, Plans};
 pub use corm_heap::{deep_equal_across, structure_digest, HeapStats, Value};
 pub use corm_ir::{CompileError, Module};
 pub use corm_net::{CostModel, TransportKind};
 pub use corm_obs::{
     attach_measured_wire, phase_report, render_phase_report, render_prometheus, HistSnapshot,
-    MachineSnapshot, MetricsSnapshot, PhaseTotals, SiteSnapshot,
+    MachineSnapshot, MetricsRegistry, MetricsSnapshot, PhaseTotals, SiteSnapshot,
 };
 pub use corm_vm::{
-    render_timeline, to_chrome_trace, to_json, Phase, RunOptions, RunOutcome, TraceEvent,
-    TraceKind, VmError,
+    render_timeline, to_chrome_trace, to_json, AuditSnapshot, Phase, RunOptions, RunOutcome,
+    TraceEvent, TraceKind, VmError,
 };
 pub use corm_wire::StatsSnapshot;
 

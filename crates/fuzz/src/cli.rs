@@ -1,0 +1,175 @@
+//! `corm fuzz` — the CLI entry point (invoked from the `corm` binary).
+//!
+//! ```text
+//! corm fuzz [--seed 0xC0DE] [--iters 200] [--shrink] [--out DIR]
+//! corm fuzz --emit-corpus DIR
+//! ```
+//!
+//! Exit code 0 when every iteration passes the differential oracle;
+//! 1 on the first failure (the failing program — shrunk when `--shrink`
+//! is given — is written to `--out`, default `fuzz-artifacts/`).
+
+use std::path::PathBuf;
+
+use crate::corpus::corpus;
+use crate::gen::{gen_spec, iter_rng};
+use crate::oracle::{check_spec, OracleOutcome};
+use crate::shrink::shrink;
+use crate::spec::ProgramSpec;
+
+struct Cli {
+    seed: u64,
+    iters: u64,
+    do_shrink: bool,
+    out: PathBuf,
+    emit_corpus: Option<PathBuf>,
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("invalid number: {s}"))
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        seed: 1,
+        iters: 100,
+        do_shrink: false,
+        out: PathBuf::from("fuzz-artifacts"),
+        emit_corpus: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--seed" => cli.seed = parse_u64(val()?)?,
+            "--iters" => cli.iters = parse_u64(val()?)?,
+            "--shrink" => cli.do_shrink = true,
+            "--out" => cli.out = PathBuf::from(val()?),
+            "--emit-corpus" => cli.emit_corpus = Some(PathBuf::from(val()?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(cli)
+}
+
+const USAGE: &str = "usage: corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR]\n       corm fuzz --emit-corpus DIR";
+
+fn write_artifact(dir: &PathBuf, name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+fn emit_corpus(dir: &PathBuf) -> i32 {
+    for (name, desc, spec) in corpus() {
+        let body = format!("// corm-fuzz corpus: {name} — {desc}\n{}", spec.render());
+        match write_artifact(dir, &format!("{name}.mp"), &body) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error writing {name}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// Run the fuzz loop. Returns the process exit code.
+pub fn fuzz_main(args: &[String]) -> i32 {
+    let cli = match parse(args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    if let Some(dir) = &cli.emit_corpus {
+        return emit_corpus(dir);
+    }
+
+    let mut totals = OracleOutcome::default();
+    for i in 0..cli.iters {
+        let spec = gen_spec(&mut iter_rng(cli.seed, i));
+        match check_spec(&spec) {
+            Ok(report) => {
+                totals.runs += report.runs;
+                totals.shadow_tables += report.shadow_tables;
+                totals.shadow_checks += report.shadow_checks;
+                totals.poisoned_values += report.poisoned_values;
+                if (i + 1) % 50 == 0 {
+                    println!("[corm fuzz] {}/{} iterations ok", i + 1, cli.iters);
+                }
+            }
+            Err(failure) => {
+                eprintln!("[corm fuzz] FAILURE at seed {:#x} iteration {i}: {failure}", cli.seed);
+                let final_spec: ProgramSpec = if cli.do_shrink {
+                    eprintln!("[corm fuzz] shrinking...");
+                    let min = shrink(&spec, &mut |candidate| check_spec(candidate).is_err());
+                    eprintln!(
+                        "[corm fuzz] shrunk {} -> {} shapes, {} -> {} calls",
+                        spec.shapes.len(),
+                        min.shapes.len(),
+                        spec.calls.len(),
+                        min.calls.len()
+                    );
+                    min
+                } else {
+                    spec
+                };
+                // Re-run the final spec so the recorded failure matches
+                // the recorded program (shrinking may change the detail).
+                let detail = match check_spec(&final_spec) {
+                    Err(f) => f.to_string(),
+                    Ok(_) => failure.to_string(),
+                };
+                let stem = format!("fail-seed-{:#x}-iter-{i}", cli.seed);
+                // The failure detail is multi-line; comment every line so
+                // the artifact stays a valid, directly replayable program.
+                let commented: String = detail.lines().map(|l| format!("// {l}\n")).collect();
+                let body = format!(
+                    "// corm-fuzz failing program\n// seed {:#x}, iteration {i}\n{commented}{}",
+                    cli.seed,
+                    final_spec.render()
+                );
+                match write_artifact(&cli.out, &format!("{stem}.mp"), &body) {
+                    Ok(path) => eprintln!("[corm fuzz] wrote {}", path.display()),
+                    Err(e) => eprintln!("[corm fuzz] could not write artifact: {e}"),
+                }
+                eprintln!("[corm fuzz] {detail}");
+                return 1;
+            }
+        }
+    }
+    println!(
+        "[corm fuzz] {} iterations passed ({} runs): {} shadow tables, {} shadow checks, {} poisoned values",
+        cli.iters, totals.runs, totals.shadow_tables, totals.shadow_checks, totals.poisoned_values
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--seed", "0xC0DE", "--iters", "200", "--shrink", "--out", "art"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = parse(&args).unwrap();
+        assert_eq!(cli.seed, 0xC0DE);
+        assert_eq!(cli.iters, 200);
+        assert!(cli.do_shrink);
+        assert_eq!(cli.out, PathBuf::from("art"));
+        assert!(parse(&["--bogus".to_string()]).is_err());
+        assert!(parse(&["--seed".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! The canonical regression corpus: hand-picked specs covering every
+//! adversarial shape family. `corm fuzz --emit-corpus DIR` renders these
+//! to `.mp` files; the committed copies under `tests/corpus/` replay as
+//! ordinary `cargo test` regressions (see `tests/fuzz_corpus.rs`).
+
+use crate::spec::{CallSpec, ProgramSpec, ShapeSpec, Variant};
+
+fn call(shape: usize, target: u8, reps: u8, mutate: bool, variant: Variant) -> CallSpec {
+    CallSpec { shape, target, reps, mutate, variant }
+}
+
+/// `(file_stem, description, spec)` for every corpus case.
+pub fn corpus() -> Vec<(&'static str, &'static str, ProgramSpec)> {
+    vec![
+        (
+            "cyclic_list_echo",
+            "cyclic 5-list echoed over the wire; cycle must close on the replica",
+            ProgramSpec {
+                shapes: vec![ShapeSpec::List { len: 5, cyclic: true, seed: 3 }],
+                calls: vec![call(0, 1, 2, true, Variant::Echo)],
+            },
+        ),
+        (
+            "cyclic_list_mutating_digest",
+            "callee mutates its copy of a cyclic list; caller digest must not move",
+            ProgramSpec {
+                shapes: vec![ShapeSpec::List { len: 6, cyclic: true, seed: 9 }],
+                calls: vec![call(0, 1, 3, false, Variant::DigestMut)],
+            },
+        ),
+        (
+            "self_loop_keep",
+            "self-loop node stored by the callee (escapes -> reuse must stay off)",
+            ProgramSpec {
+                shapes: vec![ShapeSpec::SelfLoop { seed: 4 }],
+                calls: vec![call(0, 1, 3, true, Variant::Keep)],
+            },
+        ),
+        (
+            "shared_diamond_echo",
+            "shared-diamond DAG: sharing must survive the round trip (digest mixes aliasing bits)",
+            ProgramSpec {
+                shapes: vec![ShapeSpec::Diamond { depth: 5, seed: 2 }],
+                calls: vec![
+                    call(0, 1, 2, false, Variant::Echo),
+                    call(0, 0, 1, false, Variant::Digest),
+                ],
+            },
+        ),
+        (
+            "deep_tree_mutating",
+            "full binary tree with caller-side mutation between reps",
+            ProgramSpec {
+                shapes: vec![ShapeSpec::Tree { depth: 4, seed: 1 }],
+                calls: vec![call(0, 1, 3, true, Variant::Digest)],
+            },
+        ),
+        (
+            "int_array_reuse_churn",
+            "repeated int[] sends with mutation: stresses the arg reuse cache + poisoner",
+            ProgramSpec {
+                shapes: vec![ShapeSpec::IntArray { len: 12, seed: 5 }],
+                calls: vec![call(0, 1, 3, true, Variant::Digest)],
+            },
+        ),
+        (
+            "double_array_reuse_churn",
+            "repeated double[] sends with mutation (F64 poison sentinels)",
+            ProgramSpec {
+                shapes: vec![ShapeSpec::DoubleArray { len: 8, seed: 2 }],
+                calls: vec![call(0, 1, 3, true, Variant::Digest)],
+            },
+        ),
+        (
+            "node_array_share_holes",
+            "Node[] with aliased elements and null holes",
+            ProgramSpec {
+                shapes: vec![ShapeSpec::NodeArray { len: 7, seed: 6, share: true, holes: true }],
+                calls: vec![call(0, 1, 2, true, Variant::Digest)],
+            },
+        ),
+        (
+            "nested_matrix",
+            "rectangular int[][] over both the local-RPC and wire paths",
+            ProgramSpec {
+                shapes: vec![ShapeSpec::Matrix { rows: 3, cols: 4, seed: 1 }],
+                calls: vec![
+                    call(0, 1, 2, true, Variant::Digest),
+                    call(0, 0, 1, false, Variant::Digest),
+                ],
+            },
+        ),
+        (
+            "mixed_record_full_and_null",
+            "Mix record echoed fully populated and digested with all refs null",
+            ProgramSpec {
+                shapes: vec![
+                    ShapeSpec::Mixed { seed: 7, full: true },
+                    ShapeSpec::Mixed { seed: 8, full: false },
+                ],
+                calls: vec![
+                    call(0, 1, 2, true, Variant::Echo),
+                    call(1, 1, 1, false, Variant::Digest),
+                ],
+            },
+        ),
+        (
+            "null_roots",
+            "len-0 list and empty arrays: every nullable edge exercised",
+            ProgramSpec {
+                shapes: vec![
+                    ShapeSpec::List { len: 0, cyclic: false, seed: 1 },
+                    ShapeSpec::IntArray { len: 0, seed: 1 },
+                ],
+                calls: vec![
+                    call(0, 1, 2, false, Variant::Keep),
+                    call(1, 1, 1, false, Variant::Digest),
+                ],
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_well_formed_and_distinct() {
+        let cases = corpus();
+        assert!(cases.len() >= 10);
+        let mut names: Vec<_> = cases.iter().map(|(n, _, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cases.len(), "duplicate corpus names");
+        for (name, _, spec) in &cases {
+            for c in &spec.calls {
+                assert!(c.shape < spec.shapes.len(), "{name}: bad shape index");
+                assert!(
+                    spec.shapes[c.shape].root_ty().variants().contains(&c.variant),
+                    "{name}: inadmissible variant"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Delta-debugging shrinker over [`ProgramSpec`]s.
+//!
+//! [`candidates`] enumerates every single-step reduction of a spec;
+//! [`shrink`] greedily takes any reduction that still fails the
+//! predicate until a fixpoint. Because every candidate is strictly
+//! smaller under [`size`], the loop terminates, and the result is
+//! 1-minimal: no single-step reduction of the output still fails.
+
+use crate::spec::{CallSpec, ProgramSpec, ShapeSpec, Variant};
+
+/// Size measure that strictly decreases along every candidate edge.
+pub fn size(spec: &ProgramSpec) -> u64 {
+    let mut n = 0u64;
+    for s in &spec.shapes {
+        n += 4 + match *s {
+            ShapeSpec::List { len, cyclic, .. } => len as u64 + cyclic as u64,
+            ShapeSpec::SelfLoop { .. } => 3,
+            ShapeSpec::Tree { depth, .. } => depth as u64,
+            ShapeSpec::Diamond { depth, .. } => depth as u64 + 1,
+            ShapeSpec::IntArray { len, .. } | ShapeSpec::DoubleArray { len, .. } => len as u64,
+            ShapeSpec::NodeArray { len, share, holes, .. } => {
+                len as u64 + share as u64 + holes as u64
+            }
+            ShapeSpec::Matrix { rows, cols, .. } => rows as u64 * cols as u64,
+            ShapeSpec::Mixed { full, .. } => 1 + 3 * full as u64,
+        };
+    }
+    for c in &spec.calls {
+        n += 2
+            + c.reps as u64
+            + c.mutate as u64
+            + c.target as u64
+            + match c.variant {
+                Variant::Digest => 0,
+                _ => 1,
+            };
+    }
+    n
+}
+
+fn shape_reductions(s: ShapeSpec) -> Vec<ShapeSpec> {
+    let mut out = Vec::new();
+    match s {
+        ShapeSpec::List { len, cyclic, seed } => {
+            if cyclic {
+                out.push(ShapeSpec::List { len, cyclic: false, seed });
+            }
+            if len > 0 {
+                out.push(ShapeSpec::List { len: len - 1, cyclic, seed });
+            }
+        }
+        // A self-loop reduces to the smallest acyclic list.
+        ShapeSpec::SelfLoop { seed } => out.push(ShapeSpec::List { len: 1, cyclic: false, seed }),
+        ShapeSpec::Tree { depth, seed } => {
+            if depth > 1 {
+                out.push(ShapeSpec::Tree { depth: depth - 1, seed });
+            }
+        }
+        ShapeSpec::Diamond { depth, seed } => {
+            if depth > 1 {
+                out.push(ShapeSpec::Diamond { depth: depth - 1, seed });
+            }
+            // Dropping the sharing turns the diamond into a (size-1) tree.
+            out.push(ShapeSpec::Tree { depth: 1.min(depth), seed });
+        }
+        ShapeSpec::IntArray { len, seed } => {
+            if len > 0 {
+                out.push(ShapeSpec::IntArray { len: len - 1, seed });
+            }
+        }
+        ShapeSpec::DoubleArray { len, seed } => {
+            if len > 0 {
+                out.push(ShapeSpec::DoubleArray { len: len - 1, seed });
+            }
+        }
+        ShapeSpec::NodeArray { len, seed, share, holes } => {
+            if share {
+                out.push(ShapeSpec::NodeArray { len, seed, share: false, holes });
+            }
+            if holes {
+                out.push(ShapeSpec::NodeArray { len, seed, share, holes: false });
+            }
+            if len > 0 {
+                out.push(ShapeSpec::NodeArray { len: len - 1, seed, share, holes });
+            }
+        }
+        ShapeSpec::Matrix { rows, cols, seed } => {
+            if rows > 1 {
+                out.push(ShapeSpec::Matrix { rows: rows - 1, cols, seed });
+            }
+            if cols > 1 {
+                out.push(ShapeSpec::Matrix { rows, cols: cols - 1, seed });
+            }
+        }
+        ShapeSpec::Mixed { seed, full } => {
+            if full {
+                out.push(ShapeSpec::Mixed { seed, full: false });
+            }
+        }
+    }
+    out
+}
+
+fn call_reductions(c: CallSpec, root: crate::spec::RootTy) -> Vec<CallSpec> {
+    let mut out = Vec::new();
+    if c.reps > 1 {
+        out.push(CallSpec { reps: c.reps - 1, ..c });
+    }
+    if c.mutate {
+        out.push(CallSpec { mutate: false, ..c });
+    }
+    if c.target == 1 {
+        out.push(CallSpec { target: 0, ..c });
+    }
+    if c.variant != Variant::Digest && root.variants().contains(&Variant::Digest) {
+        out.push(CallSpec { variant: Variant::Digest, ..c });
+    }
+    out
+}
+
+/// Every single-step reduction of `spec`. All candidates are well-formed
+/// (call indices stay in range, variants stay admissible) and strictly
+/// smaller under [`size`].
+pub fn candidates(spec: &ProgramSpec) -> Vec<ProgramSpec> {
+    let mut out = Vec::new();
+    // Remove one call.
+    for k in 0..spec.calls.len() {
+        let mut c = spec.clone();
+        c.calls.remove(k);
+        out.push(c);
+    }
+    // Remove one unreferenced shape (reindexing the calls above it).
+    for i in 0..spec.shapes.len() {
+        if spec.calls.iter().any(|c| c.shape == i) {
+            continue;
+        }
+        let mut c = spec.clone();
+        c.shapes.remove(i);
+        for call in &mut c.calls {
+            if call.shape > i {
+                call.shape -= 1;
+            }
+        }
+        out.push(c);
+    }
+    // Reduce one shape in place.
+    for (i, s) in spec.shapes.iter().enumerate() {
+        for red in shape_reductions(*s) {
+            let mut c = spec.clone();
+            c.shapes[i] = red;
+            out.push(c);
+        }
+    }
+    // Reduce one call in place.
+    for (k, call) in spec.calls.iter().enumerate() {
+        let root = spec.shapes[call.shape].root_ty();
+        for red in call_reductions(*call, root) {
+            let mut c = spec.clone();
+            c.calls[k] = red;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Greedy delta-debugging: repeatedly take the first single-step
+/// reduction that still fails, until none does. The result still fails
+/// `fails` and is 1-minimal with respect to [`candidates`].
+pub fn shrink(spec: &ProgramSpec, fails: &mut dyn FnMut(&ProgramSpec) -> bool) -> ProgramSpec {
+    let mut cur = spec.clone();
+    loop {
+        let mut advanced = false;
+        for cand in candidates(&cur) {
+            debug_assert!(size(&cand) < size(&cur), "candidate must strictly shrink");
+            if fails(&cand) {
+                cur = cand;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_spec, iter_rng};
+    use crate::spec::Variant;
+
+    #[test]
+    fn candidates_strictly_shrink_and_stay_well_formed() {
+        for i in 0..40 {
+            let spec = gen_spec(&mut iter_rng(23, i));
+            for cand in candidates(&spec) {
+                assert!(size(&cand) < size(&spec), "{cand:?} vs {spec:?}");
+                for c in &cand.calls {
+                    assert!(c.shape < cand.shapes.len());
+                    assert!(cand.shapes[c.shape].root_ty().variants().contains(&c.variant));
+                }
+                // rendering never panics on a candidate
+                let _ = cand.render();
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_finds_a_1_minimal_failing_spec() {
+        // Synthetic deterministic failure: any spec containing a cyclic
+        // list reachable from a call "fails".
+        let mut fails = |s: &ProgramSpec| {
+            s.calls.iter().any(|c| {
+                matches!(s.shapes[c.shape], ShapeSpec::List { cyclic: true, len, .. } if len > 0)
+            })
+        };
+        let big = ProgramSpec {
+            shapes: vec![
+                ShapeSpec::IntArray { len: 9, seed: 1 },
+                ShapeSpec::List { len: 7, cyclic: true, seed: 2 },
+                ShapeSpec::Diamond { depth: 5, seed: 3 },
+            ],
+            calls: vec![
+                CallSpec { shape: 0, target: 1, reps: 3, mutate: true, variant: Variant::Digest },
+                CallSpec { shape: 1, target: 1, reps: 2, mutate: true, variant: Variant::Echo },
+                CallSpec { shape: 2, target: 0, reps: 1, mutate: false, variant: Variant::Echo },
+            ],
+        };
+        assert!(fails(&big));
+        let min = shrink(&big, &mut fails);
+        // The shrunk spec still fails...
+        assert!(fails(&min));
+        // ...and no single-step reduction of it does (1-minimality).
+        for cand in candidates(&min) {
+            assert!(!fails(&cand), "not minimal: {cand:?}");
+        }
+        // For this predicate the true minimum is one cyclic list of
+        // length 1 and one Digest call on it.
+        assert_eq!(min.shapes, vec![ShapeSpec::List { len: 1, cyclic: true, seed: 2 }]);
+        assert_eq!(min.calls.len(), 1);
+        assert_eq!(min.calls[0].variant, Variant::Digest);
+        assert!(!min.calls[0].mutate);
+        assert_eq!(min.calls[0].reps, 1);
+        assert_eq!(min.calls[0].target, 0);
+    }
+}

@@ -1,0 +1,573 @@
+//! Program specs and the MiniParty renderer.
+//!
+//! The fuzzer does not mutate source text: it generates a small
+//! [`ProgramSpec`] (heap shapes + remote calls over them) and renders it
+//! to MiniParty. The shrinker operates on specs, so every reduction
+//! stays well-typed by construction; the corpus commits the rendered
+//! `.mp` text, which needs no spec parser to replay.
+
+use std::fmt::Write as _;
+
+/// One adversarial heap shape, bound to a `s{i}` local in `main`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeSpec {
+    /// Singly linked `Node` list; `cyclic` closes tail → head.
+    /// `len == 0` renders a null root.
+    List {
+        len: u8,
+        cyclic: bool,
+        seed: i32,
+    },
+    /// A single `Node` whose `next` points at itself.
+    SelfLoop {
+        seed: i32,
+    },
+    /// Full binary `Pair` tree (no sharing).
+    Tree {
+        depth: u8,
+        seed: i32,
+    },
+    /// Chain of `Pair`s whose `left` and `right` alias one shared child —
+    /// a DAG with exponentially many paths but `depth` objects.
+    Diamond {
+        depth: u8,
+        seed: i32,
+    },
+    IntArray {
+        len: u8,
+        seed: i32,
+    },
+    DoubleArray {
+        len: u8,
+        seed: i32,
+    },
+    /// `Node[]` with optional element aliasing (`share`) and null holes.
+    NodeArray {
+        len: u8,
+        seed: i32,
+        share: bool,
+        holes: bool,
+    },
+    /// Rectangular `int[rows][cols]`, both dimensions ≥ 1.
+    Matrix {
+        rows: u8,
+        cols: u8,
+        seed: i32,
+    },
+    /// `Mix` record (list + double[] + tree + tag); `full == false`
+    /// leaves every reference field null.
+    Mixed {
+        seed: i32,
+        full: bool,
+    },
+}
+
+/// Static type of a shape's root local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootTy {
+    Node,
+    Pair,
+    Ints,
+    Doubles,
+    Nodes,
+    Mat,
+    Mix,
+}
+
+/// What the remote method does with the argument graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Pure digest of the callee copy.
+    Digest,
+    /// Mutate the callee copy, then digest it (copy semantics witness).
+    DigestMut,
+    /// Return the argument graph (exercises the reply serializer).
+    Echo,
+    /// Store the first argument in a field — the argument escapes, so
+    /// §3.3 must disable the reuse cache for this site.
+    Keep,
+}
+
+/// One call site: `reps` sequential calls of `variant` on shape
+/// `shapes[shape]` against `r{target}`, optionally mutating the caller
+/// graph between calls (stresses the reuse caches with changing data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSpec {
+    pub shape: usize,
+    /// 0 → `R @ 0` (local-RPC clone path), 1 → `R @ 1` (wire path).
+    pub target: u8,
+    pub reps: u8,
+    pub mutate: bool,
+    pub variant: Variant,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramSpec {
+    pub shapes: Vec<ShapeSpec>,
+    pub calls: Vec<CallSpec>,
+}
+
+impl ShapeSpec {
+    pub fn root_ty(&self) -> RootTy {
+        match self {
+            ShapeSpec::List { .. } | ShapeSpec::SelfLoop { .. } => RootTy::Node,
+            ShapeSpec::Tree { .. } | ShapeSpec::Diamond { .. } => RootTy::Pair,
+            ShapeSpec::IntArray { .. } => RootTy::Ints,
+            ShapeSpec::DoubleArray { .. } => RootTy::Doubles,
+            ShapeSpec::NodeArray { .. } => RootTy::Nodes,
+            ShapeSpec::Matrix { .. } => RootTy::Mat,
+            ShapeSpec::Mixed { .. } => RootTy::Mix,
+        }
+    }
+}
+
+impl RootTy {
+    /// MiniParty type of the root local.
+    pub fn ty(self) -> &'static str {
+        match self {
+            RootTy::Node => "Node",
+            RootTy::Pair => "Pair",
+            RootTy::Ints => "int[]",
+            RootTy::Doubles => "double[]",
+            RootTy::Nodes => "Node[]",
+            RootTy::Mat => "int[][]",
+            RootTy::Mix => "Mix",
+        }
+    }
+
+    /// Call variants a root of this type supports.
+    pub fn variants(self) -> &'static [Variant] {
+        match self {
+            RootTy::Node => &[Variant::Digest, Variant::DigestMut, Variant::Echo, Variant::Keep],
+            RootTy::Pair | RootTy::Mix => &[Variant::Digest, Variant::Echo],
+            RootTy::Ints | RootTy::Doubles | RootTy::Nodes | RootTy::Mat => &[Variant::Digest],
+        }
+    }
+}
+
+/// Constant class prelude shared by every generated program: the shape
+/// classes, cycle-safe digest helpers, shape builders and the remote
+/// target class. Keeping the prelude fixed means the shrinker only ever
+/// edits `main`.
+const PRELUDE: &str = r#"class Node { Node next; int v; }
+class Pair { Pair left; Pair right; int v; }
+class Mix { Node head; double[] data; Pair p; int tag; }
+
+class Dig {
+    // Digests are structure-sensitive: sharing and cycle-closure mix in
+    // distinct factors, so two graphs digest equal only if they have the
+    // same values AND the same aliasing. Printed digests are therefore a
+    // post-call heap-equality witness across configurations.
+    static long node(Node n) {
+        long d = 7;
+        Node cur = n;
+        int steps = 0;
+        while (cur != null && steps < 512) {
+            d = d * 31 + cur.v;
+            steps++;
+            cur = cur.next;
+            if (cur == n) { d = d * 131 + 99; cur = null; }
+        }
+        return d * 17 + steps;
+    }
+    static long pair(Pair p, int depth) {
+        if (p == null) { return 3; }
+        if (depth > 12) { return 5; }
+        long d = p.v;
+        if (p.left != null && p.left == p.right) { d = d * 131 + 7; }
+        d = d * 31 + pair(p.left, depth + 1);
+        d = d * 31 + pair(p.right, depth + 1);
+        return d;
+    }
+    static long ints(int[] a) {
+        if (a == null) { return 11; }
+        long d = a.length;
+        for (int i = 0; i < a.length; i++) { d = d * 31 + a[i]; }
+        return d;
+    }
+    static double doubles(double[] a) {
+        if (a == null) { return 11.5; }
+        double d = a.length;
+        for (int i = 0; i < a.length; i++) { d = d * 31.0 + a[i]; }
+        return d;
+    }
+    static long nodes(Node[] a) {
+        if (a == null) { return 13; }
+        long d = a.length;
+        for (int i = 0; i < a.length; i++) {
+            if (a[i] == null) { d = d * 31 + 1; }
+            else {
+                d = d * 31 + node(a[i]);
+                if (i > 0 && a[i] == a[i - 1]) { d = d * 131 + 5; }
+            }
+        }
+        return d;
+    }
+    static long mat(int[][] m) {
+        if (m == null) { return 17; }
+        long d = m.length;
+        for (int i = 0; i < m.length; i++) {
+            for (int j = 0; j < m[i].length; j++) { d = d * 31 + m[i][j]; }
+        }
+        return d;
+    }
+    static long mix(Mix m) {
+        if (m == null) { return 19; }
+        long d = m.tag;
+        d = d * 31 + node(m.head);
+        d = d * 31 + pair(m.p, 0);
+        return d;
+    }
+}
+
+class Build {
+    static Node alist(int len, int seed) {
+        if (len <= 0) { return null; }
+        Node h = new Node();
+        h.v = seed;
+        Node t = h;
+        for (int i = 1; i < len; i++) {
+            Node x = new Node();
+            x.v = seed + i * 3;
+            t.next = x;
+            t = x;
+        }
+        return h;
+    }
+    // clist duplicates alist's loop instead of calling it so the cycle
+    // it closes does not taint alist's allocation sites in the analysis.
+    static Node clist(int len, int seed) {
+        if (len <= 0) { return null; }
+        Node h = new Node();
+        h.v = seed;
+        Node t = h;
+        for (int i = 1; i < len; i++) {
+            Node x = new Node();
+            x.v = seed + i * 3;
+            t.next = x;
+            t = x;
+        }
+        t.next = h;
+        return h;
+    }
+    static Node loop(int seed) {
+        Node s = new Node();
+        s.v = seed;
+        s.next = s;
+        return s;
+    }
+    static Pair tree(int depth, int seed) {
+        if (depth <= 0) { return null; }
+        Pair p = new Pair();
+        p.v = seed;
+        p.left = tree(depth - 1, seed * 2 + 1);
+        p.right = tree(depth - 1, seed * 2 + 2);
+        return p;
+    }
+    static Pair diamond(int depth, int seed) {
+        if (depth <= 0) { return null; }
+        Pair p = new Pair();
+        p.v = seed;
+        Pair s = diamond(depth - 1, seed + 7);
+        p.left = s;
+        p.right = s;
+        return p;
+    }
+    static int[] ints(int len, int seed) {
+        int[] a = new int[len];
+        for (int i = 0; i < len; i++) { a[i] = seed * 7 + i; }
+        return a;
+    }
+    static double[] doubles(int len, int seed) {
+        double[] a = new double[len];
+        for (int i = 0; i < len; i++) { a[i] = seed * 1.5 + i * 0.25; }
+        return a;
+    }
+    static Node[] nodes(int len, int seed, boolean share, boolean holes) {
+        Node[] a = new Node[len];
+        Node prev = null;
+        for (int i = 0; i < len; i++) {
+            if (holes && i % 3 == 1) { a[i] = null; }
+            else {
+                if (share && prev != null && i % 2 == 0) { a[i] = prev; }
+                else {
+                    Node t = new Node();
+                    t.v = seed + i * 5;
+                    prev = t;
+                    a[i] = t;
+                }
+            }
+        }
+        return a;
+    }
+    static int[][] mat(int rows, int cols, int seed) {
+        int[][] m = new int[rows][cols];
+        for (int i = 0; i < rows; i++) {
+            for (int j = 0; j < cols; j++) { m[i][j] = seed + i * cols + j; }
+        }
+        return m;
+    }
+    static Mix mix(int seed, boolean full) {
+        Mix m = new Mix();
+        m.tag = seed;
+        if (full) {
+            m.head = alist(3, seed + 1);
+            m.data = doubles(4, seed + 2);
+            m.p = tree(2, seed + 3);
+        }
+        return m;
+    }
+}
+
+remote class R {
+    Node keep;
+    long dNode(Node n) { return Dig.node(n); }
+    long dNodeMut(Node n) {
+        if (n != null) { n.v = n.v + 77; }
+        return Dig.node(n);
+    }
+    Node echoNode(Node n) { return n; }
+    long keepFirst(Node n) {
+        if (this.keep == null) { this.keep = n; }
+        return Dig.node(this.keep);
+    }
+    long dPair(Pair p) { return Dig.pair(p, 0); }
+    Pair echoPair(Pair p) { return p; }
+    long dInts(int[] a) { return Dig.ints(a); }
+    double dDoubles(double[] a) { return Dig.doubles(a); }
+    long dNodes(Node[] a) { return Dig.nodes(a); }
+    long dMat(int[][] m) { return Dig.mat(m); }
+    long dMix(Mix m) { return Dig.mix(m); }
+    Mix echoMix(Mix m) { return m; }
+}
+"#;
+
+impl ProgramSpec {
+    /// Render to a complete MiniParty program (fixed prelude + a `main`
+    /// that builds the shapes and performs the calls).
+    pub fn render(&self) -> String {
+        let mut out = String::from(PRELUDE);
+        out.push_str("\nclass Main {\n    static void main() {\n");
+        out.push_str("        R r0 = new R() @ 0;\n");
+        out.push_str("        R r1 = new R() @ 1;\n");
+        for (i, s) in self.shapes.iter().enumerate() {
+            let decl = match *s {
+                ShapeSpec::List { len, cyclic, seed } => {
+                    let f = if cyclic { "clist" } else { "alist" };
+                    format!("Node s{i} = Build.{f}({len}, {seed});")
+                }
+                ShapeSpec::SelfLoop { seed } => format!("Node s{i} = Build.loop({seed});"),
+                ShapeSpec::Tree { depth, seed } => {
+                    format!("Pair s{i} = Build.tree({depth}, {seed});")
+                }
+                ShapeSpec::Diamond { depth, seed } => {
+                    format!("Pair s{i} = Build.diamond({depth}, {seed});")
+                }
+                ShapeSpec::IntArray { len, seed } => {
+                    format!("int[] s{i} = Build.ints({len}, {seed});")
+                }
+                ShapeSpec::DoubleArray { len, seed } => {
+                    format!("double[] s{i} = Build.doubles({len}, {seed});")
+                }
+                ShapeSpec::NodeArray { len, seed, share, holes } => {
+                    format!("Node[] s{i} = Build.nodes({len}, {seed}, {share}, {holes});")
+                }
+                ShapeSpec::Matrix { rows, cols, seed } => {
+                    format!("int[][] s{i} = Build.mat({rows}, {cols}, {seed});")
+                }
+                ShapeSpec::Mixed { seed, full } => {
+                    format!("Mix s{i} = Build.mix({seed}, {full});")
+                }
+            };
+            let _ = writeln!(out, "        {decl}");
+        }
+        for (k, c) in self.calls.iter().enumerate() {
+            self.render_call(&mut out, k, c);
+        }
+        out.push_str("    }\n}\n");
+        out
+    }
+
+    fn render_call(&self, out: &mut String, k: usize, c: &CallSpec) {
+        let i = c.shape;
+        let root = self.shapes[i].root_ty();
+        let r = format!("r{}", c.target);
+        let s = format!("s{i}");
+        let _ = writeln!(out, "        for (int k{k} = 0; k{k} < {}; k{k}++) {{", c.reps);
+        // The remote call + per-rep print of the callee-side digest.
+        match (root, c.variant) {
+            (RootTy::Node, Variant::Digest) => {
+                let _ = writeln!(out, "            System.println(Str.fromLong({r}.dNode({s})));");
+            }
+            (RootTy::Node, Variant::DigestMut) => {
+                let _ =
+                    writeln!(out, "            System.println(Str.fromLong({r}.dNodeMut({s})));");
+            }
+            (RootTy::Node, Variant::Echo) => {
+                let _ = writeln!(out, "            Node e{k} = {r}.echoNode({s});");
+                let _ = writeln!(out, "            System.println(Str.fromLong(Dig.node(e{k})));");
+            }
+            (RootTy::Node, Variant::Keep) => {
+                let _ =
+                    writeln!(out, "            System.println(Str.fromLong({r}.keepFirst({s})));");
+            }
+            (RootTy::Pair, Variant::Echo) => {
+                let _ = writeln!(out, "            Pair e{k} = {r}.echoPair({s});");
+                let _ =
+                    writeln!(out, "            System.println(Str.fromLong(Dig.pair(e{k}, 0)));");
+            }
+            (RootTy::Pair, _) => {
+                let _ = writeln!(out, "            System.println(Str.fromLong({r}.dPair({s})));");
+            }
+            (RootTy::Ints, _) => {
+                let _ = writeln!(out, "            System.println(Str.fromLong({r}.dInts({s})));");
+            }
+            (RootTy::Doubles, _) => {
+                let _ =
+                    writeln!(out, "            System.println(Str.fromDouble({r}.dDoubles({s})));");
+            }
+            (RootTy::Nodes, _) => {
+                let _ = writeln!(out, "            System.println(Str.fromLong({r}.dNodes({s})));");
+            }
+            (RootTy::Mat, _) => {
+                let _ = writeln!(out, "            System.println(Str.fromLong({r}.dMat({s})));");
+            }
+            (RootTy::Mix, Variant::Echo) => {
+                let _ = writeln!(out, "            Mix e{k} = {r}.echoMix({s});");
+                let _ = writeln!(out, "            System.println(Str.fromLong(Dig.mix(e{k})));");
+                let _ = writeln!(
+                    out,
+                    "            System.println(Str.fromDouble(Dig.doubles(e{k}.data)));"
+                );
+            }
+            (RootTy::Mix, _) => {
+                let _ = writeln!(out, "            System.println(Str.fromLong({r}.dMix({s})));");
+            }
+        }
+        if c.mutate {
+            match root {
+                RootTy::Node => {
+                    let _ = writeln!(out, "            if ({s} != null) {{ {s}.v = {s}.v + 11; }}");
+                }
+                RootTy::Pair => {
+                    let _ = writeln!(out, "            if ({s} != null) {{ {s}.v = {s}.v + 11; }}");
+                }
+                RootTy::Ints => {
+                    let _ = writeln!(
+                        out,
+                        "            if ({s}.length > 0) {{ {s}[0] = {s}[0] + 11; }}"
+                    );
+                }
+                RootTy::Doubles => {
+                    let _ = writeln!(
+                        out,
+                        "            if ({s}.length > 0) {{ {s}[0] = {s}[0] + 1.5; }}"
+                    );
+                }
+                RootTy::Nodes => {
+                    let _ = writeln!(out, "            if ({s}.length > 0) {{");
+                    let _ = writeln!(out, "                Node m{k} = {s}[0];");
+                    let _ = writeln!(
+                        out,
+                        "                if (m{k} != null) {{ m{k}.v = m{k}.v + 11; }}"
+                    );
+                    let _ = writeln!(out, "            }}");
+                }
+                RootTy::Mat => {
+                    let _ = writeln!(
+                        out,
+                        "            if ({s}.length > 0) {{ {s}[0][0] = {s}[0][0] + 11; }}"
+                    );
+                }
+                RootTy::Mix => {
+                    let _ = writeln!(out, "            {s}.tag = {s}.tag + 11;");
+                }
+            }
+        }
+        out.push_str("        }\n");
+        // Caller-side digest after the call loop: proves the caller heap
+        // was only changed by the caller's own mutations (RMI copy
+        // semantics), identically under every configuration.
+        match root {
+            RootTy::Node => {
+                let _ = writeln!(out, "        System.println(Str.fromLong(Dig.node({s})));");
+            }
+            RootTy::Pair => {
+                let _ = writeln!(out, "        System.println(Str.fromLong(Dig.pair({s}, 0)));");
+            }
+            RootTy::Ints => {
+                let _ = writeln!(out, "        System.println(Str.fromLong(Dig.ints({s})));");
+            }
+            RootTy::Doubles => {
+                let _ = writeln!(out, "        System.println(Str.fromDouble(Dig.doubles({s})));");
+            }
+            RootTy::Nodes => {
+                let _ = writeln!(out, "        System.println(Str.fromLong(Dig.nodes({s})));");
+            }
+            RootTy::Mat => {
+                let _ = writeln!(out, "        System.println(Str.fromLong(Dig.mat({s})));");
+            }
+            RootTy::Mix => {
+                let _ = writeln!(out, "        System.println(Str.fromLong(Dig.mix({s})));");
+                let _ =
+                    writeln!(out, "        System.println(Str.fromDouble(Dig.doubles({s}.data)));");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_covers_every_shape_and_variant() {
+        let spec = ProgramSpec {
+            shapes: vec![
+                ShapeSpec::List { len: 4, cyclic: true, seed: 2 },
+                ShapeSpec::SelfLoop { seed: 3 },
+                ShapeSpec::Tree { depth: 3, seed: 1 },
+                ShapeSpec::Diamond { depth: 4, seed: 1 },
+                ShapeSpec::IntArray { len: 5, seed: 2 },
+                ShapeSpec::DoubleArray { len: 4, seed: 2 },
+                ShapeSpec::NodeArray { len: 6, seed: 1, share: true, holes: true },
+                ShapeSpec::Matrix { rows: 2, cols: 3, seed: 1 },
+                ShapeSpec::Mixed { seed: 5, full: true },
+            ],
+            calls: vec![
+                CallSpec { shape: 0, target: 1, reps: 2, mutate: true, variant: Variant::Echo },
+                CallSpec { shape: 1, target: 0, reps: 1, mutate: false, variant: Variant::Keep },
+                CallSpec {
+                    shape: 2,
+                    target: 1,
+                    reps: 1,
+                    mutate: true,
+                    variant: Variant::DigestMut,
+                },
+                CallSpec { shape: 8, target: 1, reps: 2, mutate: true, variant: Variant::Echo },
+            ],
+        };
+        let src = spec.render();
+        for needle in
+            ["Build.clist", "Build.loop", "Build.tree", "Build.diamond", "echoMix", "keepFirst"]
+        {
+            assert!(src.contains(needle), "missing {needle} in:\n{src}");
+        }
+    }
+
+    #[test]
+    fn variants_match_remote_methods() {
+        for root in [
+            RootTy::Node,
+            RootTy::Pair,
+            RootTy::Ints,
+            RootTy::Doubles,
+            RootTy::Nodes,
+            RootTy::Mat,
+            RootTy::Mix,
+        ] {
+            assert!(!root.variants().is_empty());
+            assert!(root.variants().contains(&Variant::Digest) || root == RootTy::Node);
+        }
+    }
+}

@@ -59,6 +59,16 @@ impl Log2Histogram {
             count: self.count.load(Ordering::Relaxed),
         }
     }
+
+    /// Zero every bucket and the sum/count (not atomic as a whole; callers
+    /// must quiesce recorders first, as `MetricsRegistry::reset` does).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Plain-value copy of a histogram at one instant.

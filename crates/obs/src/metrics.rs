@@ -82,6 +82,24 @@ impl MetricsRegistry {
         self.machines.iter().fold(StatsSnapshot::default(), |acc, m| acc + m.stats.snapshot())
     }
 
+    /// Zero every counter, histogram, and per-site scope. A registry is
+    /// normally scoped to a single run (each `run_program` builds its
+    /// own), so this exists for harnesses that hold one registry across
+    /// several measured sections and must guarantee no bleed-through.
+    /// Callers must quiesce the cluster first — reset is not atomic with
+    /// respect to concurrent recorders.
+    pub fn reset(&self) {
+        for m in &self.machines {
+            m.stats.reset();
+            m.rtt_us.reset();
+            m.marshal_us.reset();
+            m.unmarshal_us.reset();
+            m.invoke_us.reset();
+            m.payload_bytes.reset();
+        }
+        self.sites.lock().clear();
+    }
+
     /// Plain-value copy of every scope, for rendering after a run.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let machines = self
@@ -183,6 +201,19 @@ mod tests {
         assert_eq!(snap.sites[0].site, 7);
         assert_eq!(snap.sites[0].calls, 2);
         assert_eq!(snap.sites[1].calls, 1);
+    }
+
+    #[test]
+    fn reset_clears_every_scope() {
+        let reg = MetricsRegistry::new(2);
+        RmiStats::bump(&reg.machine(0).stats.remote_rpcs, 4);
+        reg.machine(1).rtt_us.record(10);
+        reg.site(3).calls.fetch_add(1, Ordering::Relaxed);
+        reg.reset();
+        assert_eq!(reg.cluster_snapshot(), StatsSnapshot::default());
+        let snap = reg.snapshot();
+        assert!(snap.sites.is_empty(), "site scopes must be dropped");
+        assert_eq!(snap.cluster_hist(|m| &m.rtt_us).count, 0);
     }
 
     #[test]

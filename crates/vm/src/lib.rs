@@ -29,4 +29,4 @@ pub use corm_obs::trace;
 
 pub use corm_obs::{render_timeline, to_chrome_trace, to_json, Phase, TraceEvent, TraceKind};
 pub use error::VmError;
-pub use runtime::{run_program, RunOptions, RunOutcome, Runtime};
+pub use runtime::{run_program, AuditCounters, AuditSnapshot, RunOptions, RunOutcome, Runtime};

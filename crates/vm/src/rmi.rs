@@ -2,7 +2,7 @@
 //! with the paper's local-RPC cloning semantics and the §3.3 reuse
 //! caches wired into (de)serialization.
 
-use corm_codegen::{MarshalPlan, Serializer};
+use corm_codegen::{MarshalPlan, Serializer, ShadowCycleCheck};
 use corm_heap::{AllocAttribution, ObjRef, Value};
 use corm_ir::{CallSiteId, ClassId, MethodId};
 use corm_net::Packet;
@@ -14,6 +14,39 @@ use crate::interp::Interp;
 use crate::machine::{MachineState, ReplySlot};
 use crate::runtime::Runtime;
 use crate::trace::{Phase, TraceKind};
+
+/// Shadow table for the audit mode (DESIGN §10): created only when
+/// auditing is on *and* the plan statically elided the real cycle table —
+/// i.e. exactly when an unsound cycle-freedom verdict would otherwise go
+/// unnoticed.
+fn audit_shadow(rt: &Runtime, has_real_table: bool) -> Option<ShadowCycleCheck> {
+    if rt.audit && !has_real_table {
+        Some(ShadowCycleCheck::new())
+    } else {
+        None
+    }
+}
+
+/// Fold a finished shadow table into the run's audit counters.
+fn absorb_shadow(rt: &Runtime, shadow: Option<ShadowCycleCheck>) {
+    use std::sync::atomic::Ordering::Relaxed;
+    if let Some(sh) = shadow {
+        rt.audit_counters.shadow_tables.fetch_add(1, Relaxed);
+        rt.audit_counters.shadow_checks.fetch_add(sh.checks, Relaxed);
+    }
+}
+
+/// Poison a reuse-cache hit before the deserializer reclaims it. A sound
+/// reuse verdict makes this invisible (the cached graph is dead and every
+/// reclaimed slot is overwritten from the wire); an unsound one lets a
+/// surviving alias observe the sentinels, diverging the program output.
+fn audit_poison(rt: &Runtime, guard: &mut MutexGuard<'_, MachineState>, reuse: Value) -> Value {
+    if rt.audit && !matches!(reuse, Value::Null) {
+        let n = corm_heap::poison_graph(&mut guard.heap, reuse);
+        rt.audit_counters.poisoned_values.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+    reuse
+}
 
 /// Execute a remote (or local-RPC) call at `site`.
 pub fn remote_call(
@@ -54,9 +87,11 @@ pub fn remote_call(
     let m0 = rt.start.elapsed();
     let mut msg = Message::new();
     let mut ct = if plan.args_cycle_table { Some(SerCycleTable::new()) } else { None };
+    let mut shadow = audit_shadow(&rt, plan.args_cycle_table);
     for (i, node) in plan.args.iter().enumerate() {
-        ser.serialize(&guard.heap, node, argv[i + 1], &mut ct, &mut msg)?;
+        ser.serialize_audited(&guard.heap, node, argv[i + 1], &mut ct, &mut msg, &mut shadow)?;
     }
+    absorb_shadow(&rt, shadow);
     shard.marshal_us.record((rt.start.elapsed() - m0).as_micros() as u64);
     rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Marshal, req, site: site.0 });
 
@@ -99,7 +134,7 @@ fn local_rpc(
     let mut reader = reader_msg.reader();
     rt.trace_event(my, TraceKind::PhaseBegin { phase: Phase::Unmarshal, req, site: site.0 });
     let u0 = rt.start.elapsed();
-    let vals = deserialize_args(guard, ser, plan, site, &mut reader)?;
+    let vals = deserialize_args(&rt, guard, ser, plan, site, &mut reader)?;
     shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
     rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Unmarshal, req, site: site.0 });
 
@@ -139,8 +174,10 @@ fn local_rpc(
     let node = plan.ret.as_ref().unwrap();
     let mut rmsg = Message::new();
     let mut rct = if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
-    ser.serialize(&guard.heap, node, ret, &mut rct, &mut rmsg)?;
-    deserialize_ret(guard, ser, plan, site, rmsg.as_bytes())
+    let mut shadow = audit_shadow(&rt, plan.ret_cycle_table);
+    ser.serialize_audited(&guard.heap, node, ret, &mut rct, &mut rmsg, &mut shadow)?;
+    absorb_shadow(&rt, shadow);
+    deserialize_ret(&rt, guard, ser, plan, site, rmsg.as_bytes())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -214,7 +251,7 @@ fn wire_rpc(
                 TraceKind::PhaseBegin { phase: Phase::Unmarshal, req, site: site.0 },
             );
             let u0 = rt.start.elapsed();
-            let out = deserialize_ret(guard, ser, plan, site, &payload);
+            let out = deserialize_ret(&rt, guard, ser, plan, site, &payload);
             shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
             rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Unmarshal, req, site: site.0 });
             out
@@ -223,6 +260,7 @@ fn wire_rpc(
 }
 
 fn deserialize_args(
+    rt: &Runtime,
     guard: &mut MutexGuard<'_, MachineState>,
     ser: &Serializer<'_>,
     plan: &MarshalPlan,
@@ -236,6 +274,7 @@ fn deserialize_args(
     let mut err = None;
     for (i, node) in plan.args.iter().enumerate() {
         let reuse = if plan.arg_reuse[i] { guard.take_arg_cache(site, i) } else { Value::Null };
+        let reuse = audit_poison(rt, guard, reuse);
         match ser.deserialize(&mut guard.heap, node, reader, &mut dt, reuse) {
             Ok(out) => {
                 total_reused += out.reused;
@@ -272,6 +311,7 @@ fn update_arg_caches(
 }
 
 fn deserialize_ret(
+    rt: &Runtime,
     guard: &mut MutexGuard<'_, MachineState>,
     ser: &Serializer<'_>,
     plan: &MarshalPlan,
@@ -283,6 +323,7 @@ fn deserialize_ret(
     let mut reader = msg.reader();
     let mut dt = if plan.ret_cycle_table { Some(DeserTable::new()) } else { None };
     let reuse = if plan.ret_reuse { guard.take_ret_cache(site) } else { Value::Null };
+    let reuse = audit_poison(rt, guard, reuse);
     let prev = guard.heap.set_attribution(AllocAttribution::Deserialization);
     let out = ser.deserialize(&mut guard.heap, node, &mut reader, &mut dt, reuse);
     guard.heap.set_attribution(prev);
@@ -366,7 +407,7 @@ pub fn handle_request(
                 TraceKind::PhaseBegin { phase: Phase::Unmarshal, req: req_id, site: site.0 },
             );
             let u0 = rt.start.elapsed();
-            let vals = deserialize_args(&mut guard, &ser, plan, site, &mut reader)?;
+            let vals = deserialize_args(rt, &mut guard, &ser, plan, site, &mut reader)?;
             shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
             rt.trace_event(
                 my,
@@ -402,7 +443,9 @@ pub fn handle_request(
             let node = plan.ret.as_ref().unwrap();
             let mut rmsg = Message::new();
             let mut rct = if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
-            ser.serialize(&guard.heap, node, ret, &mut rct, &mut rmsg)?;
+            let mut shadow = audit_shadow(rt, plan.ret_cycle_table);
+            ser.serialize_audited(&guard.heap, node, ret, &mut rct, &mut rmsg, &mut shadow)?;
+            absorb_shadow(rt, shadow);
             Ok(rmsg.into_bytes())
         })();
 

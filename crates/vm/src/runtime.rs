@@ -38,6 +38,12 @@ pub struct RunOptions {
     /// a real loopback TCP mesh). Counters are identical either way;
     /// only TCP also *measures* wire time.
     pub transport: TransportKind,
+    /// Run the analysis-verdict auditor (DESIGN §10): cycle-freedom
+    /// claims are re-checked by a shadow handle table, and reuse-safety
+    /// claims are stress-tested by poisoning cached graphs between
+    /// calls. Counters and wire bytes are unchanged; unsound verdicts
+    /// surface as `analysis-audit` run errors or output divergence.
+    pub audit: bool,
 }
 
 impl Default for RunOptions {
@@ -51,6 +57,43 @@ impl Default for RunOptions {
             workers_per_machine: 3,
             trace: false,
             transport: TransportKind::default(),
+            audit: false,
+        }
+    }
+}
+
+/// Live counters of the runtime analysis auditor. All zero unless
+/// [`RunOptions::audit`] is set; bumped outside the metrics registry so
+/// audited runs keep bit-identical `RmiStats`.
+#[derive(Debug, Default)]
+pub struct AuditCounters {
+    /// Shadow cycle tables created (one per message whose plan elided
+    /// the real table).
+    pub shadow_tables: std::sync::atomic::AtomicU64,
+    /// Objects identity-checked by shadow tables.
+    pub shadow_checks: std::sync::atomic::AtomicU64,
+    /// Primitive slots / array elements / strings poisoned in reuse
+    /// caches before deserialization reclaimed them.
+    pub poisoned_values: std::sync::atomic::AtomicU64,
+}
+
+/// Point-in-time view of [`AuditCounters`], reported in [`RunOutcome`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditSnapshot {
+    pub enabled: bool,
+    pub shadow_tables: u64,
+    pub shadow_checks: u64,
+    pub poisoned_values: u64,
+}
+
+impl AuditCounters {
+    pub fn snapshot(&self, enabled: bool) -> AuditSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        AuditSnapshot {
+            enabled,
+            shadow_tables: self.shadow_tables.load(Relaxed),
+            shadow_checks: self.shadow_checks.load(Relaxed),
+            poisoned_values: self.poisoned_values.load(Relaxed),
         }
     }
 }
@@ -75,6 +118,9 @@ pub struct Runtime {
     pub spawned: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Event trace, when enabled by [`RunOptions::trace`].
     pub trace: Option<Mutex<Vec<crate::trace::TraceEvent>>>,
+    /// Analysis-verdict auditing (see [`RunOptions::audit`]).
+    pub audit: bool,
+    pub audit_counters: AuditCounters,
 }
 
 impl Runtime {
@@ -135,6 +181,8 @@ pub struct RunOutcome {
     /// Per-machine measured wire nanoseconds, indexed by the receiving
     /// machine.
     pub measured_wire_ns: Vec<u64>,
+    /// Analysis-auditor activity (all zero unless [`RunOptions::audit`]).
+    pub audit: AuditSnapshot,
 }
 
 impl RunOutcome {
@@ -171,6 +219,8 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
         auto_gc: opts.auto_gc,
         spawned: Mutex::new(Vec::new()),
         trace: if opts.trace { Some(Mutex::new(Vec::new())) } else { None },
+        audit: opts.audit,
+        audit_counters: AuditCounters::default(),
     });
 
     // Service threads: one GM-style drain loop per machine plus a small
@@ -282,6 +332,7 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
         transport: opts.transport,
         measured_wire,
         measured_wire_ns,
+        audit: rt.audit_counters.snapshot(rt.audit),
     }
 }
 

@@ -106,4 +106,54 @@ mod tests {
         assert_eq!(d.lookup(h1), Some(ObjRef(6)));
         assert_eq!(d.lookup(99), None);
     }
+
+    /// A self-loop serializes as: first encounter, then the recursive
+    /// visit of the same object must hit the table with the same handle.
+    #[test]
+    fn self_loop_hits_own_handle() {
+        let mut t = SerCycleTable::new();
+        let obj = ObjRef(7);
+        assert_eq!(t.check(obj), Err(0));
+        assert_eq!(t.check(obj), Ok(0), "the back edge must resolve to the original handle");
+        assert_eq!(t.len(), 1, "one object, one entry, however many visits");
+        assert_eq!(t.lookups(), 2);
+    }
+
+    /// Two slots of one array holding the same object ([t, u, u]): the
+    /// second slot must come back as a hit so the deserializer rebuilds
+    /// the sharing instead of duplicating the object.
+    #[test]
+    fn two_array_slots_one_object_share_a_handle() {
+        let mut t = SerCycleTable::new();
+        let distinct = ObjRef(1);
+        let shared = ObjRef(2);
+        assert_eq!(t.check(distinct), Err(0)); // slot 0
+        assert_eq!(t.check(shared), Err(1)); // slot 1
+        assert_eq!(t.check(shared), Ok(1), "slot 2 aliases slot 1");
+        let mut d = DeserTable::new();
+        let a = ObjRef(100);
+        let b = ObjRef(200);
+        assert_eq!(d.register(a), 0);
+        assert_eq!(d.register(b), 1);
+        assert_eq!(d.lookup(1), Some(b), "the aliased slot must resolve to the same replica");
+        assert_eq!(d.len(), 2, "only two objects materialize for three slots");
+    }
+
+    /// Tables are per-message: a fresh pair must not remember handles from
+    /// a previous send, or stale handles would alias unrelated objects.
+    #[test]
+    fn tables_reset_between_messages() {
+        let obj = ObjRef(42);
+        let mut t = SerCycleTable::new();
+        assert_eq!(t.check(obj), Err(0));
+        assert_eq!(t.check(obj), Ok(0));
+        // next message: new table
+        let mut t2 = SerCycleTable::new();
+        assert!(t2.is_empty());
+        assert_eq!(t2.lookups(), 0, "lookup counter starts at zero per table");
+        assert_eq!(t2.check(obj), Err(0), "same object is a first encounter again");
+        let mut d2 = DeserTable::new();
+        assert!(d2.is_empty());
+        assert_eq!(d2.register(ObjRef(9)), 0, "handles restart at zero per message");
+    }
 }

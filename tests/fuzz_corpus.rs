@@ -1,0 +1,58 @@
+//! Replay the committed fuzz corpus (`tests/corpus/*.mp`) through the
+//! differential oracle as ordinary regression tests.
+//!
+//! Each file is a minimized program that once exposed (or guards against)
+//! a cross-config divergence; `corm fuzz --emit-corpus tests/corpus`
+//! regenerates the set from `corm_fuzz::corpus`.
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn corpus_is_committed_and_nonempty() {
+    let dir = corpus_dir();
+    let n = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing corpus dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "mp"))
+        .count();
+    assert!(n >= 10, "expected >= 10 corpus programs, found {n}");
+}
+
+#[test]
+fn corpus_passes_differential_oracle() {
+    let dir = corpus_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("corpus dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mp"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty());
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("read corpus file");
+        if let Err(f) = corm_fuzz::check_source(&src) {
+            panic!("corpus program {} failed the oracle: {f}", path.display());
+        }
+    }
+}
+
+#[test]
+fn emitted_corpus_matches_builtin_set() {
+    // The committed files must stay in sync with `corm_fuzz::corpus`.
+    for (name, _desc, spec) in corm_fuzz::corpus::corpus() {
+        let path = corpus_dir().join(format!("{name}.mp"));
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing corpus file {}: {e}", path.display()));
+        let rendered = spec.render();
+        assert!(
+            on_disk.contains(&rendered),
+            "{} drifted from corm_fuzz::corpus — regenerate with `corm fuzz --emit-corpus tests/corpus`",
+            path.display()
+        );
+    }
+}

@@ -7,7 +7,8 @@
 use std::collections::{HashMap, HashSet};
 
 use corm::{
-    compile_and_run, to_chrome_trace, OptConfig, RunOptions, RunOutcome, TraceEvent, TraceKind,
+    compile_and_run, to_chrome_trace, MetricsRegistry, OptConfig, RunOptions, RunOutcome,
+    TraceEvent, TraceKind,
 };
 use proptest::prelude::*;
 
@@ -172,6 +173,34 @@ fn machine_shards_sum_to_cluster_snapshot() {
         let out = traced_run(&list_program(5), 2, cfg);
         assert_shards_sum_to_cluster(&out);
     }
+}
+
+/// Each run builds its own registry: two identical back-to-back runs
+/// must report identical counters — any bleed-through (a shared or
+/// unreset registry) would double the second run's numbers. The explicit
+/// `MetricsRegistry::reset` covers harnesses that do hold one registry
+/// across measured sections.
+#[test]
+fn metrics_are_scoped_per_run_with_no_bleed_through() {
+    let src = list_program(5);
+    let first = traced_run(&src, 2, OptConfig::ALL);
+    let second = traced_run(&src, 2, OptConfig::ALL);
+    assert_eq!(
+        first.metrics.cluster_stats(),
+        second.metrics.cluster_stats(),
+        "counters leaked between runs"
+    );
+    assert_eq!(first.stats, second.stats);
+    for (a, b) in first.metrics.machines.iter().zip(&second.metrics.machines) {
+        assert_eq!(a.stats, b.stats, "per-machine shards leaked between runs");
+    }
+    // And an explicitly reused registry comes back to zero on reset.
+    let reg = MetricsRegistry::new(2);
+    reg.machine(0).rtt_us.record(7);
+    reg.site(1).calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    reg.reset();
+    assert_eq!(reg.cluster_snapshot(), corm::StatsSnapshot::default());
+    assert!(reg.snapshot().sites.is_empty());
 }
 
 #[test]
