@@ -34,13 +34,63 @@ pub struct CycleOptions {
 /// May the object graph rooted at `roots` (one points-to set per argument)
 /// contain a cycle or sharing, requiring runtime cycle detection?
 pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
-    let mut arrivals: HashMap<NodeId, u32> = HashMap::new();
-    let mut stack: Vec<NodeId> = Vec::new();
+    may_cycle_explained(g, roots, opts).may_cycle
+}
 
-    let mut arrive = |n: NodeId, stack: &mut Vec<NodeId>| -> bool {
-        let c = arrivals.entry(n).or_insert(0);
-        *c += 1;
-        if *c == 1 {
+/// The cycle verdict plus its provenance: which rule fired and a concrete
+/// witness (the heap path to the allocation site seen twice, or a
+/// traversal summary when the graph is provably acyclic).
+#[derive(Debug, Clone)]
+pub struct CycleFinding {
+    pub may_cycle: bool,
+    pub rule: &'static str,
+    pub witness: String,
+}
+
+/// How a node was first reached during the traversal, for reconstructing
+/// witness paths.
+struct Arrival {
+    parent: Option<NodeId>,
+    /// Edge description: `arg{k}` for roots, `.field#{slot}` / `[elem]`
+    /// for heap edges.
+    edge: String,
+}
+
+/// Heap path from a traversal root to `n`, e.g. `arg0 ∋ n1 .field#0→ n3`.
+fn path_to(n: NodeId, arrivals: &HashMap<NodeId, Arrival>) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = Some(n);
+    while let Some(c) = cur {
+        let a = &arrivals[&c];
+        parts.push(format!("{}{c}", a.edge));
+        cur = a.parent;
+    }
+    parts.reverse();
+    parts.join(" ")
+}
+
+/// [`may_cycle`] with full provenance. The boolean verdict is identical —
+/// `may_cycle` delegates here — so explain reports can never disagree
+/// with the plans the compiler actually generated.
+pub fn may_cycle_explained(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> CycleFinding {
+    let mut arrivals: HashMap<NodeId, Arrival> = HashMap::new();
+    // First-arrival order: keeps the multiplicity passes (and therefore
+    // the recorded witnesses) deterministic.
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut finding: Option<(&'static str, String)> = None;
+    let mut spines_skipped = 0usize;
+
+    let arrive = |n: NodeId,
+                  parent: Option<NodeId>,
+                  edge: String,
+                  arrivals: &mut HashMap<NodeId, Arrival>,
+                  order: &mut Vec<NodeId>,
+                  stack: &mut Vec<NodeId>|
+     -> bool {
+        if let std::collections::hash_map::Entry::Vacant(slot) = arrivals.entry(n) {
+            slot.insert(Arrival { parent, edge });
+            order.push(n);
             stack.push(n);
             false
         } else {
@@ -48,11 +98,18 @@ pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
         }
     };
 
-    let mut seen_twice = false;
-    for set in roots {
+    for (k, set) in roots.iter().enumerate() {
         for &n in set {
-            if arrive(n, &mut stack) {
-                seen_twice = true;
+            if arrive(n, None, format!("arg{k} ∋ "), &mut arrivals, &mut order, &mut stack)
+                && finding.is_none()
+            {
+                finding = Some((
+                    "revisit",
+                    format!(
+                        "{n} reached twice: first via {}, again via arg{k}",
+                        path_to(n, &arrivals)
+                    ),
+                ));
             }
         }
     }
@@ -63,21 +120,39 @@ pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
             for &t in set {
                 if opts.assume_acyclic_self_lists && t == n && is_single_recursive_field(g, n, slot)
                 {
+                    spines_skipped += 1;
                     continue;
                 }
-                if arrive(t, &mut stack) {
-                    seen_twice = true;
+                let edge = format!("{n} .field#{slot}→ ");
+                if arrive(t, Some(n), edge, &mut arrivals, &mut order, &mut stack)
+                    && finding.is_none()
+                {
+                    finding = Some((
+                        "revisit",
+                        format!(
+                            "{t} reached twice: first via {}, again via {n}.field#{slot}",
+                            path_to(t, &arrivals)
+                        ),
+                    ));
                 }
             }
         }
         for &t in &node.elems {
-            if arrive(t, &mut stack) {
-                seen_twice = true;
+            let edge = format!("{n} [elem]→ ");
+            if arrive(t, Some(n), edge, &mut arrivals, &mut order, &mut stack) && finding.is_none()
+            {
+                finding = Some((
+                    "revisit",
+                    format!(
+                        "{t} reached twice: first via {}, again via {n}[elem]",
+                        path_to(t, &arrivals)
+                    ),
+                ));
             }
         }
     }
-    if seen_twice {
-        return true;
+    if let Some((rule, witness)) = finding {
+        return CycleFinding { may_cycle: true, rule, witness };
     }
 
     // Multiplicity pass. Arrival counting visits each heap-graph edge set
@@ -86,10 +161,19 @@ pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
     // being seen twice. A store is "fresh" when the stored value was
     // allocated in the same basic block as the store (so every executed
     // store deposits a distinct object); non-fresh stores may alias.
-    for &n in arrivals.keys() {
+    for &n in &order {
         let node = g.node(n);
         if node.elem_nonfresh && !node.elems.is_empty() {
-            return true;
+            return CycleFinding {
+                may_cycle: true,
+                rule: "nonfresh-element-store",
+                witness: format!(
+                    "array {} (reached via {}) has a non-fresh element store: \
+                     two runtime slots may alias one object",
+                    n,
+                    path_to(n, &arrivals)
+                ),
+            };
         }
     }
     // Nodes reached through array elements may stand for several runtime
@@ -97,7 +181,7 @@ pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
     // their instances share a target.
     let mut multi = NodeSet::new();
     let mut work: Vec<NodeId> = Vec::new();
-    for &n in arrivals.keys() {
+    for &n in &order {
         for &t in &g.node(n).elems {
             if multi.insert(t) {
                 work.push(t);
@@ -108,7 +192,15 @@ pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
         let node = g.node(m);
         for (slot, set) in node.fields.iter().enumerate() {
             if !set.is_empty() && node.nonfresh_fields.contains(&(slot as u32)) {
-                return true;
+                return CycleFinding {
+                    may_cycle: true,
+                    rule: "nonfresh-field-on-array-element",
+                    witness: format!(
+                        "{m} stands for several runtime objects (reached through array \
+                         elements) and stores non-fresh into field#{slot}: instances may \
+                         share one target"
+                    ),
+                };
             }
             for &t in set {
                 if multi.insert(t) {
@@ -117,7 +209,14 @@ pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
             }
         }
         if node.elem_nonfresh && !node.elems.is_empty() {
-            return true;
+            return CycleFinding {
+                may_cycle: true,
+                rule: "nonfresh-element-store",
+                witness: format!(
+                    "array {m} (reached through array elements) has a non-fresh element \
+                     store: two runtime slots may alias one object"
+                ),
+            };
         }
         for &t in &node.elems {
             if multi.insert(t) {
@@ -125,7 +224,29 @@ pub fn may_cycle(g: &HeapGraph, roots: &[NodeSet], opts: CycleOptions) -> bool {
             }
         }
     }
-    false
+
+    if spines_skipped > 0 {
+        CycleFinding {
+            may_cycle: false,
+            rule: "list-extension",
+            witness: format!(
+                "{} node(s) traversed; {spines_skipped} single-recursive-field self edge(s) \
+                 treated as an acyclic list spine (§7 extension), no other node reached twice",
+                order.len()
+            ),
+        }
+    } else {
+        CycleFinding {
+            may_cycle: false,
+            rule: "traversal-complete",
+            witness: format!(
+                "{} node(s) traversed from {} argument set(s); no allocation site reached \
+                 twice, no non-fresh store on a multiple-instance node",
+                order.len(),
+                roots.len()
+            ),
+        }
+    }
 }
 
 /// Is `slot` the only field of `n` that points back to `n` itself, with no

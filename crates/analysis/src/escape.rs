@@ -64,6 +64,70 @@ pub fn is_reusable(g: &HeapGraph, pts: &NodeSet, escaping: &NodeSet) -> bool {
     reach.is_disjoint(escaping)
 }
 
+/// A reuse verdict with its provenance: the rule that fired and, when the
+/// graph escapes, the category of escape root and the first node reached
+/// by both the parameter graph and that root set.
+#[derive(Debug, Clone)]
+pub struct ReuseFinding {
+    pub reusable: bool,
+    pub rule: &'static str,
+    pub witness: String,
+}
+
+/// [`is_reusable`] with full provenance for the graph rooted at `pts`
+/// inside function `f`. The boolean verdict matches `is_reusable` against
+/// [`escaping_nodes`]`(m, pt, f)` exactly: reachability distributes over
+/// the union of escape-root categories, so the graph intersects the
+/// escaping set iff it intersects at least one category's reachable set.
+pub fn explain_reuse(m: &Module, pt: &PointsTo, f: FuncId, pts: &NodeSet) -> ReuseFinding {
+    let g = &pt.graph;
+    let reach = g.reachable(pts.iter().copied());
+
+    // Per-category escape roots, checked in a fixed order so the first
+    // (most global) offending category names the witness.
+    let mut static_roots = NodeSet::new();
+    for s in &g.statics {
+        static_roots.extend(s.iter().copied());
+    }
+    let blob_roots: NodeSet = g.blob.iter().copied().collect();
+    let mut remote_roots = NodeSet::new();
+    for n in &g.nodes {
+        if let Ty::Class(c) = &n.ty {
+            if m.table.class(*c).is_remote {
+                for set in &n.fields {
+                    remote_roots.extend(set.iter().copied());
+                }
+            }
+        }
+    }
+    let ret_roots: NodeSet = pt.ret_pts[f.index()].iter().copied().collect();
+
+    let categories: [(&'static str, &'static str, &NodeSet); 4] = [
+        ("escapes-static-store", "a static variable", &static_roots),
+        ("escapes-thread-queue", "the thread-handoff queue blob", &blob_roots),
+        ("escapes-remote-field", "a field of a remote-class instance", &remote_roots),
+        ("escapes-returned", "the enclosing function's return value", &ret_roots),
+    ];
+    for (rule, what, roots) in categories {
+        let escaping = g.reachable(roots.iter().copied());
+        if let Some(&hit) = reach.intersection(&escaping).next() {
+            return ReuseFinding {
+                reusable: false,
+                rule,
+                witness: format!("{hit} is reachable both from the parameter and from {what}"),
+            };
+        }
+    }
+    ReuseFinding {
+        reusable: true,
+        rule: "no-escape",
+        witness: format!(
+            "{} node(s) reachable from the parameter, disjoint from every escape root",
+            reach.len()
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +300,65 @@ mod tests {
             is_reusable(&pt.graph, param, &esc.escaping),
             "a store into a non-escaping local holder is harmless"
         );
+    }
+
+    /// `explain_reuse` agrees with `is_reusable` and names the category.
+    #[test]
+    fn explain_matches_verdict_and_names_category() {
+        let src = r#"
+            class Data { int v; }
+            class Bar { Data d; }
+            remote class Foo {
+                static Data d;
+                void foo(Bar a) { Foo.d = a.d; }
+                void bar(Bar a) { int x = a.d.v; }
+            }
+            class M {
+                static void main() {
+                    Bar b = new Bar();
+                    b.d = new Data();
+                    Foo f = new Foo();
+                    f.foo(b);
+                    f.bar(b);
+                }
+            }
+        "#;
+        let (m, ssa, pt) = setup(src);
+        for (meth, expect_reusable, expect_rule) in
+            [("foo", false, "escapes-static-store"), ("bar", true, "no-escape")]
+        {
+            let f = method_func(&m, "Foo", meth);
+            let esc = escaping_nodes(&m, &pt, f);
+            let param = pt.param_pts(f, &ssa, 1);
+            let finding = explain_reuse(&m, &pt, f, param);
+            assert_eq!(finding.reusable, is_reusable(&pt.graph, param, &esc.escaping), "{meth}");
+            assert_eq!(finding.reusable, expect_reusable, "{meth}");
+            assert_eq!(finding.rule, expect_rule, "{meth}");
+            assert!(!finding.witness.is_empty());
+        }
+    }
+
+    /// A returned parameter's witness points at the return-value category.
+    #[test]
+    fn explain_returned_category() {
+        let src = r#"
+            class Data { int v; }
+            remote class Foo {
+                Data foo(Data a) { return a; }
+            }
+            class M {
+                static void main() {
+                    Foo f = new Foo();
+                    Data d = f.foo(new Data());
+                }
+            }
+        "#;
+        let (m, ssa, pt) = setup(src);
+        let f = method_func(&m, "Foo", "foo");
+        let param = pt.param_pts(f, &ssa, 1);
+        let finding = explain_reuse(&m, &pt, f, param);
+        assert!(!finding.reusable);
+        assert_eq!(finding.rule, "escapes-returned");
+        assert!(finding.witness.contains("return value"), "{}", finding.witness);
     }
 }

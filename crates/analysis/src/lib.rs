@@ -25,10 +25,12 @@ pub mod cycles;
 pub mod escape;
 pub mod graph;
 pub mod points_to;
+pub mod provenance;
 pub mod shape;
 pub mod summary;
 
 pub use graph::{HeapGraph, HeapNode, NodeId, NodeSet};
 pub use points_to::{analyze_points_to, PointsTo};
+pub use provenance::{Decision, SiteProvenance};
 pub use shape::Shape;
 pub use summary::{analyze_module, AnalysisOptions, AnalysisResult, RemoteSiteInfo};

@@ -7,9 +7,10 @@ use std::collections::HashMap;
 use corm_ir::ssa::build_module_ssa;
 use corm_ir::{CallSiteId, FuncId, MethodId, Module, Ty};
 
-use crate::cycles::{may_cycle, CycleOptions};
-use crate::escape::{escaping_nodes, is_reusable};
+use crate::cycles::{may_cycle_explained, CycleOptions};
+use crate::escape::{escaping_nodes, explain_reuse, is_reusable};
 use crate::points_to::{analyze_points_to, PointsTo};
+use crate::provenance::{Decision, SiteProvenance};
 use crate::shape::{shape_of, Shape};
 
 /// Analysis configuration.
@@ -40,6 +41,10 @@ pub struct RemoteSiteInfo {
     /// The caller discards the result — reply degrades to a bare ack.
     pub ret_ignored: bool,
     pub is_spawn: bool,
+    /// Fact-level provenance: one [`Decision`] per verdict above
+    /// (`args.cycle`, `ret.cycle`, `arg{i}.reuse`, `ret.reuse`), each with
+    /// the rule that fired and a concrete witness.
+    pub provenance: SiteProvenance,
 }
 
 impl RemoteSiteInfo {
@@ -83,15 +88,41 @@ pub fn analyze_module(m: &Module, options: AnalysisOptions) -> AnalysisResult {
             .map(|(i, pty)| shape_of(m, &pt.graph, pty, &info.args[i + 1]))
             .collect();
         let arg_roots: Vec<_> = info.args.iter().skip(1).cloned().collect();
-        let args_may_cycle = may_cycle(&pt.graph, &arg_roots, options.cycle);
+        let mut provenance = SiteProvenance::default();
+        let cycle_verdict = |mc: bool| if mc { "may_cycle" } else { "acyclic" };
+
+        let args_finding = may_cycle_explained(&pt.graph, &arg_roots, options.cycle);
+        let args_may_cycle = args_finding.may_cycle;
+        provenance.decisions.push(Decision {
+            aspect: "args.cycle".into(),
+            verdict: cycle_verdict(args_may_cycle),
+            rule: args_finding.rule,
+            witness: args_finding.witness,
+        });
 
         // Return shape and cycle verdict.
         let (ret_shape, ret_may_cycle) = if meth.ret == Ty::Void {
+            provenance.decisions.push(Decision {
+                aspect: "ret.cycle".into(),
+                verdict: "acyclic",
+                rule: "void-return",
+                witness: "method returns void; the reply carries no object graph".into(),
+            });
             (None, false)
         } else {
             let shape = shape_of(m, &pt.graph, &meth.ret, &info.callee_rets);
-            let mc = may_cycle(&pt.graph, std::slice::from_ref(&info.callee_rets), options.cycle);
-            (Some(shape), mc)
+            let finding = may_cycle_explained(
+                &pt.graph,
+                std::slice::from_ref(&info.callee_rets),
+                options.cycle,
+            );
+            provenance.decisions.push(Decision {
+                aspect: "ret.cycle".into(),
+                verdict: cycle_verdict(finding.may_cycle),
+                rule: finding.rule,
+                witness: finding.witness,
+            });
+            (Some(shape), finding.may_cycle)
         };
 
         // Callee-side argument reuse.
@@ -100,11 +131,39 @@ pub fn analyze_module(m: &Module, options: AnalysisOptions) -> AnalysisResult {
         let arg_reusable: Vec<bool> = (1..=meth.params.len())
             .map(|i| {
                 let pty = &meth.params[i - 1];
+                let aspect = format!("arg{i}.reuse");
                 if !pty.is_ref() {
+                    provenance.decisions.push(Decision {
+                        aspect,
+                        verdict: "not_reusable",
+                        rule: "primitive-argument",
+                        witness: "argument is passed by value; there is no graph to reuse".into(),
+                    });
                     return false; // primitives have nothing to reuse
                 }
                 let param_pts = &pt.var_pts[callee_f.index()][ssa_callee.params[i].index()];
-                !param_pts.is_empty() && is_reusable(&pt.graph, param_pts, &callee_escaping)
+                if param_pts.is_empty() {
+                    provenance.decisions.push(Decision {
+                        aspect,
+                        verdict: "not_reusable",
+                        rule: "no-allocation-site",
+                        witness: "parameter points to no allocation site in the heap graph".into(),
+                    });
+                    return false;
+                }
+                let finding = explain_reuse(m, &pt, callee_f, param_pts);
+                debug_assert_eq!(
+                    finding.reusable,
+                    is_reusable(&pt.graph, param_pts, &callee_escaping),
+                    "explain_reuse must agree with is_reusable"
+                );
+                provenance.decisions.push(Decision {
+                    aspect,
+                    verdict: if finding.reusable { "reusable" } else { "not_reusable" },
+                    rule: finding.rule,
+                    witness: finding.witness,
+                });
+                finding.reusable
             })
             .collect();
 
@@ -112,9 +171,38 @@ pub fn analyze_module(m: &Module, options: AnalysisOptions) -> AnalysisResult {
         let ret_reusable = match (&info.dst, &meth.ret) {
             (Some(dst), rty) if rty.is_ref() && !dst.is_empty() => {
                 let caller_escaping = escaping_of(info.caller, &pt);
-                is_reusable(&pt.graph, dst, &caller_escaping)
+                let finding = explain_reuse(m, &pt, info.caller, dst);
+                debug_assert_eq!(
+                    finding.reusable,
+                    is_reusable(&pt.graph, dst, &caller_escaping),
+                    "explain_reuse must agree with is_reusable"
+                );
+                provenance.decisions.push(Decision {
+                    aspect: "ret.reuse".into(),
+                    verdict: if finding.reusable { "reusable" } else { "not_reusable" },
+                    rule: finding.rule,
+                    witness: finding.witness,
+                });
+                finding.reusable
             }
-            _ => false,
+            (_, rty) if !rty.is_ref() => {
+                provenance.decisions.push(Decision {
+                    aspect: "ret.reuse".into(),
+                    verdict: "not_reusable",
+                    rule: "no-reference-return",
+                    witness: "return type carries no reusable heap graph".into(),
+                });
+                false
+            }
+            _ => {
+                provenance.decisions.push(Decision {
+                    aspect: "ret.reuse".into(),
+                    verdict: "not_reusable",
+                    rule: "no-allocation-site",
+                    witness: "caller destination points to no allocation site".into(),
+                });
+                false
+            }
         };
 
         sites.insert(
@@ -131,6 +219,7 @@ pub fn analyze_module(m: &Module, options: AnalysisOptions) -> AnalysisResult {
                 ret_reusable,
                 ret_ignored: cs.ret_ignored,
                 is_spawn: cs.is_spawn,
+                provenance,
             },
         );
     }
@@ -337,5 +426,49 @@ mod tests {
         let rep = r.report(&m);
         assert!(rep.contains("remote R.f"));
         assert!(rep.contains("double[] (bulk)"));
+    }
+
+    /// Every verdict field of a site has a matching provenance decision,
+    /// and decisions agree with the booleans they explain.
+    #[test]
+    fn provenance_covers_every_aspect_and_agrees() {
+        let src = r#"
+            class LinkedList {
+                LinkedList next;
+                LinkedList(LinkedList next) { this.next = next; }
+            }
+            remote class Foo {
+                int send(LinkedList l, int n) { return n; }
+            }
+            class M {
+                static void main() {
+                    LinkedList head = null;
+                    for (int i = 0; i < 5; i++) { head = new LinkedList(head); }
+                    Foo f = new Foo();
+                    int x = f.send(head, 3);
+                }
+            }
+        "#;
+        let (m, r) = analyze(src);
+        let s = site_for(&m, &r, "send");
+        let p = &s.provenance;
+        let args = p.find("args.cycle").expect("args.cycle decision");
+        assert_eq!(args.verdict, if s.args_may_cycle { "may_cycle" } else { "acyclic" });
+        assert_eq!(args.rule, "revisit", "list spine is conservatively cyclic");
+        assert!(args.witness.contains("reached twice"), "{}", args.witness);
+        assert!(p.find("ret.cycle").is_some());
+        for (i, &reusable) in s.arg_reusable.iter().enumerate() {
+            let d = p.find(&format!("arg{}.reuse", i + 1)).expect("arg reuse decision");
+            assert_eq!(d.verdict == "reusable", reusable);
+            assert!(!d.witness.is_empty());
+        }
+        assert_eq!(
+            p.find("arg2.reuse").unwrap().rule,
+            "primitive-argument",
+            "int argument is explained as by-value"
+        );
+        let ret = p.find("ret.reuse").expect("ret.reuse decision");
+        assert_eq!(ret.verdict == "reusable", s.ret_reusable);
+        assert!(!p.digest().is_empty());
     }
 }

@@ -7,13 +7,53 @@
 //!
 //! Usage:
 //!   cargo run --release -p corm-bench --bin bench_gate -- BENCH_tables.json fresh.json
+//!   cargo run --release -p corm-bench --bin bench_gate -- --recorder-overhead [reps]
+//!
+//! The second form gates the flight recorder's wall-time overhead on the
+//! quick-scale bench (recorder on vs off, best-of-reps), failing past
+//! the 5% budget.
 
 use corm_bench::gate::gate;
+use corm_bench::overhead::{measure_recorder_overhead, RECORDER_OVERHEAD_LIMIT_PCT};
+
+fn recorder_overhead_gate(reps_arg: Option<&String>) -> ! {
+    // The quick-scale walls are ~3ms per app, so the min-of-reps floor
+    // needs many samples before scheduler noise (±15% at 5 reps) drops
+    // under the budget (±2% at 20 reps on an idle host).
+    let reps = match reps_arg {
+        None => 20,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("usage: bench_gate --recorder-overhead [reps]");
+            std::process::exit(2);
+        }),
+    };
+    let r = measure_recorder_overhead(reps);
+    println!(
+        "recorder overhead: on {:.4}s, off {:.4}s, overhead {:+.2}% (budget {:.0}%, best of {reps})",
+        r.on_s,
+        r.off_s,
+        r.overhead_pct(),
+        RECORDER_OVERHEAD_LIMIT_PCT
+    );
+    if r.within_budget() {
+        println!("bench gate: OK (flight recorder within its overhead budget)");
+        std::process::exit(0);
+    }
+    eprintln!(
+        "bench gate: flight recorder overhead {:+.2}% exceeds the {:.0}% budget",
+        r.overhead_pct(),
+        RECORDER_OVERHEAD_LIMIT_PCT
+    );
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--recorder-overhead") {
+        recorder_overhead_gate(args.get(2));
+    }
     let [_, baseline_path, fresh_path] = args.as_slice() else {
-        eprintln!("usage: bench_gate <baseline.json> <fresh.json>");
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> | --recorder-overhead [reps]");
         std::process::exit(2);
     };
     let read = |path: &str| {

@@ -16,6 +16,7 @@ use corm_apps::AppSpec;
 
 pub mod gate;
 pub mod json;
+pub mod overhead;
 
 /// One measured row of a timing table.
 #[derive(Debug, Clone)]

@@ -1,0 +1,103 @@
+//! Flight-recorder overhead gate.
+//!
+//! The flight recorder (DESIGN §11) is on by default in every run, so its
+//! cost must stay in the noise. This module measures the quick-scale
+//! bench — all five evaluation apps under the full optimization stack —
+//! twice per repetition, once with the recorder at its default capacity
+//! and once with it disabled (`flight_capacity: 0` turns `record` into a
+//! no-op), and reports the relative wall-time overhead. CI runs this via
+//! `bench_gate --recorder-overhead` and fails the build past the budget.
+//!
+//! The on/off runs are interleaved inside each repetition so both sides
+//! see the same warm-up, scheduler and thermal conditions, and each side
+//! keeps its best-of-reps wall time (same noise-stripping rationale as
+//! [`measure_table`](crate::measure_table)).
+
+use corm::{OptConfig, RunOptions, DEFAULT_FLIGHT_CAPACITY};
+use corm_apps::ALL_APPS;
+
+/// Overhead budget, percent: recorder-on may cost at most this much wall
+/// time over recorder-off on the quick-scale bench.
+pub const RECORDER_OVERHEAD_LIMIT_PCT: f64 = 5.0;
+
+/// Best-of-reps wall seconds, recorder on vs off, summed over the five
+/// evaluation apps.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    /// Recorder at [`DEFAULT_FLIGHT_CAPACITY`].
+    pub on_s: f64,
+    /// Recorder disabled (`flight_capacity: 0`).
+    pub off_s: f64,
+}
+
+impl OverheadReport {
+    /// Relative overhead of the recorder, percent. Negative means the
+    /// recorder-on runs were (noise-)faster.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.on_s - self.off_s) / self.off_s * 100.0
+    }
+
+    /// Gate verdict against [`RECORDER_OVERHEAD_LIMIT_PCT`].
+    pub fn within_budget(&self) -> bool {
+        self.overhead_pct() <= RECORDER_OVERHEAD_LIMIT_PCT
+    }
+}
+
+/// Measure the recorder's wall-time overhead on the quick-scale bench.
+pub fn measure_recorder_overhead(reps: usize) -> OverheadReport {
+    let mut on_s = 0.0;
+    let mut off_s = 0.0;
+    for app in &ALL_APPS {
+        let compiled = app.compile(OptConfig::ALL);
+        // best[0] = recorder on, best[1] = recorder off
+        let mut best = [f64::INFINITY; 2];
+        for _ in 0..reps.max(1) {
+            for (slot, capacity) in [(0, DEFAULT_FLIGHT_CAPACITY), (1, 0)] {
+                let out = corm::run(
+                    &compiled,
+                    RunOptions {
+                        machines: app.machines,
+                        args: app.quick_args.to_vec(),
+                        flight_capacity: capacity,
+                        ..Default::default()
+                    },
+                );
+                assert!(
+                    out.error.is_none(),
+                    "{} failed with flight_capacity={capacity}: {:?}",
+                    app.name,
+                    out.error
+                );
+                best[slot] = best[slot].min(out.wall.as_secs_f64());
+            }
+        }
+        on_s += best[0];
+        off_s += best[1];
+    }
+    OverheadReport { on_s, off_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_report_measures_both_sides() {
+        let r = measure_recorder_overhead(1);
+        assert!(r.on_s > 0.0 && r.off_s > 0.0);
+        assert!(r.overhead_pct().is_finite());
+        // No budget assertion here: debug builds and loaded test hosts
+        // are too noisy for the 5% gate, which CI enforces in release
+        // via `bench_gate --recorder-overhead`.
+    }
+
+    #[test]
+    fn budget_verdict_matches_the_limit() {
+        let pass = OverheadReport { on_s: 1.04, off_s: 1.0 };
+        assert!(pass.within_budget());
+        let fail = OverheadReport { on_s: 1.06, off_s: 1.0 };
+        assert!(!fail.within_budget());
+        let faster = OverheadReport { on_s: 0.9, off_s: 1.0 };
+        assert!(faster.within_budget() && faster.overhead_pct() < 0.0);
+    }
+}

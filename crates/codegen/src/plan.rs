@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use corm_analysis::{AnalysisResult, Shape};
+use corm_analysis::{AnalysisResult, Decision, Shape, SiteProvenance};
 use corm_ir::{CallSiteId, ClassId, FieldId, MethodId, Module, Ty};
 
 /// Primitive payload kinds.
@@ -109,6 +109,11 @@ pub struct MarshalPlan {
     /// Reply degrades to a bare ack (return value ignored by the caller).
     pub ret_ignored: bool,
     pub is_spawn: bool,
+    /// Applied provenance: why this plan keeps/elides the cycle table and
+    /// enables/disables reuse under its configuration. Where the analysis
+    /// decided, its rule and witness are carried over verbatim; where the
+    /// configuration decided (e.g. `class` mode), the rule says so.
+    pub provenance: SiteProvenance,
 }
 
 /// Which serializer engine generates/executes the plans.
@@ -291,6 +296,66 @@ pub fn generate_plans(m: &Module, analysis: &AnalysisResult, config: OptConfig) 
         };
         let ret_reuse = config.reuse && site_mode && info.ret_reusable;
 
+        // Applied provenance: rewrite the analysis' fact-level decisions
+        // into what this configuration actually does at the site.
+        let label = config.label();
+        let analysis_decided = |aspect: &str| -> (&'static str, String) {
+            match info.provenance.find(aspect) {
+                Some(d) => (d.rule, d.witness.clone()),
+                None => ("analysis-missing", "no recorded analysis decision".into()),
+            }
+        };
+        let mut provenance = SiteProvenance::default();
+        for (aspect, kept, payload) in [
+            ("args.cycle", args_cycle_table, args_need_table(&args)),
+            ("ret.cycle", ret_cycle_table, ret.as_ref().map(node_needs_table).unwrap_or(false)),
+        ] {
+            let (rule, witness) = if config.cycle_elim && site_mode {
+                analysis_decided(aspect)
+            } else if kept {
+                (
+                    "config-conservative",
+                    format!(
+                        "cycle elimination is off under '{label}'; \
+                         every reference payload uses the table"
+                    ),
+                )
+            } else if payload {
+                // unreachable by construction (kept == payload here), but
+                // keep the rule total.
+                ("config-conservative", format!("table kept under '{label}'"))
+            } else {
+                (
+                    "no-reference-payload",
+                    "only primitives, strings or remote handles cross the wire here; \
+                     there is nothing a cycle table could deduplicate"
+                        .into(),
+                )
+            };
+            provenance.decisions.push(Decision {
+                aspect: aspect.into(),
+                verdict: if kept { "cycle_table_kept" } else { "cycle_table_elided" },
+                rule,
+                witness,
+            });
+        }
+        let reuse_aspects = (1..=meth.params.len())
+            .map(|i| (format!("arg{i}.reuse"), arg_reuse[i - 1]))
+            .chain(std::iter::once(("ret.reuse".to_string(), ret_reuse)));
+        for (aspect, enabled) in reuse_aspects {
+            let (rule, witness) = if config.reuse && site_mode {
+                analysis_decided(&aspect)
+            } else {
+                ("config-disables-reuse", format!("object reuse is off under '{label}'"))
+            };
+            provenance.decisions.push(Decision {
+                aspect,
+                verdict: if enabled { "reuse_enabled" } else { "reuse_disabled" },
+                rule,
+                witness,
+            });
+        }
+
         sites.insert(
             cs.id,
             MarshalPlan {
@@ -304,6 +369,7 @@ pub fn generate_plans(m: &Module, analysis: &AnalysisResult, config: OptConfig) 
                 ret_reuse,
                 ret_ignored: info.ret_ignored,
                 is_spawn: info.is_spawn,
+                provenance,
             },
         );
     }
@@ -586,5 +652,40 @@ mod tests {
     fn preset_labels() {
         assert_eq!(OptConfig::CLASS.label(), "class");
         assert_eq!(OptConfig::ALL.label(), "site + reuse + cycle");
+    }
+
+    /// Applied provenance mirrors the plan's booleans under every table
+    /// row, and carries the analysis witness where the analysis decided.
+    #[test]
+    fn provenance_matches_plan_under_all_rows() {
+        for (_, config) in OptConfig::TABLE_ROWS {
+            let (_m, p) = plans_for(ARRAY_SRC, config);
+            let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+            let d = plan.provenance.find("args.cycle").expect("args.cycle");
+            assert_eq!(
+                d.verdict,
+                if plan.args_cycle_table { "cycle_table_kept" } else { "cycle_table_elided" },
+                "{}",
+                config.label()
+            );
+            assert!(!d.witness.is_empty());
+            let r = plan.provenance.find("arg1.reuse").expect("arg1.reuse");
+            assert_eq!(
+                r.verdict,
+                if plan.arg_reuse[0] { "reuse_enabled" } else { "reuse_disabled" }
+            );
+            assert!(plan.provenance.find("ret.cycle").is_some());
+            assert!(plan.provenance.find("ret.reuse").is_some());
+        }
+        // Under ALL, the elision is justified by the analysis traversal...
+        let (_m, p) = plans_for(ARRAY_SRC, OptConfig::ALL);
+        let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+        assert_eq!(plan.provenance.find("args.cycle").unwrap().rule, "traversal-complete");
+        assert_eq!(plan.provenance.find("arg1.reuse").unwrap().rule, "no-escape");
+        // ...under SITE the configuration is the reason.
+        let (_m, p) = plans_for(ARRAY_SRC, OptConfig::SITE);
+        let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+        assert_eq!(plan.provenance.find("args.cycle").unwrap().rule, "config-conservative");
+        assert_eq!(plan.provenance.find("arg1.reuse").unwrap().rule, "config-disables-reuse");
     }
 }

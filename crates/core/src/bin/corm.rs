@@ -4,6 +4,9 @@
 //! ```text
 //! corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--stats]
 //!                    [--trace] [--trace-json PATH] [--metrics] [--quiet]
+//!                    [--dump-flight PATH]
+//! corm explain <file.mp> [--config CFG] [--json]
+//!                                           # per-site analysis provenance
 //! corm analyze <file.mp> [--config CFG]     # analysis report + marshalers
 //! corm ir <file.mp>                         # lowered IR + SSA dump
 //! corm graph <file.mp>                      # points-to heap graph
@@ -17,7 +20,12 @@
 //! * `--trace-json PATH` writes the trace as Chrome trace-event JSON —
 //!   load it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`;
 //! * `--metrics` prints per-machine / per-call-site metrics to stdout in
-//!   Prometheus text exposition format.
+//!   Prometheus text exposition format;
+//! * `--dump-flight PATH` writes the flight-recorder ring (last N RMI
+//!   events per machine) as JSON after the run, whether it failed or not;
+//! * `corm explain` prints verdict, rule and witness for every decision
+//!   behind each remote call site's marshal plan — with an explicit
+//!   `--config` only that row, otherwise all five Table 1 rows.
 //!
 //! CFG ∈ class | site | site-cycle | site-reuse | all | introspect
 //! (optionally suffixed with `+list-ext` for the §7 ablation).
@@ -28,7 +36,7 @@ use corm::{compile, run, OptConfig, RunOptions, TransportKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default) or tcp\n                     (real loopback sockets; also measures wire time)\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing"
+        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet] [--dump-flight PATH]\n  corm explain <file.mp> [--config CFG] [--json]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default) or tcp\n                     (real loopback sockets; also measures wire time)\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing\n  --dump-flight PATH write the flight-recorder events as JSON after the run\n\nexplain flags:\n  --config CFG       explain only this configuration (default: all 5 rows)\n  --json             machine-readable provenance instead of the text report"
     );
     std::process::exit(2);
 }
@@ -55,6 +63,9 @@ struct Cli {
     command: String,
     file: String,
     config: OptConfig,
+    /// Whether `--config` was given explicitly (explain defaults to all
+    /// five Table 1 rows when it was not).
+    config_explicit: bool,
     machines: usize,
     args: Vec<i64>,
     stats: bool,
@@ -63,6 +74,8 @@ struct Cli {
     trace_json: Option<String>,
     metrics: bool,
     transport: TransportKind,
+    json: bool,
+    dump_flight: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -74,6 +87,7 @@ fn parse_cli() -> Cli {
         command: argv[0].clone(),
         file: argv[1].clone(),
         config: OptConfig::ALL,
+        config_explicit: false,
         machines: 2,
         args: Vec::new(),
         stats: false,
@@ -82,6 +96,8 @@ fn parse_cli() -> Cli {
         trace_json: None,
         metrics: false,
         transport: TransportKind::default(),
+        json: false,
+        dump_flight: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -93,6 +109,7 @@ fn parse_cli() -> Cli {
                     usage();
                 };
                 cli.config = cfg;
+                cli.config_explicit = true;
             }
             "--machines" => {
                 i += 1;
@@ -116,6 +133,12 @@ fn parse_cli() -> Cli {
                 cli.trace_json = Some(path.clone());
             }
             "--metrics" => cli.metrics = true,
+            "--json" => cli.json = true,
+            "--dump-flight" => {
+                i += 1;
+                let Some(path) = argv.get(i) else { usage() };
+                cli.dump_flight = Some(path.clone());
+            }
             "--transport" => {
                 i += 1;
                 let Some(kind) = argv.get(i).and_then(|s| s.parse().ok()) else {
@@ -192,6 +215,24 @@ fn main() -> ExitCode {
             if cli.metrics {
                 print!("{}", corm::render_prometheus(&outcome.metrics));
             }
+            if let Some(path) = &cli.dump_flight {
+                // A requested dump of a healthy run is labeled as such;
+                // failures keep their classification (peer-gone, ...).
+                let mut dump = outcome.flight.clone();
+                if dump.reason == "ok" {
+                    dump.reason = "requested".to_string();
+                }
+                if let Err(e) = std::fs::write(path, corm::render_flight_json(&dump)) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                if !cli.quiet {
+                    eprintln!(
+                        "flight recorder dump ({} events) written to {path}",
+                        dump.total_events()
+                    );
+                }
+            }
             if cli.stats {
                 let st = &outcome.stats;
                 eprintln!("--- run statistics ({}) ---", cli.config.label());
@@ -218,6 +259,38 @@ fn main() -> ExitCode {
             if let Some(e) = outcome.error {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        "explain" => {
+            if cli.config_explicit {
+                if cli.json {
+                    println!("{}", corm::render_explain_json(&compiled));
+                } else {
+                    print!("{}", corm::render_explain(&compiled));
+                }
+            } else if cli.json {
+                // One JSON document per row, newline-separated (JSONL of
+                // pretty documents would be ambiguous; emit an array).
+                let mut docs = Vec::new();
+                for (_, cfg) in OptConfig::TABLE_ROWS {
+                    let c = compile(&src, cfg).expect("already compiled once");
+                    docs.push(corm::render_explain_json(&c));
+                }
+                println!("[");
+                for (i, d) in docs.iter().enumerate() {
+                    print!("{d}");
+                    println!("{}", if i + 1 < docs.len() { "," } else { "" });
+                }
+                println!("]");
+            } else {
+                match corm::render_explain_all_rows(&src) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => {
+                        eprintln!("{}: compile error: {e}", cli.file);
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             ExitCode::SUCCESS
         }

@@ -40,7 +40,11 @@
 
 use std::sync::Arc;
 
-pub use corm_analysis::{AnalysisOptions, AnalysisResult, RemoteSiteInfo, Shape};
+pub mod explain;
+
+pub use corm_analysis::{
+    AnalysisOptions, AnalysisResult, Decision, RemoteSiteInfo, Shape, SiteProvenance,
+};
 pub use corm_codegen::AUDIT_ERROR_PREFIX;
 pub use corm_codegen::{describe_plan, EngineMode, MarshalPlan, OptConfig, Plans};
 pub use corm_heap::{deep_equal_across, structure_digest, HeapStats, Value};
@@ -51,10 +55,12 @@ pub use corm_obs::{
     MachineSnapshot, MetricsRegistry, MetricsSnapshot, PhaseTotals, SiteSnapshot,
 };
 pub use corm_vm::{
-    render_timeline, to_chrome_trace, to_json, AuditSnapshot, Phase, RunOptions, RunOutcome,
-    TraceEvent, TraceKind, VmError,
+    render_flight_json, render_timeline, to_chrome_trace, to_json, AuditSnapshot, FaultSpec,
+    FlightDump, FlightEvent, FlightKind, Phase, RunOptions, RunOutcome, TraceEvent, TraceKind,
+    VmError, DEFAULT_FLIGHT_CAPACITY,
 };
 pub use corm_wire::StatsSnapshot;
+pub use explain::{render_explain, render_explain_all_rows, render_explain_json};
 
 /// A fully compiled MiniParty program: lowered module, analysis summary
 /// and the serializer programs for one optimization configuration.

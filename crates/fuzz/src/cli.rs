@@ -67,9 +67,21 @@ fn write_artifact(dir: &PathBuf, name: &str, contents: &str) -> std::io::Result<
     Ok(path)
 }
 
+/// Comment block with the per-site provenance digests of `src` — makes
+/// corpus entries and failure artifacts self-explaining: the analysis
+/// decisions the program exercises ride along with it.
+fn provenance_comment(src: &str) -> String {
+    crate::oracle::site_provenance_digests(src)
+        .iter()
+        .map(|l| format!("// provenance: {l}\n"))
+        .collect()
+}
+
 fn emit_corpus(dir: &PathBuf) -> i32 {
     for (name, desc, spec) in corpus() {
-        let body = format!("// corm-fuzz corpus: {name} — {desc}\n{}", spec.render());
+        let src = spec.render();
+        let body =
+            format!("// corm-fuzz corpus: {name} — {desc}\n{}{src}", provenance_comment(&src));
         match write_artifact(dir, &format!("{name}.mp"), &body) {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
@@ -133,10 +145,11 @@ pub fn fuzz_main(args: &[String]) -> i32 {
                 // The failure detail is multi-line; comment every line so
                 // the artifact stays a valid, directly replayable program.
                 let commented: String = detail.lines().map(|l| format!("// {l}\n")).collect();
+                let src = final_spec.render();
                 let body = format!(
-                    "// corm-fuzz failing program\n// seed {:#x}, iteration {i}\n{commented}{}",
+                    "// corm-fuzz failing program\n// seed {:#x}, iteration {i}\n{commented}{}{src}",
                     cli.seed,
-                    final_spec.render()
+                    provenance_comment(&src)
                 );
                 match write_artifact(&cli.out, &format!("{stem}.mp"), &body) {
                     Ok(path) => eprintln!("[corm fuzz] wrote {}", path.display()),

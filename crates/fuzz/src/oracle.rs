@@ -86,6 +86,34 @@ fn compile(src: &str, config: OptConfig) -> Result<(Arc<Module>, Arc<Plans>), St
     Ok((Arc::new(module), Arc::new(plans)))
 }
 
+/// One digest line per remote call site, in site order — what oracle
+/// failures and fuzz artifacts embed so the offending site's analysis
+/// decisions travel with the report.
+fn provenance_lines(plans: &Plans) -> String {
+    let mut sites: Vec<_> = plans.sites.values().collect();
+    sites.sort_by_key(|p| p.site);
+    sites
+        .iter()
+        .map(|p| format!("  site {}: {}", p.site.0, p.provenance.digest()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Per-site provenance digests of `src` under the full optimization
+/// stack (`site + reuse + cycle` elides the most, so its digests name
+/// every claim a fuzz failure could contradict). Returns comment-ready
+/// lines; compile errors degrade to a single explanatory line.
+pub fn site_provenance_digests(src: &str) -> Vec<String> {
+    match compile(src, OptConfig::ALL) {
+        Ok((_, plans)) => {
+            let mut sites: Vec<_> = plans.sites.values().collect();
+            sites.sort_by_key(|p| p.site);
+            sites.iter().map(|p| format!("site {}: {}", p.site.0, p.provenance.digest())).collect()
+        }
+        Err(e) => vec![format!("provenance unavailable (compile failed): {e}")],
+    }
+}
+
 fn audited_run(module: Arc<Module>, plans: Arc<Plans>, transport: TransportKind) -> RunOutcome {
     run_program(
         module,
@@ -107,6 +135,11 @@ pub fn check_source(src: &str) -> Result<OracleOutcome, OracleFailure> {
     for (label, cfg) in OptConfig::TABLE_ROWS {
         let (module, plans) =
             compile(src, cfg).map_err(|e| fail(FailureKind::Compile, label, e))?;
+        // Every failure report names the analysis decisions behind the
+        // plans that produced the disagreement.
+        let with_prov = |detail: String| {
+            format!("{detail}\nanalysis provenance ({label}):\n{}", provenance_lines(&plans))
+        };
 
         let mut transport_runs: Vec<(TransportKind, RunOutcome)> = Vec::new();
         for transport in [TransportKind::Channel, TransportKind::Tcp] {
@@ -118,7 +151,11 @@ pub fn check_source(src: &str) -> Result<OracleOutcome, OracleFailure> {
                 } else {
                     FailureKind::RunError
                 };
-                return Err(fail(kind, ctx, format!("{err}\noutput so far:\n{}", out.output)));
+                return Err(fail(
+                    kind,
+                    ctx,
+                    with_prov(format!("{err}\noutput so far:\n{}", out.output)),
+                ));
             }
             outcome.runs += 1;
             outcome.shadow_tables += out.audit.shadow_tables;
@@ -136,25 +173,31 @@ pub fn check_source(src: &str) -> Result<OracleOutcome, OracleFailure> {
                 return Err(fail(
                     FailureKind::OutputDivergence,
                     ctx,
-                    format!("channel output:\n{}\ntcp output:\n{}", base.output, out.output),
+                    with_prov(format!(
+                        "channel output:\n{}\ntcp output:\n{}",
+                        base.output, out.output
+                    )),
                 ));
             }
             if machine_stats(out) != machine_stats(base) {
                 return Err(fail(
                     FailureKind::CounterDivergence,
                     ctx,
-                    format!(
+                    with_prov(format!(
                         "per-machine stats differ\nchannel: {:?}\nother:   {:?}",
                         machine_stats(base),
                         machine_stats(out)
-                    ),
+                    )),
                 ));
             }
             if out.audit != base.audit {
                 return Err(fail(
                     FailureKind::CounterDivergence,
                     ctx,
-                    format!("audit counters differ: {:?} vs {:?}", base.audit, out.audit),
+                    with_prov(format!(
+                        "audit counters differ: {:?} vs {:?}",
+                        base.audit, out.audit
+                    )),
                 ));
             }
         }
@@ -167,10 +210,10 @@ pub fn check_source(src: &str) -> Result<OracleOutcome, OracleFailure> {
                     return Err(fail(
                         FailureKind::OutputDivergence,
                         format!("{first_label} vs {label}"),
-                        format!(
+                        with_prov(format!(
                             "{first_label} output:\n{expected}\n{label} output:\n{}",
                             base.output
-                        ),
+                        )),
                     ));
                 }
             }
@@ -272,6 +315,31 @@ mod tests {
         };
         let report = check_spec(&spec).unwrap_or_else(|f| panic!("oracle failed: {f}"));
         assert_eq!(report.runs, 10, "5 configs x 2 transports");
+    }
+
+    #[test]
+    fn provenance_digests_cover_every_call_site() {
+        let spec = ProgramSpec {
+            shapes: vec![ShapeSpec::List { len: 4, cyclic: true, seed: 3 }],
+            calls: vec![CallSpec {
+                shape: 0,
+                target: 1,
+                reps: 1,
+                mutate: false,
+                variant: Variant::Echo,
+            }],
+        };
+        let lines = site_provenance_digests(&spec.render());
+        assert!(!lines.is_empty());
+        for l in &lines {
+            assert!(l.starts_with("site "), "digest line must name the site: {l}");
+            assert!(l.contains("args.cycle="), "digest must carry the cycle verdict: {l}");
+            assert!(!l.contains('\n'), "one line per site");
+        }
+        // Compile errors degrade gracefully instead of panicking.
+        let broken = site_provenance_digests("class {");
+        assert_eq!(broken.len(), 1);
+        assert!(broken[0].contains("provenance unavailable"));
     }
 
     #[test]

@@ -183,9 +183,10 @@ impl TcpTransport {
         Ok((mailboxes, transport))
     }
 
-    /// Test hook: abruptly close every stream touching `machine`
-    /// *without* raising the shutdown flag, simulating that machine
-    /// crashing. Surviving machines observe [`Packet::PeerGone`].
+    /// Abruptly close every stream touching `machine` *without* raising
+    /// the shutdown flag, simulating that machine crashing. Surviving
+    /// machines observe [`Packet::PeerGone`]. Also exposed through
+    /// [`Transport::sever`] for fault injection behind the trait object.
     pub fn sever(&self, machine: u16) {
         let m = machine as usize;
         for (i, row) in self.writers.iter().enumerate() {
@@ -230,6 +231,10 @@ impl Transport for TcpTransport {
 
     fn measured_wire_ns(&self, machine: u16) -> u64 {
         self.measured_ns[machine as usize].load(Ordering::Relaxed)
+    }
+
+    fn sever(&self, machine: u16) {
+        TcpTransport::sever(self, machine);
     }
 
     fn shutdown(&self) {

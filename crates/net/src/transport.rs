@@ -67,6 +67,13 @@ pub trait Transport: Send + Sync {
     /// that deliver by moving a pointer.
     fn measured_wire_ns(&self, machine: u16) -> u64;
 
+    /// Fault injection: `machine` dies abruptly (power cord pulled). Its
+    /// carriers are cut without an orderly shutdown; subsequent deliveries
+    /// to or from it are dropped, and every *other* machine receives
+    /// [`Packet::PeerGone`] for it — the signal the VM drain loop turns
+    /// into failed replies.
+    fn sever(&self, machine: u16);
+
     /// Orderly teardown: close carriers and join I/O threads so drops
     /// never hang. Idempotent.
     fn shutdown(&self);
@@ -113,6 +120,9 @@ impl FromStr for TransportKind {
 /// The original in-process fabric: one unbounded channel per machine.
 pub struct ChannelTransport {
     senders: Vec<Sender<Packet>>,
+    /// Machines killed by [`Transport::sever`]: packets to or from them
+    /// are dropped, mirroring the TCP backend's cut streams.
+    severed: std::sync::Mutex<std::collections::HashSet<u16>>,
 }
 
 impl ChannelTransport {
@@ -124,7 +134,7 @@ impl ChannelTransport {
             senders.push(tx);
             mailboxes.push(Box::new(ChannelMailbox { machine: i as u16, rx }));
         }
-        (mailboxes, Arc::new(ChannelTransport { senders }))
+        (mailboxes, Arc::new(ChannelTransport { senders, severed: Default::default() }))
     }
 }
 
@@ -137,12 +147,32 @@ impl Transport for ChannelTransport {
         self.senders.len()
     }
 
-    fn deliver(&self, _from: u16, to: u16, packet: Packet) {
+    fn deliver(&self, from: u16, to: u16, packet: Packet) {
+        // PeerGone must still reach the survivors of a sever, and
+        // Shutdown is harness teardown (it stops the host-side service
+        // threads even of a "dead" machine), not cluster traffic.
+        if !matches!(packet, Packet::PeerGone { .. } | Packet::Shutdown) {
+            let severed = self.severed.lock().unwrap();
+            if severed.contains(&from) || severed.contains(&to) {
+                return; // the dead machine neither sends nor receives
+            }
+        }
         let _ = self.senders[to as usize].send(packet);
     }
 
     fn measured_wire_ns(&self, _machine: u16) -> u64 {
         0
+    }
+
+    fn sever(&self, machine: u16) {
+        if !self.severed.lock().unwrap().insert(machine) {
+            return; // already dead; one PeerGone per death
+        }
+        for (i, tx) in self.senders.iter().enumerate() {
+            if i as u16 != machine {
+                let _ = tx.send(Packet::PeerGone { peer: machine });
+            }
+        }
     }
 
     fn shutdown(&self) {}
@@ -261,6 +291,13 @@ impl NetHandle {
     /// Per-machine measured wire time, indexed by receiving machine.
     pub fn measured_wire_ns_per_machine(&self) -> Vec<u64> {
         (0..self.machines()).map(|m| self.transport.measured_wire_ns(m as u16)).collect()
+    }
+
+    /// Fault injection: kill `machine` abruptly (see [`Transport::sever`]).
+    /// Survivors observe `PeerGone`; packets touching the dead machine
+    /// are dropped from then on.
+    pub fn sever(&self, machine: u16) {
+        self.transport.sever(machine);
     }
 
     /// Tear down the backend (close sockets, join I/O threads). Safe to
@@ -383,6 +420,42 @@ mod tests {
         assert!("gm".parse::<TransportKind>().is_err());
         assert_eq!(TransportKind::Tcp.to_string(), "tcp");
         assert_eq!(TransportKind::default(), TransportKind::Channel);
+    }
+
+    #[test]
+    fn sever_notifies_survivors_and_drops_dead_traffic() {
+        for kind in [TransportKind::Channel, TransportKind::Tcp] {
+            let (mailboxes, net) = fabric_of(kind, 3);
+            net.sever(1);
+            for mb in [&mailboxes[0], &mailboxes[2]] {
+                match mb.recv().unwrap() {
+                    Packet::PeerGone { peer } => assert_eq!(peer, 1, "{kind:?}"),
+                    other => panic!("{kind:?}: unexpected {other:?}"),
+                }
+            }
+            // Traffic toward the dead peer is dropped, never hangs...
+            net.send(0, 1, Packet::Reply { req_id: 1, payload: vec![], err: None });
+            // ...and survivors still talk to each other.
+            net.send(0, 2, Packet::Reply { req_id: 2, payload: vec![], err: None });
+            match mailboxes[2].recv().unwrap() {
+                Packet::Reply { req_id, .. } => assert_eq!(req_id, 2, "{kind:?}"),
+                other => panic!("{kind:?}: unexpected {other:?}"),
+            }
+            net.shutdown();
+        }
+    }
+
+    #[test]
+    fn channel_sever_is_idempotent() {
+        let (mailboxes, net) = fabric_of(TransportKind::Channel, 2);
+        net.sever(1);
+        net.sever(1);
+        match mailboxes[0].recv().unwrap() {
+            Packet::PeerGone { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(mailboxes[0].try_recv().unwrap(), None, "exactly one PeerGone per death");
+        net.shutdown();
     }
 
     #[test]

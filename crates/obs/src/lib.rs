@@ -16,6 +16,9 @@
 //! * [`chrome`] — a Chrome trace-event JSON exporter (loads directly
 //!   in Perfetto / `chrome://tracing`, one track per machine);
 //! * [`prometheus`] — a Prometheus text-exposition renderer;
+//! * [`recorder`] — the always-on RMI flight recorder: a lock-free
+//!   per-machine ring of the last N RMI events, dumped as a JSON
+//!   artifact on panic, peer loss, audit mismatch, or on request;
 //! * [`report`] — per-phase time attribution splitting real
 //!   (measured) from modeled (cost-model) time.
 //!
@@ -26,6 +29,7 @@ pub mod chrome;
 pub mod hist;
 pub mod metrics;
 pub mod prometheus;
+pub mod recorder;
 pub mod report;
 pub mod trace;
 
@@ -35,5 +39,9 @@ pub use metrics::{
     MachineMetrics, MachineSnapshot, MetricsRegistry, MetricsSnapshot, SiteMetrics, SiteSnapshot,
 };
 pub use prometheus::render_prometheus;
+pub use recorder::{
+    render_flight_json, FlightDump, FlightEvent, FlightKind, FlightRecorder, FlightRing,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 pub use report::{attach_measured_wire, phase_report, render_phase_report, PhaseTotals};
 pub use trace::{render_timeline, to_json, Phase, TraceEvent, TraceKind};

@@ -34,6 +34,14 @@ pub struct MachineMetrics {
     pub invoke_us: Log2Histogram,
     /// Request payload bytes leaving this machine.
     pub payload_bytes: Log2Histogram,
+    /// Shadow-table cycle-freedom checks performed by the runtime auditor
+    /// on this machine (`RunOptions::audit`). Zero when auditing is off.
+    pub audit_checks: AtomicU64,
+    /// Reuse-cache values (primitive slots, array elements, strings)
+    /// poisoned by the auditor on this machine before deserialization
+    /// reclaimed them. Zero when auditing is off; a healthy build
+    /// overwrites every poisoned slot from the wire.
+    pub audit_poisons: AtomicU64,
 }
 
 /// Per-call-site metrics (cluster-wide scope: a site's calls may
@@ -96,6 +104,8 @@ impl MetricsRegistry {
             m.unmarshal_us.reset();
             m.invoke_us.reset();
             m.payload_bytes.reset();
+            m.audit_checks.store(0, Ordering::Relaxed);
+            m.audit_poisons.store(0, Ordering::Relaxed);
         }
         self.sites.lock().clear();
     }
@@ -112,6 +122,8 @@ impl MetricsRegistry {
                 unmarshal_us: m.unmarshal_us.snapshot(),
                 invoke_us: m.invoke_us.snapshot(),
                 payload_bytes: m.payload_bytes.snapshot(),
+                audit_checks: m.audit_checks.load(Ordering::Relaxed),
+                audit_poisons: m.audit_poisons.load(Ordering::Relaxed),
             })
             .collect();
         let mut sites: Vec<SiteSnapshot> = self
@@ -139,6 +151,8 @@ pub struct MachineSnapshot {
     pub unmarshal_us: HistSnapshot,
     pub invoke_us: HistSnapshot,
     pub payload_bytes: HistSnapshot,
+    pub audit_checks: u64,
+    pub audit_poisons: u64,
 }
 
 /// Plain-value copy of one call site's scope.
@@ -214,6 +228,22 @@ mod tests {
         let snap = reg.snapshot();
         assert!(snap.sites.is_empty(), "site scopes must be dropped");
         assert_eq!(snap.cluster_hist(|m| &m.rtt_us).count, 0);
+    }
+
+    #[test]
+    fn audit_counters_snapshot_and_reset() {
+        let reg = MetricsRegistry::new(2);
+        reg.machine(0).audit_checks.fetch_add(5, Ordering::Relaxed);
+        reg.machine(1).audit_checks.fetch_add(2, Ordering::Relaxed);
+        reg.machine(1).audit_poisons.fetch_add(1, Ordering::Relaxed);
+        let snap = reg.snapshot();
+        assert_eq!(snap.machines[0].audit_checks, 5);
+        assert_eq!(snap.machines[1].audit_checks, 2);
+        assert_eq!(snap.machines[1].audit_poisons, 1);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.machines.iter().map(|m| m.audit_checks).sum::<u64>(), 0);
+        assert_eq!(snap.machines.iter().map(|m| m.audit_poisons).sum::<u64>(), 0);
     }
 
     #[test]

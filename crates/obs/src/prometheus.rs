@@ -46,6 +46,19 @@ fn histogram(out: &mut String, name: &str, help: &str, series: &[(String, HistSn
         let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum);
         let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count);
     }
+    // Derived quantile gauges: log2 buckets are sparse, so dashboards
+    // would otherwise need histogram_quantile over very coarse data.
+    // Empty series report nothing (a 0 would read as a real latency).
+    for (q, suffix) in [(0.5, "p50"), (0.99, "p99")] {
+        let qname = format!("{name}_{suffix}");
+        let _ = writeln!(out, "# HELP {qname} {help} ({suffix} upper bound, derived)");
+        let _ = writeln!(out, "# TYPE {qname} gauge");
+        for (labels, h) in series {
+            if h.count > 0 {
+                let _ = writeln!(out, "{qname}{{{labels}}} {}", h.quantile(q));
+            }
+        }
+    }
 }
 
 /// Render the registry snapshot as a Prometheus text exposition.
@@ -119,6 +132,33 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
         "corm_deser_allocs_total",
         "Objects allocated by deserialization",
         &per_machine(&|s| s.deser_allocs),
+    );
+
+    // Auditor activity (RunOptions::audit): checks performed by the
+    // shadow cycle table and violations that poisoned the run.
+    let audit_checks: Vec<(String, u64)> = m
+        .machines
+        .iter()
+        .enumerate()
+        .map(|(i, ms)| (format!("machine=\"{i}\""), ms.audit_checks))
+        .collect();
+    counter(
+        &mut out,
+        "corm_audit_checks_total",
+        "Shadow cycle-table checks performed by the runtime auditor",
+        &audit_checks,
+    );
+    let audit_poisons: Vec<(String, u64)> = m
+        .machines
+        .iter()
+        .enumerate()
+        .map(|(i, ms)| (format!("machine=\"{i}\""), ms.audit_poisons))
+        .collect();
+    counter(
+        &mut out,
+        "corm_audit_poisons_total",
+        "Reuse-cache values poisoned by the auditor before reclamation",
+        &audit_poisons,
     );
 
     let per_machine_hist =
@@ -209,6 +249,40 @@ mod tests {
         assert!(text.contains(r#"corm_rmi_rtt_microseconds_sum{machine="0"} 100"#));
         assert!(text.contains(r#"corm_site_calls_total{site="7"} 4"#));
         assert!(text.contains(r#"corm_site_rtt_microseconds_count{site="7"} 1"#));
+    }
+
+    #[test]
+    fn audit_counters_are_exposed() {
+        let reg = MetricsRegistry::new(2);
+        reg.machine(1).audit_checks.fetch_add(9, std::sync::atomic::Ordering::Relaxed);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE corm_audit_checks_total counter"));
+        assert!(text.contains(r#"corm_audit_checks_total{machine="1"} 9"#));
+        assert!(text.contains(r#"corm_audit_checks_total{machine="0"} 0"#));
+        assert!(text.contains("# TYPE corm_audit_poisons_total counter"));
+        assert!(text.contains(r#"corm_audit_poisons_total{machine="1"} 0"#));
+    }
+
+    #[test]
+    fn quantile_gauges_follow_each_histogram() {
+        let reg = MetricsRegistry::new(2);
+        for _ in 0..99 {
+            reg.machine(0).rtt_us.record(100); // bucket le=127
+        }
+        reg.machine(0).rtt_us.record(100_000); // bucket le=131071
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE corm_rmi_rtt_microseconds_p50 gauge"));
+        assert!(text.contains(r#"corm_rmi_rtt_microseconds_p50{machine="0"} 127"#));
+        assert!(text.contains(r#"corm_rmi_rtt_microseconds_p99{machine="0"} 127"#));
+        // machine 1 recorded nothing: no gauge line rather than a fake 0
+        assert!(!text.contains(r#"corm_rmi_rtt_microseconds_p50{machine="1"}"#));
+        // every histogram family gets the derived gauges
+        for fam in
+            ["corm_marshal_microseconds", "corm_rmi_payload_bytes", "corm_site_rtt_microseconds"]
+        {
+            assert!(text.contains(&format!("# TYPE {fam}_p50 gauge")), "{fam}");
+            assert!(text.contains(&format!("# TYPE {fam}_p99 gauge")), "{fam}");
+        }
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! Always-on RMI flight recorder: a lock-free per-machine ring buffer
+//! holding the last N RMI events, dumped as a JSON artifact when a run
+//! fails (panic, `PeerGone`, audit mismatch) or on request.
+//!
+//! Design constraints:
+//!
+//! * **Bounded overhead** — recording is one relaxed `fetch_add` to claim
+//!   a slot plus six plain atomic stores; no locks, no allocation, no
+//!   branches on the hot path beyond the enabled check. The bench gate
+//!   (`bench_gate --recorder-overhead`) enforces ≤ 5% on the quick-scale
+//!   bench.
+//! * **Fixed memory** — each machine owns [`FlightRing::capacity`] slots
+//!   of five words; old events are overwritten, never flushed.
+//! * **Crash-readable** — every slot carries a per-slot generation word
+//!   written last (release). A snapshot re-reads the generation after the
+//!   payload and drops slots that changed mid-read (seqlock style), so a
+//!   dump taken while other machines are still recording yields only
+//!   whole events, possibly missing the very newest ones.
+//!
+//! The recorder lives in corm-obs, below corm-net, so the transport is
+//! recorded as a small code ([`transport_name`]) rather than a type.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Default per-machine ring capacity (events). ~40 bytes/slot → ~40 KiB
+/// per machine, several round-trips of history for every app.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// Event kinds, stored as one byte in the packed slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A request left this machine (caller side).
+    Send,
+    /// A reply for `req` arrived back on the caller.
+    Return,
+    /// This machine served a request (callee side).
+    Handle,
+    /// A same-machine call short-circuited the wire.
+    Local,
+    /// A pending request failed (peer loss, audit poison, ...).
+    Fail,
+}
+
+impl FlightKind {
+    fn code(self) -> u64 {
+        match self {
+            FlightKind::Send => 1,
+            FlightKind::Return => 2,
+            FlightKind::Handle => 3,
+            FlightKind::Local => 4,
+            FlightKind::Fail => 5,
+        }
+    }
+
+    fn from_code(c: u64) -> Option<FlightKind> {
+        Some(match c {
+            1 => FlightKind::Send,
+            2 => FlightKind::Return,
+            3 => FlightKind::Handle,
+            4 => FlightKind::Local,
+            5 => FlightKind::Fail,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Send => "send",
+            FlightKind::Return => "return",
+            FlightKind::Handle => "handle",
+            FlightKind::Local => "local",
+            FlightKind::Fail => "fail",
+        }
+    }
+}
+
+/// Plan-verdict flags in effect at the recorded site.
+pub const FLAG_ARGS_CYCLE_TABLE: u8 = 1 << 0;
+pub const FLAG_RET_CYCLE_TABLE: u8 = 1 << 1;
+pub const FLAG_ARG_REUSE: u8 = 1 << 2;
+pub const FLAG_RET_REUSE: u8 = 1 << 3;
+pub const FLAG_ONEWAY: u8 = 1 << 4;
+
+/// Transport codes (corm-obs sits below corm-net, so the transport kind
+/// crosses as a byte).
+pub const TRANSPORT_CHANNEL: u8 = 0;
+pub const TRANSPORT_TCP: u8 = 1;
+
+/// Human name for a transport code.
+pub fn transport_name(code: u8) -> &'static str {
+    match code {
+        TRANSPORT_CHANNEL => "channel",
+        TRANSPORT_TCP => "tcp",
+        _ => "unknown",
+    }
+}
+
+/// One recorded RMI event (decoded form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Microseconds since the recorder was created.
+    pub t_us: u64,
+    /// Cluster-unique request id (0 when not applicable).
+    pub req: u64,
+    /// Call-site id.
+    pub site: u32,
+    /// Payload bytes (request or reply, matching `kind`).
+    pub bytes: u32,
+    pub kind: FlightKind,
+    /// The other machine involved (destination for sends, source for
+    /// handles; self for local calls).
+    pub peer: u16,
+    /// `FLAG_*` verdicts in effect for the site's plan.
+    pub flags: u8,
+    /// `TRANSPORT_*` code.
+    pub transport: u8,
+}
+
+const WORDS: usize = 4;
+
+struct Slot {
+    /// 0 = empty or write in progress; otherwise `ticket + 1` of the
+    /// event the payload words describe.
+    gen: AtomicU64,
+    w: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot { gen: AtomicU64::new(0), w: [const { AtomicU64::new(0) }; WORDS] }
+    }
+}
+
+/// Lock-free single-machine ring. Multi-producer (worker threads of one
+/// machine), snapshot-reader safe.
+pub struct FlightRing {
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl std::fmt::Debug for FlightRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRing {
+    /// `capacity == 0` disables the ring (every record is a no-op).
+    pub fn new(capacity: usize) -> FlightRing {
+        FlightRing {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn record(&self, e: FlightEvent) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        // Seqlock-style publish: invalidate, write payload, then set the
+        // generation with release so a reader that sees it also sees the
+        // payload. A concurrent writer lapping this exact slot can race
+        // the payload words, but both writers store gen last, so a reader
+        // observing a stable non-zero gen gets one whole event (the
+        // ticket of whichever writer won) except in the pathological case
+        // of a full ring wrap during one write, which we accept for a
+        // forensic buffer.
+        slot.gen.store(0, Ordering::Relaxed);
+        slot.w[0].store(e.t_us, Ordering::Relaxed);
+        slot.w[1].store(e.req, Ordering::Relaxed);
+        slot.w[2].store(((e.site as u64) << 32) | e.bytes as u64, Ordering::Relaxed);
+        slot.w[3].store(
+            e.kind.code()
+                | ((e.peer as u64) << 8)
+                | ((e.flags as u64) << 24)
+                | ((e.transport as u64) << 32),
+            Ordering::Relaxed,
+        );
+        slot.gen.store(ticket + 1, Ordering::Release);
+    }
+
+    /// Consistent copy of the ring's whole events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut out: Vec<(u64, FlightEvent)> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let g1 = slot.gen.load(Ordering::Acquire);
+            if g1 == 0 {
+                continue;
+            }
+            let w: [u64; WORDS] = std::array::from_fn(|i| slot.w[i].load(Ordering::Relaxed));
+            if slot.gen.load(Ordering::Acquire) != g1 {
+                continue; // torn: a writer got in between
+            }
+            let Some(kind) = FlightKind::from_code(w[3] & 0xff) else { continue };
+            out.push((
+                g1,
+                FlightEvent {
+                    t_us: w[0],
+                    req: w[1],
+                    site: (w[2] >> 32) as u32,
+                    bytes: (w[2] & 0xffff_ffff) as u32,
+                    kind,
+                    peer: ((w[3] >> 8) & 0xffff) as u16,
+                    flags: ((w[3] >> 24) & 0xff) as u8,
+                    transport: ((w[3] >> 32) & 0xff) as u8,
+                },
+            ));
+        }
+        out.sort_by_key(|&(g, _)| g);
+        out.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+/// One ring per machine plus the shared epoch for timestamps.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    start: Instant,
+    rings: Vec<FlightRing>,
+}
+
+impl FlightRecorder {
+    pub fn new(machines: usize, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            start: Instant::now(),
+            rings: (0..machines).map(|_| FlightRing::new(capacity)).collect(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.rings.first().map(|r| r.capacity() > 0).unwrap_or(false)
+    }
+
+    /// Microseconds since the recorder epoch.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Record `e` on `machine`'s ring, stamping `e.t_us` here.
+    #[inline]
+    pub fn record(&self, machine: u16, mut e: FlightEvent) {
+        let Some(ring) = self.rings.get(machine as usize) else { return };
+        if ring.capacity() == 0 {
+            return;
+        }
+        e.t_us = self.now_us();
+        ring.record(e);
+    }
+
+    /// Snapshot every machine's ring.
+    pub fn snapshot(&self) -> Vec<(u16, Vec<FlightEvent>)> {
+        self.rings.iter().enumerate().map(|(i, r)| (i as u16, r.snapshot())).collect()
+    }
+}
+
+/// A complete dump: why it was taken, which requests failed, and every
+/// machine's recent events.
+#[derive(Debug, Clone, Default)]
+pub struct FlightDump {
+    /// `peer-gone`, `audit-mismatch`, `panic`, or `requested`.
+    pub reason: String,
+    /// Request ids known to have failed (empty for `requested` dumps).
+    pub failing_reqs: Vec<u64>,
+    pub machines: Vec<(u16, Vec<FlightEvent>)>,
+}
+
+impl FlightDump {
+    pub fn total_events(&self) -> usize {
+        self.machines.iter().map(|(_, evs)| evs.len()).sum()
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a dump as JSON (machine-readable with the `corm_bench::json`
+/// parser; the schema is stable for CI artifact tooling).
+pub fn render_flight_json(d: &FlightDump) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"reason\": \"{}\",", esc(&d.reason));
+    let reqs: Vec<String> = d.failing_reqs.iter().map(|r| r.to_string()).collect();
+    let _ = writeln!(s, "  \"failing_reqs\": [{}],", reqs.join(", "));
+    let _ = writeln!(s, "  \"machines\": [");
+    for (mi, (machine, events)) in d.machines.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"machine\": {machine},");
+        let _ = writeln!(s, "      \"events\": [");
+        for (ei, e) in events.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"t_us\": {}, \"kind\": \"{}\", \"req\": {}, \"site\": {}, \
+                 \"bytes\": {}, \"peer\": {}, \"transport\": \"{}\", \
+                 \"args_cycle_table\": {}, \"ret_cycle_table\": {}, \
+                 \"arg_reuse\": {}, \"ret_reuse\": {}, \"oneway\": {}}}",
+                e.t_us,
+                e.kind.name(),
+                e.req,
+                e.site,
+                e.bytes,
+                e.peer,
+                transport_name(e.transport),
+                e.flags & FLAG_ARGS_CYCLE_TABLE != 0,
+                e.flags & FLAG_RET_CYCLE_TABLE != 0,
+                e.flags & FLAG_ARG_REUSE != 0,
+                e.flags & FLAG_RET_REUSE != 0,
+                e.flags & FLAG_ONEWAY != 0,
+            );
+            let _ = writeln!(s, "{}", if ei + 1 < events.len() { "," } else { "" });
+        }
+        let _ = writeln!(s, "      ]");
+        let _ = writeln!(s, "    }}{}", if mi + 1 < d.machines.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = write!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(req: u64, kind: FlightKind) -> FlightEvent {
+        FlightEvent {
+            t_us: 0,
+            req,
+            site: 3,
+            bytes: 128,
+            kind,
+            peer: 1,
+            flags: FLAG_ARGS_CYCLE_TABLE | FLAG_ARG_REUSE,
+            transport: TRANSPORT_TCP,
+        }
+    }
+
+    #[test]
+    fn ring_roundtrips_events_in_order() {
+        let ring = FlightRing::new(8);
+        for i in 0..5 {
+            ring.record(ev(i, FlightKind::Send));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 5);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.req, i as u64);
+            assert_eq!(e.site, 3);
+            assert_eq!(e.bytes, 128);
+            assert_eq!(e.kind, FlightKind::Send);
+            assert_eq!(e.peer, 1);
+            assert_eq!(e.transport, TRANSPORT_TCP);
+            assert!(e.flags & FLAG_ARGS_CYCLE_TABLE != 0);
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let ring = FlightRing::new(4);
+        for i in 0..10 {
+            ring.record(ev(i, FlightKind::Handle));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        let reqs: Vec<u64> = snap.iter().map(|e| e.req).collect();
+        assert_eq!(reqs, vec![6, 7, 8, 9], "keeps the newest, oldest first");
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let ring = FlightRing::new(0);
+        ring.record(ev(1, FlightKind::Send));
+        assert!(ring.snapshot().is_empty());
+        let rec = FlightRecorder::new(2, 0);
+        assert!(!rec.enabled());
+        rec.record(0, ev(1, FlightKind::Send));
+        assert!(rec.snapshot().iter().all(|(_, evs)| evs.is_empty()));
+    }
+
+    #[test]
+    fn recorder_stamps_time_and_shards_by_machine() {
+        let rec = FlightRecorder::new(2, 16);
+        assert!(rec.enabled());
+        rec.record(0, ev(1, FlightKind::Send));
+        rec.record(1, ev(1, FlightKind::Handle));
+        rec.record(0, ev(1, FlightKind::Return));
+        let snap = rec.snapshot();
+        assert_eq!(snap[0].1.len(), 2);
+        assert_eq!(snap[1].1.len(), 1);
+        assert_eq!(snap[0].1[0].kind, FlightKind::Send);
+        assert_eq!(snap[0].1[1].kind, FlightKind::Return);
+        assert!(snap[0].1[0].t_us <= snap[0].1[1].t_us);
+    }
+
+    #[test]
+    fn concurrent_writers_leave_only_whole_events() {
+        use std::sync::Arc;
+        let ring = Arc::new(FlightRing::new(32));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    // Encode the writer id in every field-correlated way
+                    // we can check after the fact.
+                    let req = t * 1_000_000 + i;
+                    r.record(FlightEvent {
+                        t_us: 0,
+                        req,
+                        site: t as u32,
+                        bytes: t as u32,
+                        kind: FlightKind::Send,
+                        peer: t as u16,
+                        flags: 0,
+                        transport: 0,
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for e in ring.snapshot() {
+            let t = e.req / 1_000_000;
+            assert_eq!(e.site as u64, t, "torn slot leaked into snapshot");
+            assert_eq!(e.peer as u64, t);
+        }
+        assert_eq!(ring.recorded(), 4000);
+    }
+
+    #[test]
+    fn dump_renders_json_with_reqs_and_flags() {
+        let rec = FlightRecorder::new(1, 8);
+        rec.record(0, ev(77, FlightKind::Send));
+        rec.record(0, ev(77, FlightKind::Fail));
+        let dump = FlightDump {
+            reason: "peer-gone".into(),
+            failing_reqs: vec![77],
+            machines: rec.snapshot(),
+        };
+        let json = render_flight_json(&dump);
+        assert!(json.contains("\"reason\": \"peer-gone\""));
+        assert!(json.contains("\"failing_reqs\": [77]"));
+        assert!(json.contains("\"kind\": \"fail\""));
+        assert!(json.contains("\"transport\": \"tcp\""));
+        assert!(json.contains("\"args_cycle_table\": true"));
+        assert!(json.contains("\"ret_cycle_table\": false"));
+        assert_eq!(dump.total_events(), 2);
+    }
+}

@@ -27,6 +27,11 @@ pub mod runtime;
 /// the module so `corm_vm::trace::…` paths keep working.
 pub use corm_obs::trace;
 
-pub use corm_obs::{render_timeline, to_chrome_trace, to_json, Phase, TraceEvent, TraceKind};
+pub use corm_obs::{
+    render_flight_json, render_timeline, to_chrome_trace, to_json, FlightDump, FlightEvent,
+    FlightKind, FlightRecorder, Phase, TraceEvent, TraceKind, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use error::VmError;
-pub use runtime::{run_program, AuditCounters, AuditSnapshot, RunOptions, RunOutcome, Runtime};
+pub use runtime::{
+    run_program, AuditCounters, AuditSnapshot, FaultSpec, RunOptions, RunOutcome, Runtime,
+};

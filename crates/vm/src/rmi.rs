@@ -2,10 +2,14 @@
 //! with the paper's local-RPC cloning semantics and the §3.3 reuse
 //! caches wired into (de)serialization.
 
-use corm_codegen::{MarshalPlan, Serializer, ShadowCycleCheck};
+use corm_codegen::{MarshalPlan, Serializer, ShadowCycleCheck, AUDIT_ERROR_PREFIX};
 use corm_heap::{AllocAttribution, ObjRef, Value};
 use corm_ir::{CallSiteId, ClassId, MethodId};
 use corm_net::Packet;
+use corm_obs::recorder::{
+    FlightKind, FLAG_ARGS_CYCLE_TABLE, FLAG_ARG_REUSE, FLAG_ONEWAY, FLAG_RET_CYCLE_TABLE,
+    FLAG_RET_REUSE,
+};
 use corm_wire::{DeserTable, Message, RmiStats, SerCycleTable};
 use parking_lot::MutexGuard;
 
@@ -27,12 +31,53 @@ fn audit_shadow(rt: &Runtime, has_real_table: bool) -> Option<ShadowCycleCheck> 
     }
 }
 
-/// Fold a finished shadow table into the run's audit counters.
-fn absorb_shadow(rt: &Runtime, shadow: Option<ShadowCycleCheck>) {
+/// Fold a finished shadow table into the run's audit counters and the
+/// machine's metrics shard (`corm_audit_checks_total`).
+fn absorb_shadow(rt: &Runtime, my: u16, shadow: Option<ShadowCycleCheck>) {
     use std::sync::atomic::Ordering::Relaxed;
     if let Some(sh) = shadow {
         rt.audit_counters.shadow_tables.fetch_add(1, Relaxed);
         rt.audit_counters.shadow_checks.fetch_add(sh.checks, Relaxed);
+        rt.obs.machine(my).audit_checks.fetch_add(sh.checks, Relaxed);
+    }
+}
+
+/// The plan's applied verdicts packed as flight-recorder flags, so every
+/// recorded event carries the config decisions in effect at its site.
+fn plan_flags(plan: &MarshalPlan, oneway: bool) -> u8 {
+    let mut f = 0;
+    if plan.args_cycle_table {
+        f |= FLAG_ARGS_CYCLE_TABLE;
+    }
+    if plan.ret_cycle_table {
+        f |= FLAG_RET_CYCLE_TABLE;
+    }
+    if plan.arg_reuse.iter().any(|&b| b) {
+        f |= FLAG_ARG_REUSE;
+    }
+    if plan.ret_reuse {
+        f |= FLAG_RET_REUSE;
+    }
+    if oneway {
+        f |= FLAG_ONEWAY;
+    }
+    f
+}
+
+/// Cross-link an auditor failure back to the compile-time decision that
+/// caused it: `analysis-audit` errors get the offending site's recorded
+/// provenance (verdict, rule, witness) appended, so the report names the
+/// exact analysis claim the runtime just contradicted.
+fn attach_provenance(plan: &MarshalPlan, site: CallSiteId, e: impl std::fmt::Display) -> VmError {
+    let msg = e.to_string();
+    if msg.contains(AUDIT_ERROR_PREFIX) {
+        VmError::new(format!(
+            "{msg}\n  analysis provenance for call site {}:\n{}",
+            site.0,
+            plan.provenance.render("    ")
+        ))
+    } else {
+        VmError::new(msg)
     }
 }
 
@@ -40,10 +85,17 @@ fn absorb_shadow(rt: &Runtime, shadow: Option<ShadowCycleCheck>) {
 /// reuse verdict makes this invisible (the cached graph is dead and every
 /// reclaimed slot is overwritten from the wire); an unsound one lets a
 /// surviving alias observe the sentinels, diverging the program output.
-fn audit_poison(rt: &Runtime, guard: &mut MutexGuard<'_, MachineState>, reuse: Value) -> Value {
+fn audit_poison(
+    rt: &Runtime,
+    my: u16,
+    guard: &mut MutexGuard<'_, MachineState>,
+    reuse: Value,
+) -> Value {
     if rt.audit && !matches!(reuse, Value::Null) {
+        use std::sync::atomic::Ordering::Relaxed;
         let n = corm_heap::poison_graph(&mut guard.heap, reuse);
-        rt.audit_counters.poisoned_values.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        rt.audit_counters.poisoned_values.fetch_add(n, Relaxed);
+        rt.obs.machine(my).audit_poisons.fetch_add(n, Relaxed);
     }
     reuse
 }
@@ -89,9 +141,10 @@ pub fn remote_call(
     let mut ct = if plan.args_cycle_table { Some(SerCycleTable::new()) } else { None };
     let mut shadow = audit_shadow(&rt, plan.args_cycle_table);
     for (i, node) in plan.args.iter().enumerate() {
-        ser.serialize_audited(&guard.heap, node, argv[i + 1], &mut ct, &mut msg, &mut shadow)?;
+        ser.serialize_audited(&guard.heap, node, argv[i + 1], &mut ct, &mut msg, &mut shadow)
+            .map_err(|e| attach_provenance(plan, site, e))?;
     }
-    absorb_shadow(&rt, shadow);
+    absorb_shadow(&rt, my, shadow);
     shard.marshal_us.record((rt.start.elapsed() - m0).as_micros() as u64);
     rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Marshal, req, site: site.0 });
 
@@ -129,12 +182,21 @@ fn local_rpc(
     let shard = rt.obs.machine(my);
     RmiStats::bump(&shard.stats.local_rpcs, 1);
     let t0 = rt.start.elapsed();
+    rt.flight_event(
+        my,
+        FlightKind::Local,
+        req,
+        site.0,
+        msg.as_bytes().len() as u32,
+        my,
+        plan_flags(plan, oneway),
+    );
 
     let reader_msg = msg;
     let mut reader = reader_msg.reader();
     rt.trace_event(my, TraceKind::PhaseBegin { phase: Phase::Unmarshal, req, site: site.0 });
     let u0 = rt.start.elapsed();
-    let vals = deserialize_args(&rt, guard, ser, plan, site, &mut reader)?;
+    let vals = deserialize_args(&rt, my, guard, ser, plan, site, &mut reader)?;
     shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
     rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Unmarshal, req, site: site.0 });
 
@@ -175,9 +237,10 @@ fn local_rpc(
     let mut rmsg = Message::new();
     let mut rct = if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
     let mut shadow = audit_shadow(&rt, plan.ret_cycle_table);
-    ser.serialize_audited(&guard.heap, node, ret, &mut rct, &mut rmsg, &mut shadow)?;
-    absorb_shadow(&rt, shadow);
-    deserialize_ret(&rt, guard, ser, plan, site, rmsg.as_bytes())
+    ser.serialize_audited(&guard.heap, node, ret, &mut rct, &mut rmsg, &mut shadow)
+        .map_err(|e| attach_provenance(plan, site, e))?;
+    absorb_shadow(&rt, my, shadow);
+    deserialize_ret(&rt, my, guard, ser, plan, site, rmsg.as_bytes())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -216,6 +279,26 @@ fn wire_rpc(
         my,
         TraceKind::RmiSend { req, site: site.0, to: receiver.machine, bytes, oneway },
     );
+    rt.flight_event(
+        my,
+        FlightKind::Send,
+        req,
+        site.0,
+        bytes as u32,
+        receiver.machine,
+        plan_flags(plan, oneway),
+    );
+    // Fault injection: the N-th request toward the victim pulls its power
+    // cord *before* the packet goes out — the request is lost in flight
+    // and the transport broadcasts `PeerGone` to the survivors.
+    if let Some(fault) = rt.fault {
+        if receiver.machine == fault.victim
+            && rt.fault_sends.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+                == fault.after_sends
+        {
+            rt.net.sever(fault.victim);
+        }
+    }
     MutexGuard::unlocked(guard, || net.send(my, receiver.machine, packet));
     if oneway {
         return Ok(Value::Null);
@@ -234,7 +317,18 @@ fn wire_rpc(
     };
 
     match result {
-        Err(remote_err) => Err(VmError::new(format!("remote exception: {remote_err}"))),
+        Err(remote_err) => {
+            rt.flight_event(
+                my,
+                FlightKind::Fail,
+                req,
+                site.0,
+                0,
+                receiver.machine,
+                plan_flags(plan, oneway),
+            );
+            Err(VmError::new(format!("remote exception: {remote_err}")))
+        }
         Ok(payload) => {
             let us = (rt.start.elapsed() - t0).as_micros() as u64;
             shard.rtt_us.record(us);
@@ -242,6 +336,15 @@ fn wire_rpc(
             rt.trace_event(
                 my,
                 TraceKind::RmiReturn { req, site: site.0, us, reply_bytes: payload.len() as u64 },
+            );
+            rt.flight_event(
+                my,
+                FlightKind::Return,
+                req,
+                site.0,
+                payload.len() as u32,
+                receiver.machine,
+                plan_flags(plan, oneway),
             );
             if plan.ret_ignored || plan.ret.is_none() {
                 return Ok(Value::Null);
@@ -251,7 +354,7 @@ fn wire_rpc(
                 TraceKind::PhaseBegin { phase: Phase::Unmarshal, req, site: site.0 },
             );
             let u0 = rt.start.elapsed();
-            let out = deserialize_ret(&rt, guard, ser, plan, site, &payload);
+            let out = deserialize_ret(&rt, my, guard, ser, plan, site, &payload);
             shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
             rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Unmarshal, req, site: site.0 });
             out
@@ -259,8 +362,10 @@ fn wire_rpc(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn deserialize_args(
     rt: &Runtime,
+    my: u16,
     guard: &mut MutexGuard<'_, MachineState>,
     ser: &Serializer<'_>,
     plan: &MarshalPlan,
@@ -274,7 +379,7 @@ fn deserialize_args(
     let mut err = None;
     for (i, node) in plan.args.iter().enumerate() {
         let reuse = if plan.arg_reuse[i] { guard.take_arg_cache(site, i) } else { Value::Null };
-        let reuse = audit_poison(rt, guard, reuse);
+        let reuse = audit_poison(rt, my, guard, reuse);
         match ser.deserialize(&mut guard.heap, node, reader, &mut dt, reuse) {
             Ok(out) => {
                 total_reused += out.reused;
@@ -310,8 +415,10 @@ fn update_arg_caches(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn deserialize_ret(
     rt: &Runtime,
+    my: u16,
     guard: &mut MutexGuard<'_, MachineState>,
     ser: &Serializer<'_>,
     plan: &MarshalPlan,
@@ -323,7 +430,7 @@ fn deserialize_ret(
     let mut reader = msg.reader();
     let mut dt = if plan.ret_cycle_table { Some(DeserTable::new()) } else { None };
     let reuse = if plan.ret_reuse { guard.take_ret_cache(site) } else { Value::Null };
-    let reuse = audit_poison(rt, guard, reuse);
+    let reuse = audit_poison(rt, my, guard, reuse);
     let prev = guard.heap.set_attribution(AllocAttribution::Deserialization);
     let out = ser.deserialize(&mut guard.heap, node, &mut reader, &mut dt, reuse);
     guard.heap.set_attribution(prev);
@@ -390,6 +497,7 @@ pub fn handle_request(
     let t0 = rt.start.elapsed();
     let shard = rt.obs.machine(my);
     let reused_before = shard.stats.snapshot().reused_objs;
+    let request_bytes = payload.len() as u32;
 
     let result: VmResult<Vec<u8>> = (|| {
         let plan = plans
@@ -407,7 +515,7 @@ pub fn handle_request(
                 TraceKind::PhaseBegin { phase: Phase::Unmarshal, req: req_id, site: site.0 },
             );
             let u0 = rt.start.elapsed();
-            let vals = deserialize_args(rt, &mut guard, &ser, plan, site, &mut reader)?;
+            let vals = deserialize_args(rt, my, &mut guard, &ser, plan, site, &mut reader)?;
             shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
             rt.trace_event(
                 my,
@@ -444,8 +552,9 @@ pub fn handle_request(
             let mut rmsg = Message::new();
             let mut rct = if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
             let mut shadow = audit_shadow(rt, plan.ret_cycle_table);
-            ser.serialize_audited(&guard.heap, node, ret, &mut rct, &mut rmsg, &mut shadow)?;
-            absorb_shadow(rt, shadow);
+            ser.serialize_audited(&guard.heap, node, ret, &mut rct, &mut rmsg, &mut shadow)
+                .map_err(|e| attach_provenance(plan, site, e))?;
+            absorb_shadow(rt, my, shadow);
             Ok(rmsg.into_bytes())
         })();
 
@@ -463,6 +572,8 @@ pub fn handle_request(
             reused: shard.stats.snapshot().reused_objs - reused_before,
         },
     );
+    let flags = plans.plan(site).map(|p| plan_flags(p, oneway)).unwrap_or(0);
+    rt.flight_event(my, FlightKind::Handle, req_id, site.0, request_bytes, from, flags);
     if oneway {
         if let Err(e) = result {
             rt.print(&format!("[machine {my}] one-way request failed: {e}\n"));

@@ -7,7 +7,10 @@ use corm_codegen::Plans;
 use corm_heap::HeapStats;
 use corm_ir::Module;
 use corm_net::{ClusterBarrier, CostModel, Mailbox, NetHandle, Packet, RecvError, TransportKind};
-use corm_obs::{MetricsRegistry, MetricsSnapshot};
+use corm_obs::recorder::{
+    FlightEvent, FlightKind, DEFAULT_FLIGHT_CAPACITY, TRANSPORT_CHANNEL, TRANSPORT_TCP,
+};
+use corm_obs::{render_flight_json, FlightDump, FlightRecorder, MetricsRegistry, MetricsSnapshot};
 use corm_wire::{RmiStats, StatsSnapshot};
 use parking_lot::Mutex;
 
@@ -44,6 +47,25 @@ pub struct RunOptions {
     /// calls. Counters and wire bytes are unchanged; unsound verdicts
     /// surface as `analysis-audit` run errors or output divergence.
     pub audit: bool,
+    /// Flight-recorder ring capacity per machine (events). On by default
+    /// (DESIGN §11); `0` disables recording entirely — that switch exists
+    /// for the recorder-overhead bench gate, not for production use.
+    pub flight_capacity: usize,
+    /// Fault injection: abruptly kill a machine mid-run (see
+    /// [`FaultSpec`]). `None` in normal operation.
+    pub fault: Option<FaultSpec>,
+}
+
+/// Deterministic fault injection for failure-path tests: the
+/// `after_sends`-th wire request destined to `victim` severs the victim
+/// *instead of* being delivered — the request is lost exactly as if the
+/// victim's power cord was pulled while the packet was in flight, and
+/// every survivor observes `PeerGone`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub victim: u16,
+    /// 1-based: `1` kills the victim at the first request toward it.
+    pub after_sends: u64,
 }
 
 impl Default for RunOptions {
@@ -58,6 +80,8 @@ impl Default for RunOptions {
             trace: false,
             transport: TransportKind::default(),
             audit: false,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            fault: None,
         }
     }
 }
@@ -121,6 +145,20 @@ pub struct Runtime {
     /// Analysis-verdict auditing (see [`RunOptions::audit`]).
     pub audit: bool,
     pub audit_counters: AuditCounters,
+    /// Always-on RMI flight recorder (DESIGN §11): one lock-free ring per
+    /// machine holding the last N RMI events for post-mortem dumps.
+    pub flight: Arc<FlightRecorder>,
+    /// Request ids whose replies were failed by peer loss or disconnect —
+    /// these become [`FlightDump::failing_reqs`].
+    pub flight_failed: Mutex<Vec<u64>>,
+    /// Transport code stamped into flight events
+    /// (`corm_obs::recorder::TRANSPORT_*`). The recorder lives below the
+    /// net crate, so the kind is mapped to a byte once, here.
+    pub transport_code: u8,
+    /// Fault injection, when requested (see [`FaultSpec`]).
+    pub fault: Option<FaultSpec>,
+    /// Count of wire requests sent toward the fault victim so far.
+    pub fault_sends: std::sync::atomic::AtomicU64,
 }
 
 impl Runtime {
@@ -147,6 +185,80 @@ impl Runtime {
         out.push_str(s);
         if self.echo {
             print!("{s}");
+        }
+    }
+
+    /// Record one flight-recorder event on `machine`'s ring (no-op when
+    /// the recorder is disabled). The timestamp and transport code are
+    /// stamped here so call sites pass only what they know.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn flight_event(
+        &self,
+        machine: u16,
+        kind: FlightKind,
+        req: u64,
+        site: u32,
+        bytes: u32,
+        peer: u16,
+        flags: u8,
+    ) {
+        self.flight.record(
+            machine,
+            FlightEvent {
+                t_us: 0, // stamped by the recorder
+                req,
+                site,
+                bytes,
+                kind,
+                peer,
+                flags,
+                transport: self.transport_code,
+            },
+        );
+    }
+
+    /// Assemble a flight dump with the given reason, capturing every
+    /// machine's recent events and the failed request ids seen so far.
+    pub fn flight_dump(&self, reason: &str) -> FlightDump {
+        FlightDump {
+            reason: reason.to_string(),
+            failing_reqs: self.flight_failed.lock().clone(),
+            machines: self.flight.snapshot(),
+        }
+    }
+}
+
+/// Write a flight dump into `$CORM_FLIGHT_DIR` (if set) under a unique
+/// name. CI points this at its artifact directory; locally it is unset
+/// and dumps stay in [`RunOutcome::flight`] only.
+fn write_flight_artifact(dump: &FlightDump) {
+    let Ok(dir) = std::env::var("CORM_FLIGHT_DIR") else { return };
+    if dir.is_empty() {
+        return;
+    }
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path = format!("{dir}/flight-{}-{n}-{}.json", std::process::id(), dump.reason);
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(&path, render_flight_json(dump));
+}
+
+/// Dumps the flight recorder if the thread running `run_program` unwinds
+/// (assertion failure inside the VM, interpreter bug, ...): the dump is
+/// written to `$CORM_FLIGHT_DIR` and, as a last resort, summarized on
+/// stderr. Worker-thread panics surface as run errors and are handled by
+/// the normal end-of-run classification instead.
+struct PanicFlightGuard {
+    rt: Arc<Runtime>,
+}
+
+impl Drop for PanicFlightGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let dump = self.rt.flight_dump("panic");
+            eprintln!("corm: panic with {} flight-recorder event(s) buffered", dump.total_events());
+            write_flight_artifact(&dump);
         }
     }
 }
@@ -183,6 +295,11 @@ pub struct RunOutcome {
     pub measured_wire_ns: Vec<u64>,
     /// Analysis-auditor activity (all zero unless [`RunOptions::audit`]).
     pub audit: AuditSnapshot,
+    /// Flight-recorder dump: reason `"ok"` on a clean run, otherwise
+    /// `"audit-mismatch"`, `"peer-gone"` or `"error"` with the buffered
+    /// events and failed request ids. Render with
+    /// `corm_obs::render_flight_json`.
+    pub flight: FlightDump,
 }
 
 impl RunOutcome {
@@ -221,7 +338,16 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
         trace: if opts.trace { Some(Mutex::new(Vec::new())) } else { None },
         audit: opts.audit,
         audit_counters: AuditCounters::default(),
+        flight: Arc::new(FlightRecorder::new(opts.machines, opts.flight_capacity)),
+        flight_failed: Mutex::new(Vec::new()),
+        transport_code: match opts.transport {
+            TransportKind::Channel => TRANSPORT_CHANNEL,
+            TransportKind::Tcp => TRANSPORT_TCP,
+        },
+        fault: opts.fault,
+        fault_sends: std::sync::atomic::AtomicU64::new(0),
     });
+    let _panic_guard = PanicFlightGuard { rt: rt.clone() };
 
     // Service threads: one GM-style drain loop per machine plus a small
     // request worker pool.
@@ -320,6 +446,19 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
     let output = rt.output.lock().clone();
     let trace = rt.trace.as_ref().map(|t| t.lock().clone()).unwrap_or_default();
 
+    // Classify the run for the flight recorder and persist a dump on any
+    // failure (CI collects `$CORM_FLIGHT_DIR` as artifacts).
+    let reason = match &error {
+        Some(e) if e.message.contains(corm_codegen::AUDIT_ERROR_PREFIX) => "audit-mismatch",
+        _ if !rt.flight_failed.lock().is_empty() => "peer-gone",
+        Some(_) => "error",
+        None => "ok",
+    };
+    let flight = rt.flight_dump(reason);
+    if reason != "ok" {
+        write_flight_artifact(&flight);
+    }
+
     RunOutcome {
         output,
         wall,
@@ -333,6 +472,7 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
         measured_wire,
         measured_wire_ns,
         audit: rt.audit_counters.snapshot(rt.audit),
+        flight,
     }
 }
 
@@ -364,19 +504,35 @@ fn run_clinits(rt: &Arc<Runtime>) -> Option<VmError> {
 /// Fail outstanding RMIs waiting on `peer` (or on anyone, when `peer` is
 /// `None`) with an error reply, waking their callers. Invoked when the
 /// transport reports a dead peer or a full disconnect — turning what
-/// would be silent quiescence into an orderly remote error.
-fn fail_pending_replies(machine: &MachineShared, peer: Option<u16>, why: &str) {
+/// would be silent quiescence into an orderly remote error. Returns the
+/// request ids that were failed, for the flight recorder.
+fn fail_pending_replies(machine: &MachineShared, peer: Option<u16>, why: &str) -> Vec<u64> {
     let mut st = machine.state.lock();
-    for slot in st.replies.values_mut() {
+    let mut failed = Vec::new();
+    for (req, slot) in st.replies.iter_mut() {
         let hit = match slot {
             crate::machine::ReplySlot::Waiting { dest } => peer.is_none_or(|p| *dest == p),
             crate::machine::ReplySlot::Ready(_) => false,
         };
         if hit {
             *slot = crate::machine::ReplySlot::Ready(Err(why.to_string()));
+            failed.push(*req);
         }
     }
     machine.cv.notify_all();
+    failed
+}
+
+/// Record `Fail` flight events for requests whose replies will never
+/// arrive, and remember their ids for the end-of-run dump.
+fn record_failed_reqs(rt: &Runtime, my: u16, peer: u16, failed: &[u64]) {
+    if failed.is_empty() {
+        return;
+    }
+    for &req in failed {
+        rt.flight_event(my, FlightKind::Fail, req, 0, 0, peer, 0);
+    }
+    rt.flight_failed.lock().extend_from_slice(failed);
 }
 
 /// The per-machine receive loop: exactly one drainer per machine, as in
@@ -395,18 +551,20 @@ fn drain_loop(
             Err(RecvError::Disconnected) => {
                 // The fabric is gone (not an orderly Shutdown packet):
                 // no reply can ever arrive, so fail every waiter.
-                fail_pending_replies(rt.machine(my), None, "transport disconnected");
+                let failed = fail_pending_replies(rt.machine(my), None, "transport disconnected");
+                record_failed_reqs(&rt, my, u16::MAX, &failed);
                 break;
             }
         };
         match packet {
             Packet::Shutdown => break,
             Packet::PeerGone { peer } => {
-                fail_pending_replies(
+                let failed = fail_pending_replies(
                     rt.machine(my),
                     Some(peer),
                     &format!("peer machine {peer} disconnected"),
                 );
+                record_failed_reqs(&rt, my, peer, &failed);
             }
             Packet::Reply { req_id, payload, err } => {
                 let machine = rt.machine(my);

@@ -304,6 +304,106 @@ fn tcp_killed_peer_surfaces_as_orderly_remote_error() {
 }
 
 #[test]
+fn tcp_fault_injection_dumps_flight_recorder_with_failing_req() {
+    // End-to-end power-cord pull over real sockets: the third request
+    // toward machine 1 severs it mid-flight. The caller must get an
+    // orderly error AND the run's flight dump must be a parseable JSON
+    // artifact that names the failing request id.
+    use corm::FaultSpec;
+
+    let src = r#"
+        remote class R { int echo(int x) { return x; } }
+        class M {
+            static void main() {
+                R r = new R() @ 1;
+                int s = 0;
+                int i = 0;
+                while (i < 50) { s = s + r.echo(i); i = i + 1; }
+                System.println(Str.fromLong(s));
+            }
+        }
+    "#;
+    let out = compile_and_run(
+        src,
+        OptConfig::ALL,
+        RunOptions {
+            machines: 2,
+            transport: TransportKind::Tcp,
+            fault: Some(FaultSpec { victim: 1, after_sends: 3 }),
+            ..Default::default()
+        },
+    )
+    .expect("compile failed");
+    let err = out.error.expect("severed peer must fail the pending RMI");
+    assert!(
+        err.message.contains("peer machine 1 disconnected"),
+        "expected an orderly peer-gone error, got: {}",
+        err.message
+    );
+
+    let dump = &out.flight;
+    assert_eq!(dump.reason, "peer-gone");
+    assert!(!dump.failing_reqs.is_empty(), "dump must name the failing request");
+    let failing = dump.failing_reqs[0];
+    // The failing request was recorded in flight: its Send on machine 0
+    // and its Fail when the drain loop learned the peer was gone.
+    let m0: Vec<_> = dump.machines[0].1.iter().collect();
+    assert!(
+        m0.iter().any(|e| e.req == failing && e.kind == corm::FlightKind::Send),
+        "machine 0 must have the failing request's send: {m0:?}"
+    );
+    assert!(
+        m0.iter().any(|e| e.req == failing && e.kind == corm::FlightKind::Fail),
+        "machine 0 must have the failure event: {m0:?}"
+    );
+
+    // The JSON artifact round-trips: it contains the failing req id, the
+    // transport, and balanced structure a parser can consume.
+    let json = corm::render_flight_json(dump);
+    assert!(json.contains("\"reason\": \"peer-gone\""));
+    assert!(json.contains(&format!("\"failing_reqs\": [{failing}")));
+    assert!(json.contains(&format!("\"req\": {failing}")));
+    assert!(json.contains("\"transport\": \"tcp\""));
+    assert!(json.contains("\"kind\": \"fail\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn channel_fault_injection_matches_tcp_semantics() {
+    // The same fault on the in-process channel fabric: identical orderly
+    // error and dump classification, so fault tests don't depend on
+    // having sockets available.
+    use corm::FaultSpec;
+
+    let src = r#"
+        remote class R { int echo(int x) { return x; } }
+        class M {
+            static void main() {
+                R r = new R() @ 1;
+                int s = r.echo(1) + r.echo(2) + r.echo(3);
+                System.println(Str.fromLong(s));
+            }
+        }
+    "#;
+    let out = compile_and_run(
+        src,
+        OptConfig::ALL,
+        RunOptions {
+            machines: 2,
+            fault: Some(FaultSpec { victim: 1, after_sends: 2 }),
+            ..Default::default()
+        },
+    )
+    .expect("compile failed");
+    let err = out.error.expect("severed peer must fail the pending RMI");
+    assert!(err.message.contains("peer machine 1 disconnected"), "{}", err.message);
+    assert_eq!(out.flight.reason, "peer-gone");
+    assert!(!out.flight.failing_reqs.is_empty());
+    assert!(corm::render_flight_json(&out.flight).contains("\"transport\": \"channel\""));
+}
+
+#[test]
 fn errors_do_not_poison_subsequent_runs() {
     // A failing run followed by a succeeding one on fresh state.
     let bad = r#"class M { static void main() { int x = 1 / 0; } }"#;

@@ -54,5 +54,12 @@ fn emitted_corpus_matches_builtin_set() {
             "{} drifted from corm_fuzz::corpus — regenerate with `corm fuzz --emit-corpus tests/corpus`",
             path.display()
         );
+        // Every committed entry is self-explaining: the analysis
+        // provenance digest of its call sites rides along as comments.
+        assert!(
+            on_disk.contains("// provenance: site "),
+            "{} lacks the provenance digest comment — regenerate with `corm fuzz --emit-corpus tests/corpus`",
+            path.display()
+        );
     }
 }

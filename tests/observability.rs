@@ -232,6 +232,31 @@ fn chrome_trace_export_is_wellformed() {
     assert_eq!(depth, 0, "unbalanced braces in chrome trace JSON");
 }
 
+/// The flight recorder (DESIGN §11) is on by default: a plain run —
+/// no opts beyond the workload — ends with a clean dump whose event
+/// windows carry the send/handle/return triple of every remote call.
+#[test]
+fn flight_recorder_is_on_by_default() {
+    let out = traced_run(&list_program(5), 2, OptConfig::ALL);
+    assert_eq!(out.flight.reason, "ok");
+    assert!(out.flight.failing_reqs.is_empty());
+    assert!(out.flight.total_events() > 0, "default run recorded no flight events");
+    let kinds: HashSet<(u16, &str)> = out
+        .flight
+        .machines
+        .iter()
+        .flat_map(|(m, evs)| evs.iter().map(move |e| (*m, e.kind.name())))
+        .collect();
+    assert!(kinds.contains(&(0, "send")), "caller machine missing send events");
+    assert!(kinds.contains(&(1, "handle")), "callee machine missing handle events");
+    assert!(kinds.contains(&(0, "return")), "caller machine missing return events");
+    // The dump renders as balanced JSON with the channel transport tag.
+    let json = corm::render_flight_json(&out.flight);
+    assert!(json.contains(r#""reason": "ok""#));
+    assert!(json.contains(r#""transport": "channel""#));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
