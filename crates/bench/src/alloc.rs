@@ -1,0 +1,212 @@
+//! Allocation gate: proves the sender-side marshal-buffer pool keeps
+//! the paper apps allocation-free on the steady-state marshal path,
+//! without perturbing the Tables 4/6/8 counters.
+//!
+//! For each of the five apps the gate runs the fully optimized
+//! configuration (`site + reuse + cycle`, the paper's headline row) at
+//! quick scale on the channel backend — the same cell the committed
+//! `BENCH_tables.json` was generated from — and enforces two budgets:
+//!
+//! * **steady-state pool misses = 0** (summed over machines): after the
+//!   per-site working set is built (at most [`corm_vm::pool::PER_KEY_CAP`]
+//!   buffers per key), every marshal must check a recycled buffer out of
+//!   the pool. A nonzero count means buffers are being leaked on some
+//!   path and the hot loop has started allocating again.
+//! * **counters match the committed baseline row**: exact for the
+//!   deterministic tables, within the usual poll tolerance for `lu` and
+//!   `superopt` — pooling is a carrier-level change and must be
+//!   invisible to the RMI statistics.
+
+use crate::gate::{table_is_polled, COUNTER_NAMES};
+use crate::json::{parse, Json};
+use corm::{OptConfig, RunOptions, StatsSnapshot};
+use corm_apps::equivalence::POLL_TOLERANCE;
+use corm_apps::{AppSpec, ARRAY2D, LINKED_LIST, LU, SUPEROPT, WEBSERVER};
+
+/// Steady-state pool misses allowed per app (summed over machines).
+pub const STEADY_MISS_BUDGET: u64 = 0;
+
+/// The baseline row the gate compares against: the fully optimized
+/// configuration of [`OptConfig::TABLE_ROWS`].
+pub const GATED_CONFIG: &str = "site + reuse + cycle";
+
+/// The (app, baseline table id) pairs under the gate — the five
+/// evaluation workloads, keyed to their `BENCH_tables.json` tables.
+pub const GATED_APPS: [(&AppSpec, &str); 5] = [
+    (&LINKED_LIST, "table1_linkedlist"),
+    (&ARRAY2D, "table2_array"),
+    (&LU, "table3_lu"),
+    (&SUPEROPT, "table5_superopt"),
+    (&WEBSERVER, "table7_webserver"),
+];
+
+/// One app's measurement under the gate.
+pub struct AllocMeasurement {
+    pub app: &'static str,
+    pub table_id: &'static str,
+    /// Pool checkouts summed over machines (hits + misses).
+    pub checkouts: u64,
+    pub hits: u64,
+    pub cold_misses: u64,
+    pub steady_misses: u64,
+    pub stats: StatsSnapshot,
+}
+
+fn stat(s: &StatsSnapshot, name: &str) -> u64 {
+    match name {
+        "local_rpcs" => s.local_rpcs,
+        "remote_rpcs" => s.remote_rpcs,
+        "messages" => s.messages,
+        "wire_bytes" => s.wire_bytes,
+        "type_info_bytes" => s.type_info_bytes,
+        "cycle_lookups" => s.cycle_lookups,
+        "ser_invocations" => s.ser_invocations,
+        "reused_objs" => s.reused_objs,
+        "deser_bytes" => s.deser_bytes,
+        "deser_allocs" => s.deser_allocs,
+        other => unreachable!("unknown counter {other}"),
+    }
+}
+
+/// Run one app's gated cell (quick scale, 2 machines, channel — the
+/// committed baseline's provenance) and fold the pool counters.
+pub fn measure_app(spec: &'static AppSpec, table_id: &'static str) -> AllocMeasurement {
+    let compiled = spec.compile(OptConfig::ALL);
+    let out = corm::run(
+        &compiled,
+        RunOptions { machines: 2, args: spec.quick_args.to_vec(), ..Default::default() },
+    );
+    assert!(out.error.is_none(), "{} failed under the alloc gate: {:?}", spec.name, out.error);
+    let (mut hits, mut misses, mut cold, mut steady) = (0, 0, 0, 0);
+    for m in &out.metrics.machines {
+        hits += m.pool_hits;
+        misses += m.pool_misses;
+        cold += m.pool_cold_misses;
+        steady += m.pool_steady_misses();
+    }
+    AllocMeasurement {
+        app: spec.name,
+        table_id,
+        checkouts: hits + misses,
+        hits,
+        cold_misses: cold,
+        steady_misses: steady,
+        stats: out.stats,
+    }
+}
+
+fn baseline_row<'a>(doc: &'a Json, table_id: &str) -> Result<&'a Json, String> {
+    let tables =
+        doc.get("tables").as_arr().ok_or_else(|| "baseline: missing tables[]".to_string())?;
+    let table = tables
+        .iter()
+        .find(|t| t.get("id").as_str() == Some(table_id))
+        .ok_or_else(|| format!("baseline: no table {table_id:?}"))?;
+    table
+        .get("rows")
+        .as_arr()
+        .and_then(|rows| rows.iter().find(|r| r.get("config").as_str() == Some(GATED_CONFIG)))
+        .ok_or_else(|| format!("baseline: {table_id} has no {GATED_CONFIG:?} row"))
+}
+
+fn rel_close(a: u64, b: u64, tol: f64) -> bool {
+    a == b || (a as f64 - b as f64).abs() / (a.max(b) as f64) <= tol
+}
+
+/// Gate all five apps against `baseline_text` (the committed
+/// `BENCH_tables.json`). Returns the per-app measurements and the
+/// accumulated failures; an empty failure list means the gate passes.
+pub fn alloc_gate(baseline_text: &str) -> (Vec<AllocMeasurement>, Vec<String>) {
+    let mut failures = Vec::new();
+    let doc = match parse(baseline_text) {
+        Ok(doc) => doc,
+        Err(e) => return (Vec::new(), vec![format!("baseline: {e}")]),
+    };
+    if doc.get("scale").as_str() != Some("quick")
+        || doc.get("transport").as_str() != Some("channel")
+        || doc.get("machines").as_u64() != Some(2)
+    {
+        failures.push(
+            "baseline was not generated at quick scale / channel / 2 machines — not comparable"
+                .to_string(),
+        );
+        return (Vec::new(), failures);
+    }
+    let mut measurements = Vec::new();
+    for (spec, table_id) in GATED_APPS {
+        let m = measure_app(spec, table_id);
+        if m.steady_misses > STEADY_MISS_BUDGET {
+            failures.push(format!(
+                "{}: {} steady-state pool miss(es), budget {STEADY_MISS_BUDGET} — the marshal \
+                 path is allocating in the hot loop",
+                m.app, m.steady_misses
+            ));
+        }
+        if m.checkouts == 0 {
+            failures.push(format!("{}: the run never touched the pool — wiring broken?", m.app));
+        }
+        match baseline_row(&doc, table_id) {
+            Err(e) => failures.push(e),
+            Ok(row) => {
+                for name in COUNTER_NAMES {
+                    let baseline = row.get("counters").get(name).as_u64().unwrap_or(0);
+                    let fresh = stat(&m.stats, name);
+                    let exact = !table_is_polled(table_id)
+                        || crate::gate::TIMING_FREE_COUNTERS.contains(&name);
+                    if exact && baseline != fresh {
+                        failures.push(format!(
+                            "{}/{GATED_CONFIG}: {name} drifted under pooling: baseline {baseline} \
+                             vs fresh {fresh} (exact match required)",
+                            m.app
+                        ));
+                    } else if !exact && !rel_close(baseline, fresh, POLL_TOLERANCE) {
+                        failures.push(format!(
+                            "{}/{GATED_CONFIG}: {name} drifted under pooling: baseline {baseline} \
+                             vs fresh {fresh} (tolerance ±{:.0}%)",
+                            m.app,
+                            POLL_TOLERANCE * 100.0
+                        ));
+                    }
+                }
+            }
+        }
+        measurements.push(m);
+    }
+    (measurements, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_apps_run_hot_out_of_the_pool() {
+        for (spec, table_id) in GATED_APPS {
+            let m = measure_app(spec, table_id);
+            assert!(m.checkouts > 0, "{}: no pool traffic", m.app);
+            assert!(m.hits > 0, "{}: a steady-state app must hit the pool", m.app);
+            assert_eq!(m.steady_misses, STEADY_MISS_BUDGET, "{}: leaked marshal buffers", m.app);
+        }
+    }
+
+    #[test]
+    fn gate_passes_against_the_committed_baseline() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_tables.json"
+        ))
+        .expect("committed baseline present");
+        let (measurements, failures) = alloc_gate(&text);
+        assert!(failures.is_empty(), "alloc gate failed:\n{}", failures.join("\n"));
+        assert_eq!(measurements.len(), GATED_APPS.len());
+    }
+
+    #[test]
+    fn gate_rejects_wrong_provenance_and_garbage() {
+        let (_, failures) = alloc_gate("not json");
+        assert_eq!(failures.len(), 1);
+        let (_, failures) =
+            alloc_gate(r#"{"scale":"full","transport":"channel","machines":2,"tables":[]}"#);
+        assert!(failures[0].contains("not comparable"), "{failures:?}");
+    }
+}

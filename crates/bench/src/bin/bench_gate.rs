@@ -8,11 +8,18 @@
 //! Usage:
 //!   cargo run --release -p corm-bench --bin bench_gate -- BENCH_tables.json fresh.json
 //!   cargo run --release -p corm-bench --bin bench_gate -- --recorder-overhead [reps]
+//!   cargo run --release -p corm-bench --bin bench_gate -- --alloc-gate BENCH_tables.json
 //!
 //! The second form gates the flight recorder's wall-time overhead on the
 //! quick-scale bench (recorder on vs off, best-of-reps), failing past
 //! the 5% budget.
+//!
+//! The third form gates the sender-side marshal-buffer pool: each paper
+//! app must report zero steady-state pool misses under the fully
+//! optimized configuration, with counters matching the committed
+//! baseline row.
 
+use corm_bench::alloc::{alloc_gate, STEADY_MISS_BUDGET};
 use corm_bench::gate::gate;
 use corm_bench::overhead::{measure_recorder_overhead, RECORDER_OVERHEAD_LIMIT_PCT};
 
@@ -47,13 +54,49 @@ fn recorder_overhead_gate(reps_arg: Option<&String>) -> ! {
     std::process::exit(1);
 }
 
+fn alloc_gate_main(baseline_arg: Option<&String>) -> ! {
+    let Some(baseline_path) = baseline_arg else {
+        eprintln!("usage: bench_gate --alloc-gate <baseline.json>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let (measurements, failures) = alloc_gate(&text);
+    for m in &measurements {
+        println!(
+            "alloc gate: {:<12} checkouts {:>6}, hits {:>6}, cold misses {:>3}, steady misses {}",
+            m.app, m.checkouts, m.hits, m.cold_misses, m.steady_misses
+        );
+    }
+    if failures.is_empty() {
+        println!(
+            "bench gate: OK (steady-state pool misses within budget {STEADY_MISS_BUDGET}, \
+             counters match {baseline_path})"
+        );
+        std::process::exit(0);
+    }
+    eprintln!("bench gate: {} allocation-gate failure(s):", failures.len());
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--recorder-overhead") {
         recorder_overhead_gate(args.get(2));
     }
+    if args.get(1).map(String::as_str) == Some("--alloc-gate") {
+        alloc_gate_main(args.get(2));
+    }
     let [_, baseline_path, fresh_path] = args.as_slice() else {
-        eprintln!("usage: bench_gate <baseline.json> <fresh.json> | --recorder-overhead [reps]");
+        eprintln!(
+            "usage: bench_gate <baseline.json> <fresh.json> | --recorder-overhead [reps] | \
+             --alloc-gate <baseline.json>"
+        );
         std::process::exit(2);
     };
     let read = |path: &str| {

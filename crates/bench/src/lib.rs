@@ -14,6 +14,7 @@ use corm::{
 };
 use corm_apps::AppSpec;
 
+pub mod alloc;
 pub mod gate;
 pub mod json;
 pub mod overhead;

@@ -903,7 +903,7 @@ pub fn roundtrip(
     use_table: bool,
     reuse: Value,
 ) -> Result<(DeserOutcome, usize), SerError> {
-    let mut msg = Message::new();
+    let mut msg = Message::with_capacity(crate::plan::node_size_hint(node));
     let mut ct = if use_table { Some(SerCycleTable::new()) } else { None };
     ser.serialize(src, node, v, &mut ct, &mut msg)?;
     let bytes = msg.len();
@@ -1200,7 +1200,7 @@ mod tests {
         let mut src = Heap::new();
         let pair = src.alloc_obj(class_id(&m, "Pair"), 2);
         let plan = plans.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
-        let mut msg = Message::new();
+        let mut msg = Message::with_capacity(plan.args_wire_size_hint);
         let mut ct = None;
         let err = ser.serialize(&src, &plan.args[0], Value::Ref(pair), &mut ct, &mut msg);
         assert!(err.is_err());

@@ -109,6 +109,13 @@ pub struct MarshalPlan {
     /// Reply degrades to a bare ack (return value ignored by the caller).
     pub ret_ignored: bool,
     pub is_spawn: bool,
+    /// Static estimate of the marshaled argument payload size in bytes.
+    /// Primes pooled marshal buffers so steady-state serialization never
+    /// reallocates; a guess (arrays use a nominal element count), never a
+    /// correctness input.
+    pub args_wire_size_hint: usize,
+    /// Static estimate of the marshaled return payload size in bytes.
+    pub ret_wire_size_hint: usize,
     /// Applied provenance: why this plan keeps/elides the cycle table and
     /// enables/disables reuse under its configuration. Where the analysis
     /// decided, its rule and witness are carried over verbatim; where the
@@ -356,6 +363,8 @@ pub fn generate_plans(m: &Module, analysis: &AnalysisResult, config: OptConfig) 
             });
         }
 
+        let args_wire_size_hint = args_size_hint(&args);
+        let ret_wire_size_hint = ret.as_ref().map(node_size_hint).unwrap_or(0);
         sites.insert(
             cs.id,
             MarshalPlan {
@@ -369,12 +378,59 @@ pub fn generate_plans(m: &Module, analysis: &AnalysisResult, config: OptConfig) 
                 ret_reuse,
                 ret_ignored: info.ret_ignored,
                 is_spawn: info.is_spawn,
+                args_wire_size_hint,
+                ret_wire_size_hint,
                 provenance,
             },
         );
     }
 
     Plans { config, sites, class_sers }
+}
+
+/// Nominal element count assumed for arrays/strings when estimating wire
+/// size: big enough that small payloads never reallocate, small enough
+/// that a pool of hints stays cheap. The hint is advisory — a marshal
+/// that outgrows it just grows the buffer once, and the pooled buffer
+/// keeps the larger capacity from then on.
+const NOMINAL_ELEMS: usize = 16;
+/// Flat estimate for payloads whose shape is unknown statically
+/// (`Dynamic` dispatch, monomorphic recursion spines).
+const OPAQUE_HINT: usize = 64;
+/// Hints are clamped here so a deeply nested static shape cannot demand
+/// a pathological up-front allocation.
+const MAX_WIRE_SIZE_HINT: usize = 64 * 1024;
+
+/// Static wire-size estimate for one argument list (sum of the per-node
+/// hints, clamped to [`MAX_WIRE_SIZE_HINT`]).
+pub fn args_size_hint(args: &[SerNode]) -> usize {
+    args.iter().map(node_size_hint).fold(0usize, usize::saturating_add).min(MAX_WIRE_SIZE_HINT)
+}
+
+/// Static wire-size estimate for one serializer program, mirroring the
+/// byte layout the engine emits: primitives by value, presence bits
+/// before references, u32 length prefixes before variable payloads.
+pub fn node_size_hint(n: &SerNode) -> usize {
+    let est = match n {
+        SerNode::Prim(PrimKind::Bool) => 1,
+        SerNode::Prim(PrimKind::I32) => 4,
+        SerNode::Prim(PrimKind::I64) | SerNode::Prim(PrimKind::F64) => 8,
+        // presence + u32 length + nominal body
+        SerNode::Str => 1 + 4 + NOMINAL_ELEMS,
+        // presence + machine + object id + class id
+        SerNode::Remote => 1 + 2 + 4 + 4,
+        SerNode::Inline { fields, .. } => {
+            1 + fields.iter().map(|(_, _, f)| node_size_hint(f)).fold(0usize, usize::saturating_add)
+        }
+        SerNode::ArrPrim { elem } => 1 + 4 + NOMINAL_ELEMS * node_size_hint(&SerNode::Prim(*elem)),
+        SerNode::ArrRef { elem, .. } => 1 + 4 + NOMINAL_ELEMS.saturating_mul(node_size_hint(elem)),
+        // Type info on the wire, shape unknown: flat guess.
+        SerNode::Dynamic => OPAQUE_HINT,
+        // The spine length is a runtime property; charge a flat estimate
+        // for the levels we cannot see.
+        SerNode::Recur { .. } => OPAQUE_HINT,
+    };
+    est.min(MAX_WIRE_SIZE_HINT)
 }
 
 /// Does any sub-program require the handle table (i.e., contain references
@@ -652,6 +708,50 @@ mod tests {
     fn preset_labels() {
         assert_eq!(OptConfig::CLASS.label(), "class");
         assert_eq!(OptConfig::ALL.label(), "site + reuse + cycle");
+    }
+
+    #[test]
+    fn size_hints_mirror_the_emitted_layout() {
+        assert_eq!(node_size_hint(&SerNode::Prim(PrimKind::Bool)), 1);
+        assert_eq!(node_size_hint(&SerNode::Prim(PrimKind::I32)), 4);
+        assert_eq!(node_size_hint(&SerNode::Prim(PrimKind::I64)), 8);
+        assert_eq!(node_size_hint(&SerNode::Prim(PrimKind::F64)), 8);
+        assert_eq!(node_size_hint(&SerNode::Str), 1 + 4 + NOMINAL_ELEMS);
+        assert_eq!(node_size_hint(&SerNode::Remote), 11);
+        // presence + length + nominal f64 body
+        assert_eq!(
+            node_size_hint(&SerNode::ArrPrim { elem: PrimKind::F64 }),
+            1 + 4 + NOMINAL_ELEMS * 8
+        );
+        // nested shapes multiply but stay clamped
+        let deep = SerNode::ArrRef {
+            elem_ty: Ty::Class(ClassId(0)),
+            elem: Box::new(SerNode::ArrRef {
+                elem_ty: Ty::Class(ClassId(0)),
+                elem: Box::new(SerNode::ArrRef {
+                    elem_ty: Ty::Class(ClassId(0)),
+                    elem: Box::new(SerNode::ArrPrim { elem: PrimKind::F64 }),
+                }),
+            }),
+        };
+        assert_eq!(node_size_hint(&deep), MAX_WIRE_SIZE_HINT);
+        assert_eq!(args_size_hint(&[]), 0);
+        assert_eq!(
+            args_size_hint(&[SerNode::Prim(PrimKind::I32), SerNode::Str]),
+            4 + 1 + 4 + NOMINAL_ELEMS
+        );
+    }
+
+    #[test]
+    fn every_generated_plan_carries_size_hints() {
+        for (_, config) in OptConfig::TABLE_ROWS {
+            let (_m, p) = plans_for(ARRAY_SRC, config);
+            let plan = p.sites.values().find(|pl| !pl.args.is_empty()).unwrap();
+            // double[16][16] argument: at least presence + length bytes.
+            assert!(plan.args_wire_size_hint >= 5, "{}", config.label());
+            assert!(plan.args_wire_size_hint <= MAX_WIRE_SIZE_HINT);
+            assert_eq!(plan.ret_wire_size_hint, 0, "void return has no ret hint");
+        }
     }
 
     /// Applied provenance mirrors the plan's booleans under every table

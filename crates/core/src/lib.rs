@@ -54,6 +54,7 @@ pub use corm_obs::{
     attach_measured_wire, phase_report, render_phase_report, render_prometheus, HistSnapshot,
     MachineSnapshot, MetricsRegistry, MetricsSnapshot, PhaseTotals, SiteSnapshot,
 };
+pub use corm_vm::pool::{BufferPool, Lane, PER_KEY_CAP};
 pub use corm_vm::{
     render_flight_json, render_timeline, to_chrome_trace, to_json, AuditSnapshot, FaultSpec,
     FlightDump, FlightEvent, FlightKind, Phase, RunOptions, RunOutcome, TraceEvent, TraceKind,

@@ -65,50 +65,75 @@ impl Packet {
         }
     }
 
-    /// Encode as a frame body: an 8-byte send timestamp (nanoseconds on
-    /// the transport's clock, for measured wire time), a tag byte, then
-    /// the fields in little-endian order. The caller adds the u32 length
-    /// prefix that delimits frames on a stream.
-    pub fn encode_body(&self, ts_ns: u64) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32 + self.wire_bytes() as usize);
-        out.extend_from_slice(&ts_ns.to_le_bytes());
-        match self {
+    /// Encode everything *except* the payload bytes into a reusable
+    /// frame buffer: a 4-byte little-endian frame length prefix (the
+    /// length of the body that follows, payload included), then the
+    /// body — an 8-byte send timestamp (nanoseconds on the transport's
+    /// clock, for measured wire time), a tag byte, and the fields in
+    /// little-endian order, ending with the payload length. The payload
+    /// itself is returned as a slice borrowing the packet (empty for
+    /// payload-free packets), so the transport can send header and
+    /// payload with one vectored write and never copy the body.
+    /// `scratch` is cleared first and keeps its capacity across sends.
+    pub fn encode_frame_into<'a>(&'a self, ts_ns: u64, scratch: &mut Vec<u8>) -> &'a [u8] {
+        scratch.clear();
+        scratch.extend_from_slice(&[0u8; 4]); // length prefix, backpatched below
+        scratch.extend_from_slice(&ts_ns.to_le_bytes());
+        let payload: &[u8] = match self {
             Packet::Request { req_id, from, site, target_obj, payload, oneway } => {
-                out.push(TAG_REQUEST);
-                out.extend_from_slice(&req_id.to_le_bytes());
-                out.extend_from_slice(&from.to_le_bytes());
-                out.extend_from_slice(&site.to_le_bytes());
-                out.extend_from_slice(&target_obj.to_le_bytes());
-                out.push(*oneway as u8);
-                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                out.extend_from_slice(payload);
+                scratch.push(TAG_REQUEST);
+                scratch.extend_from_slice(&req_id.to_le_bytes());
+                scratch.extend_from_slice(&from.to_le_bytes());
+                scratch.extend_from_slice(&site.to_le_bytes());
+                scratch.extend_from_slice(&target_obj.to_le_bytes());
+                scratch.push(*oneway as u8);
+                scratch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                payload
             }
             Packet::Reply { req_id, payload, err } => {
-                out.push(TAG_REPLY);
-                out.extend_from_slice(&req_id.to_le_bytes());
+                scratch.push(TAG_REPLY);
+                scratch.extend_from_slice(&req_id.to_le_bytes());
                 match err {
                     Some(e) => {
-                        out.push(1);
-                        out.extend_from_slice(&(e.len() as u32).to_le_bytes());
-                        out.extend_from_slice(e.as_bytes());
+                        scratch.push(1);
+                        scratch.extend_from_slice(&(e.len() as u32).to_le_bytes());
+                        scratch.extend_from_slice(e.as_bytes());
                     }
-                    None => out.push(0),
+                    None => scratch.push(0),
                 }
-                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                out.extend_from_slice(payload);
+                scratch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                payload
             }
             Packet::NewRemote { req_id, from, class } => {
-                out.push(TAG_NEW_REMOTE);
-                out.extend_from_slice(&req_id.to_le_bytes());
-                out.extend_from_slice(&from.to_le_bytes());
-                out.extend_from_slice(&class.to_le_bytes());
+                scratch.push(TAG_NEW_REMOTE);
+                scratch.extend_from_slice(&req_id.to_le_bytes());
+                scratch.extend_from_slice(&from.to_le_bytes());
+                scratch.extend_from_slice(&class.to_le_bytes());
+                &[]
             }
-            Packet::Shutdown => out.push(TAG_SHUTDOWN),
+            Packet::Shutdown => {
+                scratch.push(TAG_SHUTDOWN);
+                &[]
+            }
             Packet::PeerGone { peer } => {
-                out.push(TAG_PEER_GONE);
-                out.extend_from_slice(&peer.to_le_bytes());
+                scratch.push(TAG_PEER_GONE);
+                scratch.extend_from_slice(&peer.to_le_bytes());
+                &[]
             }
-        }
+        };
+        let body_len = (scratch.len() - 4 + payload.len()) as u32;
+        scratch[..4].copy_from_slice(&body_len.to_le_bytes());
+        payload
+    }
+
+    /// Encode as an unprefixed frame body (timestamp, tag, fields,
+    /// payload) in one contiguous buffer. Built on
+    /// [`Packet::encode_frame_into`] so the two encodings cannot drift.
+    pub fn encode_body(&self, ts_ns: u64) -> Vec<u8> {
+        let mut scratch = Vec::with_capacity(32 + self.wire_bytes() as usize);
+        let payload = self.encode_frame_into(ts_ns, &mut scratch);
+        let mut out = scratch.split_off(4);
+        out.extend_from_slice(payload);
         out
     }
 
@@ -219,6 +244,38 @@ mod tests {
             let (q, ts) = Packet::decode_body(&body).unwrap();
             assert_eq!(p, q);
             assert_eq!(ts, 123_456_789);
+        }
+    }
+
+    #[test]
+    fn frame_encoding_matches_body_and_prefixes_length() {
+        let packets = [
+            Packet::Request {
+                req_id: 11,
+                from: 1,
+                site: 3,
+                target_obj: 2,
+                payload: vec![0xAB; 37],
+                oneway: false,
+            },
+            Packet::Reply { req_id: 7, payload: vec![1, 2, 3], err: Some("kaput".into()) },
+            Packet::NewRemote { req_id: 1, from: 0, class: 12 },
+            Packet::Shutdown,
+            Packet::PeerGone { peer: 3 },
+        ];
+        // One scratch across all packets, as the transport reuses it;
+        // stale contents from the previous frame must not leak through.
+        let mut scratch = Vec::new();
+        for p in packets {
+            let payload = p.encode_frame_into(99, &mut scratch).to_vec();
+            let len = u32::from_le_bytes(scratch[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, scratch.len() - 4 + payload.len());
+            let mut joined = scratch[4..].to_vec();
+            joined.extend_from_slice(&payload);
+            assert_eq!(joined, p.encode_body(99), "split frame reassembles to the body");
+            let (q, ts) = Packet::decode_body(&joined).unwrap();
+            assert_eq!(q, p);
+            assert_eq!(ts, 99);
         }
     }
 

@@ -17,7 +17,7 @@
 //! [`Packet::PeerGone`] to its machine's mailbox: that is how a crashed
 //! peer becomes an orderly remote error instead of silent quiescence.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -52,6 +52,16 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Sending half of one (from → to) stream, with the per-peer frame
+/// scratch the vectored send path reuses: every frame's length prefix +
+/// header is built into `scratch` and the payload is sent straight from
+/// the packet, so steady-state sends copy no body bytes and allocate
+/// nothing.
+struct WriterState {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
 /// The TCP mesh. One instance carries the whole simulated cluster.
 pub struct TcpTransport {
     /// Monotonic clock shared by send and receive sides; frame
@@ -59,7 +69,7 @@ pub struct TcpTransport {
     epoch: Instant,
     /// `writers[from][to]`: the sending half of the (from → to) stream.
     /// Diagonal entries are `None` (loopback bypasses the socket).
-    writers: Vec<Vec<Mutex<Option<TcpStream>>>>,
+    writers: Vec<Vec<Mutex<Option<WriterState>>>>,
     /// Loopback + PeerGone injection path into each machine's mailbox.
     local_txs: Vec<Sender<Packet>>,
     /// Measured in-flight nanoseconds, indexed by receiving machine.
@@ -146,7 +156,9 @@ impl TcpTransport {
                     continue;
                 }
                 match open_stream(*addr, i as u16) {
-                    Ok(stream) => row.push(Mutex::new(Some(stream))),
+                    Ok(stream) => {
+                        row.push(Mutex::new(Some(WriterState { stream, scratch: Vec::new() })))
+                    }
                     Err(e) => {
                         connect_err = Some(e);
                         writers.push(row);
@@ -192,8 +204,8 @@ impl TcpTransport {
         for (i, row) in self.writers.iter().enumerate() {
             for (j, slot) in row.iter().enumerate() {
                 if i == m || j == m {
-                    if let Some(stream) = lock(slot).as_ref() {
-                        let _ = stream.shutdown(Shutdown::Both);
+                    if let Some(w) = lock(slot).as_ref() {
+                        let _ = w.stream.shutdown(Shutdown::Both);
                     }
                 }
             }
@@ -217,15 +229,23 @@ impl Transport for TcpTransport {
             let _ = self.local_txs[to as usize].send(packet);
             return;
         }
-        let body = packet.encode_body(self.epoch.elapsed().as_nanos() as u64);
-        let mut frame = Vec::with_capacity(4 + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&body);
         let mut guard = lock(&self.writers[from as usize][to as usize]);
-        if let Some(stream) = guard.as_mut() {
-            // A failed write (peer gone, timeout) drops the packet, the
-            // same as a channel send to a machine that already exited.
-            let _ = stream.write_all(&frame);
+        if let Some(w) = guard.as_mut() {
+            // Zero-copy send: length prefix + frame header go into the
+            // per-peer scratch (reused every send), the payload is sent
+            // straight from the packet via one vectored write.
+            let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+            let payload = packet.encode_frame_into(ts_ns, &mut w.scratch);
+            if write_all_vectored(&mut w.stream, &w.scratch, payload).is_err() {
+                // The peer is gone (or stalled past the write timeout):
+                // retire the stream and tell the *sender's* drain loop,
+                // so its pending calls fail as orderly remote errors
+                // instead of the packet being silently swallowed.
+                *guard = None;
+                if !self.shutting_down.load(Ordering::SeqCst) {
+                    let _ = self.local_txs[from as usize].send(Packet::PeerGone { peer: to });
+                }
+            }
         }
     }
 
@@ -243,8 +263,8 @@ impl Transport for TcpTransport {
         }
         for row in &self.writers {
             for slot in row {
-                if let Some(stream) = lock(slot).as_ref() {
-                    let _ = stream.shutdown(Shutdown::Both);
+                if let Some(w) = lock(slot).as_ref() {
+                    let _ = w.stream.shutdown(Shutdown::Both);
                 }
             }
         }
@@ -259,6 +279,33 @@ impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Write `head` then `tail` in full, preferring a single vectored
+/// syscall per iteration. Handles partial writes (resuming mid-`head`
+/// or mid-`tail`) and `Interrupted`; a zero-length write on a
+/// non-empty buffer is reported as `WriteZero` so a half-closed stream
+/// cannot spin forever.
+fn write_all_vectored(stream: &mut TcpStream, head: &[u8], tail: &[u8]) -> io::Result<()> {
+    let total = head.len() + tail.len();
+    let mut written = 0;
+    while written < total {
+        let n = if written < head.len() {
+            let bufs = [IoSlice::new(&head[written..]), IoSlice::new(tail)];
+            stream.write_vectored(&bufs)
+        } else {
+            stream.write(&tail[written - head.len()..])
+        };
+        match n {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "stream accepted no bytes"))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 fn open_stream(addr: SocketAddr, from: u16) -> io::Result<TcpStream> {
@@ -447,6 +494,38 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+        t.shutdown();
+    }
+
+    #[test]
+    fn failed_write_to_killed_peer_reports_peer_gone_to_sender() {
+        let (mailboxes, t) = TcpTransport::new(2).unwrap();
+        // Prove the stream works before the kill.
+        t.deliver(0, 1, Packet::Reply { req_id: 0, payload: vec![1], err: None });
+        assert!(matches!(mailboxes[1].recv().unwrap(), Packet::Reply { req_id: 0, .. }));
+        // Kill machine 1 mid-stream (no shutdown flag raised), then drain
+        // the reader-side notification machine 0's reader thread emits.
+        t.sever(1);
+        assert_eq!(mailboxes[0].recv().unwrap(), Packet::PeerGone { peer: 1 });
+        // Keep sending into the dead stream. The kernel may buffer the
+        // first post-FIN write, but within a bounded number of sends the
+        // write fails and the *sender* observes PeerGone — the regression
+        // this test pins is the old `let _ = stream.write_all(..)` that
+        // swallowed the error and left callers waiting forever.
+        let mut sender_notified = false;
+        for i in 0..64 {
+            t.deliver(0, 1, Packet::Reply { req_id: i, payload: vec![0; 1 << 16], err: None });
+            if let Ok(Some(p)) = mailboxes[0].try_recv() {
+                assert_eq!(p, Packet::PeerGone { peer: 1 });
+                sender_notified = true;
+                break;
+            }
+        }
+        assert!(sender_notified, "sender never observed the failed write");
+        // The dead stream is retired: further sends drop silently without
+        // duplicate notifications.
+        t.deliver(0, 1, Packet::Shutdown);
+        assert_eq!(mailboxes[0].try_recv().unwrap(), None);
         t.shutdown();
     }
 

@@ -42,6 +42,18 @@ pub struct MachineMetrics {
     /// reclaimed them. Zero when auditing is off; a healthy build
     /// overwrites every poisoned slot from the wire.
     pub audit_poisons: AtomicU64,
+    /// Marshal-buffer pool checkouts served by a recycled buffer.
+    pub pool_hits: AtomicU64,
+    /// Pool checkouts that had to allocate (includes cold misses).
+    pub pool_misses: AtomicU64,
+    /// The subset of `pool_misses` that built the pool's working set: the
+    /// first allocations for a (site, lane) key up to the per-key
+    /// retention cap. `pool_misses - pool_cold_misses` is the
+    /// steady-state miss count the alloc gate budgets at zero.
+    pub pool_cold_misses: AtomicU64,
+    /// Bytes of buffer capacity currently parked in this machine's pool
+    /// shard (a gauge: grows on put, shrinks on checkout).
+    pub pool_resident_bytes: AtomicU64,
 }
 
 /// Per-call-site metrics (cluster-wide scope: a site's calls may
@@ -106,6 +118,10 @@ impl MetricsRegistry {
             m.payload_bytes.reset();
             m.audit_checks.store(0, Ordering::Relaxed);
             m.audit_poisons.store(0, Ordering::Relaxed);
+            m.pool_hits.store(0, Ordering::Relaxed);
+            m.pool_misses.store(0, Ordering::Relaxed);
+            m.pool_cold_misses.store(0, Ordering::Relaxed);
+            m.pool_resident_bytes.store(0, Ordering::Relaxed);
         }
         self.sites.lock().clear();
     }
@@ -124,6 +140,10 @@ impl MetricsRegistry {
                 payload_bytes: m.payload_bytes.snapshot(),
                 audit_checks: m.audit_checks.load(Ordering::Relaxed),
                 audit_poisons: m.audit_poisons.load(Ordering::Relaxed),
+                pool_hits: m.pool_hits.load(Ordering::Relaxed),
+                pool_misses: m.pool_misses.load(Ordering::Relaxed),
+                pool_cold_misses: m.pool_cold_misses.load(Ordering::Relaxed),
+                pool_resident_bytes: m.pool_resident_bytes.load(Ordering::Relaxed),
             })
             .collect();
         let mut sites: Vec<SiteSnapshot> = self
@@ -153,6 +173,18 @@ pub struct MachineSnapshot {
     pub payload_bytes: HistSnapshot,
     pub audit_checks: u64,
     pub audit_poisons: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub pool_cold_misses: u64,
+    pub pool_resident_bytes: u64,
+}
+
+impl MachineSnapshot {
+    /// Pool misses beyond the working-set build-up — the quantity
+    /// `bench_gate --alloc-gate` requires to be zero for the paper apps.
+    pub fn pool_steady_misses(&self) -> u64 {
+        self.pool_misses.saturating_sub(self.pool_cold_misses)
+    }
 }
 
 /// Plain-value copy of one call site's scope.
@@ -244,6 +276,27 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.machines.iter().map(|m| m.audit_checks).sum::<u64>(), 0);
         assert_eq!(snap.machines.iter().map(|m| m.audit_poisons).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn pool_counters_snapshot_reset_and_steady_miss_math() {
+        let reg = MetricsRegistry::new(2);
+        reg.machine(0).pool_hits.fetch_add(10, Ordering::Relaxed);
+        reg.machine(0).pool_misses.fetch_add(3, Ordering::Relaxed);
+        reg.machine(0).pool_cold_misses.fetch_add(2, Ordering::Relaxed);
+        reg.machine(1).pool_resident_bytes.fetch_add(4096, Ordering::Relaxed);
+        let snap = reg.snapshot();
+        assert_eq!(snap.machines[0].pool_hits, 10);
+        assert_eq!(snap.machines[0].pool_misses, 3);
+        assert_eq!(snap.machines[0].pool_cold_misses, 2);
+        assert_eq!(snap.machines[0].pool_steady_misses(), 1);
+        assert_eq!(snap.machines[1].pool_resident_bytes, 4096);
+        assert_eq!(snap.machines[1].pool_steady_misses(), 0);
+        reg.reset();
+        let snap = reg.snapshot();
+        for m in &snap.machines {
+            assert_eq!(m.pool_hits + m.pool_misses + m.pool_resident_bytes, 0);
+        }
     }
 
     #[test]

@@ -24,6 +24,14 @@ fn counter(out: &mut String, name: &str, help: &str, series: &[(String, u64)]) {
     }
 }
 
+fn gauge(out: &mut String, name: &str, help: &str, series: &[(String, u64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (labels, v) in series {
+        let _ = writeln!(out, "{name}{{{labels}}} {v}");
+    }
+}
+
 fn histogram(out: &mut String, name: &str, help: &str, series: &[(String, HistSnapshot)]) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} histogram");
@@ -161,6 +169,34 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
         &audit_poisons,
     );
 
+    // Sender-side marshal-buffer pool (DESIGN §12).
+    let per_machine_pool =
+        |f: &dyn Fn(&crate::metrics::MachineSnapshot) -> u64| -> Vec<(String, u64)> {
+            m.machines
+                .iter()
+                .enumerate()
+                .map(|(i, ms)| (format!("machine=\"{i}\""), f(ms)))
+                .collect()
+        };
+    counter(
+        &mut out,
+        "corm_pool_hits_total",
+        "Marshal-buffer checkouts served by a recycled buffer",
+        &per_machine_pool(&|ms| ms.pool_hits),
+    );
+    counter(
+        &mut out,
+        "corm_pool_misses_total",
+        "Marshal-buffer checkouts that allocated (includes cold misses)",
+        &per_machine_pool(&|ms| ms.pool_misses),
+    );
+    gauge(
+        &mut out,
+        "corm_pool_resident_bytes",
+        "Buffer capacity currently parked in the marshal pool",
+        &per_machine_pool(&|ms| ms.pool_resident_bytes),
+    );
+
     let per_machine_hist =
         |f: &dyn Fn(&crate::metrics::MachineSnapshot) -> HistSnapshot| -> Vec<(String, HistSnapshot)> {
             m.machines
@@ -261,6 +297,23 @@ mod tests {
         assert!(text.contains(r#"corm_audit_checks_total{machine="0"} 0"#));
         assert!(text.contains("# TYPE corm_audit_poisons_total counter"));
         assert!(text.contains(r#"corm_audit_poisons_total{machine="1"} 0"#));
+    }
+
+    #[test]
+    fn pool_series_are_exposed() {
+        let reg = MetricsRegistry::new(2);
+        reg.machine(0).pool_hits.fetch_add(12, std::sync::atomic::Ordering::Relaxed);
+        reg.machine(0).pool_misses.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        reg.machine(1).pool_resident_bytes.fetch_add(8192, std::sync::atomic::Ordering::Relaxed);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE corm_pool_hits_total counter"));
+        assert!(text.contains(r#"corm_pool_hits_total{machine="0"} 12"#));
+        assert!(text.contains(r#"corm_pool_hits_total{machine="1"} 0"#));
+        assert!(text.contains("# TYPE corm_pool_misses_total counter"));
+        assert!(text.contains(r#"corm_pool_misses_total{machine="0"} 2"#));
+        // resident bytes can shrink, so it is a gauge, not a counter
+        assert!(text.contains("# TYPE corm_pool_resident_bytes gauge"));
+        assert!(text.contains(r#"corm_pool_resident_bytes{machine="1"} 8192"#));
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub const FLAG_RET_CYCLE_TABLE: u8 = 1 << 1;
 pub const FLAG_ARG_REUSE: u8 = 1 << 2;
 pub const FLAG_RET_REUSE: u8 = 1 << 3;
 pub const FLAG_ONEWAY: u8 = 1 << 4;
+/// The request's marshal buffer came out of the sender-side pool
+/// (DESIGN §12) rather than a fresh allocation.
+pub const FLAG_POOL_HIT: u8 = 1 << 5;
 
 /// Transport codes (corm-obs sits below corm-net, so the transport kind
 /// crosses as a byte).
@@ -323,7 +326,8 @@ pub fn render_flight_json(d: &FlightDump) -> String {
                 "        {{\"t_us\": {}, \"kind\": \"{}\", \"req\": {}, \"site\": {}, \
                  \"bytes\": {}, \"peer\": {}, \"transport\": \"{}\", \
                  \"args_cycle_table\": {}, \"ret_cycle_table\": {}, \
-                 \"arg_reuse\": {}, \"ret_reuse\": {}, \"oneway\": {}}}",
+                 \"arg_reuse\": {}, \"ret_reuse\": {}, \"oneway\": {}, \
+                 \"pool_hit\": {}}}",
                 e.t_us,
                 e.kind.name(),
                 e.req,
@@ -336,6 +340,7 @@ pub fn render_flight_json(d: &FlightDump) -> String {
                 e.flags & FLAG_ARG_REUSE != 0,
                 e.flags & FLAG_RET_REUSE != 0,
                 e.flags & FLAG_ONEWAY != 0,
+                e.flags & FLAG_POOL_HIT != 0,
             );
             let _ = writeln!(s, "{}", if ei + 1 < events.len() { "," } else { "" });
         }
@@ -475,6 +480,15 @@ mod tests {
         assert!(json.contains("\"transport\": \"tcp\""));
         assert!(json.contains("\"args_cycle_table\": true"));
         assert!(json.contains("\"ret_cycle_table\": false"));
+        assert!(json.contains("\"pool_hit\": false"));
         assert_eq!(dump.total_events(), 2);
+
+        // FLAG_POOL_HIT round-trips through the packed slot words.
+        let rec = FlightRecorder::new(1, 8);
+        rec.record(0, FlightEvent { flags: FLAG_POOL_HIT, ..ev(5, FlightKind::Send) });
+        let snap = rec.snapshot();
+        assert!(snap[0].1[0].flags & FLAG_POOL_HIT != 0);
+        let dump = FlightDump { reason: "ok".into(), failing_reqs: vec![], machines: snap };
+        assert!(render_flight_json(&dump).contains("\"pool_hit\": true"));
     }
 }

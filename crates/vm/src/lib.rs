@@ -20,6 +20,7 @@ pub mod builtins;
 pub mod error;
 pub mod interp;
 pub mod machine;
+pub mod pool;
 pub mod rmi;
 pub mod runtime;
 

@@ -7,15 +7,16 @@ use corm_heap::{AllocAttribution, ObjRef, Value};
 use corm_ir::{CallSiteId, ClassId, MethodId};
 use corm_net::Packet;
 use corm_obs::recorder::{
-    FlightKind, FLAG_ARGS_CYCLE_TABLE, FLAG_ARG_REUSE, FLAG_ONEWAY, FLAG_RET_CYCLE_TABLE,
-    FLAG_RET_REUSE,
+    FlightKind, FLAG_ARGS_CYCLE_TABLE, FLAG_ARG_REUSE, FLAG_ONEWAY, FLAG_POOL_HIT,
+    FLAG_RET_CYCLE_TABLE, FLAG_RET_REUSE,
 };
-use corm_wire::{DeserTable, Message, RmiStats, SerCycleTable};
+use corm_wire::{DeserTable, Message, MessageReader, RmiStats, SerCycleTable};
 use parking_lot::MutexGuard;
 
 use crate::error::{VmError, VmResult};
 use crate::interp::Interp;
 use crate::machine::{MachineState, ReplySlot};
+use crate::pool::Lane;
 use crate::runtime::Runtime;
 use crate::trace::{Phase, TraceKind};
 
@@ -62,6 +63,23 @@ fn plan_flags(plan: &MarshalPlan, oneway: bool) -> u8 {
         f |= FLAG_ONEWAY;
     }
     f
+}
+
+/// Flight-recorder bit for a pooled-buffer checkout.
+fn pool_flag(hit: bool) -> u8 {
+    if hit {
+        FLAG_POOL_HIT
+    } else {
+        0
+    }
+}
+
+/// Unmarshal failures name their call site (the byte offsets inside the
+/// [`corm_wire::WireError`] alone cannot say *whose* payload was short),
+/// and analysis-audit errors additionally carry the site's provenance
+/// via [`attach_provenance`].
+fn unmarshal_context(plan: &MarshalPlan, site: CallSiteId, e: impl std::fmt::Display) -> VmError {
+    attach_provenance(plan, site, format!("{e} (unmarshaling call site {})", site.0))
 }
 
 /// Cross-link an auditor failure back to the compile-time decision that
@@ -137,7 +155,17 @@ pub fn remote_call(
     let ser = Serializer::new(&plans, &rt.module.table, &shard.stats);
     rt.trace_event(my, TraceKind::PhaseBegin { phase: Phase::Marshal, req, site: site.0 });
     let m0 = rt.start.elapsed();
-    let mut msg = Message::new();
+    // One-way sends never see a reply, so their buffer could not return
+    // to the pool; they get capacity-primed one-shot construction
+    // instead (apps only spawn at startup). Everything else checks out
+    // of the per-site pool and the buffer circulates back after the
+    // reply is deserialized.
+    let (buf, pool_hit) = if oneway {
+        (Vec::with_capacity(plan.args_wire_size_hint), false)
+    } else {
+        rt.pool.checkout(my, site.0, Lane::Args, plan.args_wire_size_hint, shard)
+    };
+    let mut msg = Message::from_bytes(buf);
     let mut ct = if plan.args_cycle_table { Some(SerCycleTable::new()) } else { None };
     let mut shadow = audit_shadow(&rt, plan.args_cycle_table);
     for (i, node) in plan.args.iter().enumerate() {
@@ -155,9 +183,9 @@ pub fn remote_call(
     shard.payload_bytes.record(payload_len);
 
     if receiver.machine == my {
-        local_rpc(interp, guard, plan, &ser, site, req, receiver, msg, oneway)
+        local_rpc(interp, guard, plan, &ser, site, req, receiver, msg, oneway, pool_hit)
     } else {
-        wire_rpc(interp, guard, plan, &ser, site, req, receiver, msg, oneway)
+        wire_rpc(interp, guard, plan, &ser, site, req, receiver, msg, oneway, pool_hit)
     }
 }
 
@@ -176,6 +204,7 @@ fn local_rpc(
     receiver: corm_heap::RemoteRef,
     msg: Message,
     oneway: bool,
+    pool_hit: bool,
 ) -> VmResult<Value> {
     let rt = interp.rt.clone();
     let my = interp.machine_id();
@@ -189,16 +218,23 @@ fn local_rpc(
         site.0,
         msg.as_bytes().len() as u32,
         my,
-        plan_flags(plan, oneway),
+        plan_flags(plan, oneway) | pool_flag(pool_hit),
     );
 
     let reader_msg = msg;
-    let mut reader = reader_msg.reader();
     rt.trace_event(my, TraceKind::PhaseBegin { phase: Phase::Unmarshal, req, site: site.0 });
     let u0 = rt.start.elapsed();
-    let vals = deserialize_args(&rt, my, guard, ser, plan, site, &mut reader)?;
+    let vals = {
+        let mut reader = reader_msg.reader();
+        deserialize_args(&rt, my, guard, ser, plan, site, &mut reader)?
+    };
     shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
     rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Unmarshal, req, site: site.0 });
+    // The clone is done with the request bytes; recycle them for the
+    // site's next call (one-way buffers were never pooled).
+    if !oneway {
+        rt.pool.put(my, site.0, Lane::Args, reader_msg.into_bytes(), shard);
+    }
 
     let f = interp.func_of(plan.method)?;
     let mut args = vec![Value::Remote(receiver)];
@@ -229,18 +265,24 @@ fn local_rpc(
     rt.obs.site(site.0).rtt_us.record(us);
     rt.trace_event(my, TraceKind::LocalRpc { req, site: site.0, us });
 
-    // Clone the return value through serialization as well.
+    // Clone the return value through serialization as well. The clone
+    // buffer pools on its own lane: return payloads have a different
+    // steady-state size than request payloads.
     if plan.ret_ignored || plan.ret.is_none() {
         return Ok(Value::Null);
     }
     let node = plan.ret.as_ref().unwrap();
-    let mut rmsg = Message::new();
+    let (rbuf, _ret_hit) = rt.pool.checkout(my, site.0, Lane::Ret, plan.ret_wire_size_hint, shard);
+    let mut rmsg = Message::from_bytes(rbuf);
     let mut rct = if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
     let mut shadow = audit_shadow(&rt, plan.ret_cycle_table);
     ser.serialize_audited(&guard.heap, node, ret, &mut rct, &mut rmsg, &mut shadow)
         .map_err(|e| attach_provenance(plan, site, e))?;
     absorb_shadow(&rt, my, shadow);
-    deserialize_ret(&rt, my, guard, ser, plan, site, rmsg.as_bytes())
+    let ret_bytes = rmsg.into_bytes();
+    let out = deserialize_ret(&rt, my, guard, ser, plan, site, &ret_bytes);
+    rt.pool.put(my, site.0, Lane::Ret, ret_bytes, shard);
+    out
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -254,6 +296,7 @@ fn wire_rpc(
     receiver: corm_heap::RemoteRef,
     msg: Message,
     oneway: bool,
+    pool_hit: bool,
 ) -> VmResult<Value> {
     let rt = interp.rt.clone();
     let my = interp.machine_id();
@@ -286,7 +329,7 @@ fn wire_rpc(
         site.0,
         bytes as u32,
         receiver.machine,
-        plan_flags(plan, oneway),
+        plan_flags(plan, oneway) | pool_flag(pool_hit),
     );
     // Fault injection: the N-th request toward the victim pulls its power
     // cord *before* the packet goes out — the request is lost in flight
@@ -325,7 +368,7 @@ fn wire_rpc(
                 site.0,
                 0,
                 receiver.machine,
-                plan_flags(plan, oneway),
+                plan_flags(plan, oneway) | pool_flag(pool_hit),
             );
             Err(VmError::new(format!("remote exception: {remote_err}")))
         }
@@ -344,9 +387,15 @@ fn wire_rpc(
                 site.0,
                 payload.len() as u32,
                 receiver.machine,
-                plan_flags(plan, oneway),
+                plan_flags(plan, oneway) | pool_flag(pool_hit),
             );
+            // The reply payload is the request buffer coming home: the
+            // server reuses it for the return marshal (or clears it for
+            // a bare ack), so checking it in here closes the per-site
+            // recycling loop. On TCP the receiver decoded into a fresh
+            // Vec, but the hit/miss accounting is identical either way.
             if plan.ret_ignored || plan.ret.is_none() {
+                rt.pool.put(my, site.0, Lane::Args, payload, shard);
                 return Ok(Value::Null);
             }
             rt.trace_event(
@@ -357,6 +406,7 @@ fn wire_rpc(
             let out = deserialize_ret(&rt, my, guard, ser, plan, site, &payload);
             shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
             rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Unmarshal, req, site: site.0 });
+            rt.pool.put(my, site.0, Lane::Args, payload, shard);
             out
         }
     }
@@ -393,7 +443,7 @@ fn deserialize_args(
     }
     guard.heap.set_attribution(prev);
     if let Some(e) = err {
-        return Err(e.into());
+        return Err(unmarshal_context(plan, site, e));
     }
     RmiStats::bump(&ser.stats.reused_objs, total_reused);
     Ok(vals)
@@ -426,15 +476,17 @@ fn deserialize_ret(
     payload: &[u8],
 ) -> VmResult<Value> {
     let node = plan.ret.as_ref().expect("ret plan");
-    let msg = Message::from_bytes(payload.to_vec());
-    let mut reader = msg.reader();
+    // Read straight off the payload slice — the reply Vec stays with the
+    // caller for pool check-in (the old path copied it into a fresh
+    // Message here).
+    let mut reader = MessageReader::new(payload);
     let mut dt = if plan.ret_cycle_table { Some(DeserTable::new()) } else { None };
     let reuse = if plan.ret_reuse { guard.take_ret_cache(site) } else { Value::Null };
     let reuse = audit_poison(rt, my, guard, reuse);
     let prev = guard.heap.set_attribution(AllocAttribution::Deserialization);
     let out = ser.deserialize(&mut guard.heap, node, &mut reader, &mut dt, reuse);
     guard.heap.set_attribution(prev);
-    let out = out?;
+    let out = out.map_err(|e| unmarshal_context(plan, site, e))?;
     RmiStats::bump(&ser.stats.reused_objs, out.reused);
     if plan.ret_reuse {
         guard.set_ret_cache(site, out.value);
@@ -545,11 +597,19 @@ pub fn handle_request(
             );
             update_arg_caches(&mut guard, plan, site, &vals);
 
+            // The request buffer becomes the reply payload: cleared for
+            // a bare ack (zero payload bytes — `wire_bytes` accounting
+            // is unchanged), or reused for the return-value marshal. On
+            // the channel backend its capacity rides back to the caller,
+            // closing the pool's recycling loop without any server-side
+            // pool.
+            let mut reply = msg.into_bytes();
+            reply.clear();
             if oneway || plan.ret_ignored || plan.ret.is_none() {
-                return Ok(Vec::new()); // bare ack
+                return Ok(reply); // bare ack
             }
             let node = plan.ret.as_ref().unwrap();
-            let mut rmsg = Message::new();
+            let mut rmsg = Message::from_bytes(reply);
             let mut rct = if plan.ret_cycle_table { Some(SerCycleTable::new()) } else { None };
             let mut shadow = audit_shadow(rt, plan.ret_cycle_table);
             ser.serialize_audited(&guard.heap, node, ret, &mut rct, &mut rmsg, &mut shadow)

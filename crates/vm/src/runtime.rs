@@ -159,6 +159,10 @@ pub struct Runtime {
     pub fault: Option<FaultSpec>,
     /// Count of wire requests sent toward the fault victim so far.
     pub fault_sends: std::sync::atomic::AtomicU64,
+    /// Per-call-site marshal-buffer pool (DESIGN §12): request buffers
+    /// circulate caller → server → reply → caller, so steady-state
+    /// marshals allocate nothing. Canary mode rides on `audit`.
+    pub pool: crate::pool::BufferPool,
 }
 
 impl Runtime {
@@ -346,6 +350,7 @@ pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> 
         },
         fault: opts.fault,
         fault_sends: std::sync::atomic::AtomicU64::new(0),
+        pool: crate::pool::BufferPool::new(opts.machines, opts.audit),
     });
     let _panic_guard = PanicFlightGuard { rt: rt.clone() };
 

@@ -12,6 +12,6 @@ pub mod stats;
 pub mod tags;
 
 pub use cycle_table::{DeserTable, SerCycleTable};
-pub use message::{Message, MessageReader, WireError};
+pub use message::{canary_fill, Message, MessageReader, WireError, CANARY_BYTE};
 pub use stats::{RmiStats, StatsSnapshot};
 pub use tags::*;

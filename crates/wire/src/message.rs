@@ -52,6 +52,18 @@ impl Message {
         Message { buf }
     }
 
+    /// Clear the contents, keeping the allocation. This is the pool
+    /// take/put primitive: a recycled message starts empty but retains
+    /// the capacity of the largest payload it ever carried, so
+    /// steady-state marshals never reallocate.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
     pub fn reader(&self) -> MessageReader<'_> {
         MessageReader { buf: &self.buf, pos: 0 }
     }
@@ -125,6 +137,24 @@ impl Message {
     }
 }
 
+/// Byte used by [`canary_fill`]. 0xA5 decodes as an implausible value
+/// for every typed reader (large lengths, non-0/1 bools), so a stale
+/// byte that leaks out of a recycled buffer fails loudly and
+/// deterministically instead of aliasing a previous call's data.
+pub const CANARY_BYTE: u8 = 0xA5;
+
+/// Debug helper for pooled buffers: overwrite the buffer's entire
+/// spare capacity with [`CANARY_BYTE`] and leave it empty. Writers only
+/// ever append, so serialized output is byte-identical with or without
+/// the canary — but any read of recycled memory that skipped a write
+/// now yields sentinels instead of the previous call's bytes.
+pub fn canary_fill(buf: &mut Vec<u8>) {
+    let cap = buf.capacity();
+    buf.clear();
+    buf.resize(cap, CANARY_BYTE);
+    buf.clear();
+}
+
 /// A read cursor over a message payload.
 #[derive(Debug, Clone)]
 pub struct MessageReader<'a> {
@@ -133,8 +163,20 @@ pub struct MessageReader<'a> {
 }
 
 impl<'a> MessageReader<'a> {
+    /// Cursor over a raw payload slice. Lets receivers that own a
+    /// `Vec<u8>` decode without wrapping it in a [`Message`] first
+    /// (which would either move or copy the buffer).
+    pub fn new(buf: &'a [u8]) -> Self {
+        MessageReader { buf, pos: 0 }
+    }
+
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Current read offset, for error context.
+    pub fn pos(&self) -> usize {
+        self.pos
     }
 
     pub fn is_exhausted(&self) -> bool {
@@ -143,7 +185,12 @@ impl<'a> MessageReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return werr(format!("underflow: need {n} bytes, have {}", self.remaining()));
+            return werr(format!(
+                "underflow at byte {}/{}: need {n} bytes, have {}",
+                self.pos,
+                self.buf.len(),
+                self.remaining()
+            ));
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -264,6 +311,68 @@ mod tests {
     fn underflow_detected() {
         let m = Message::new();
         assert!(m.reader().read_i32().is_err());
+    }
+
+    #[test]
+    fn underflow_reports_offset_and_totals() {
+        let mut m = Message::new();
+        m.write_i32(7); // 4 bytes total
+        let mut r = m.reader();
+        r.read_u8().unwrap(); // pos = 1
+        let err = r.read_i64().unwrap_err();
+        assert_eq!(err.0, "underflow at byte 1/4: need 8 bytes, have 3");
+    }
+
+    #[test]
+    fn truncated_str_underflow_names_the_short_body() {
+        // Length prefix promises 100 bytes but only 2 follow.
+        let mut m = Message::new();
+        m.write_u32(100);
+        m.write_u8(b'h');
+        m.write_u8(b'i');
+        let err = m.reader().read_str().unwrap_err();
+        assert_eq!(err.0, "underflow at byte 4/6: need 100 bytes, have 2");
+    }
+
+    #[test]
+    fn trailing_bytes_are_observable() {
+        let mut m = Message::new();
+        m.write_i32(1);
+        m.write_u8(0xFF); // junk past the logical end
+        let mut r = m.reader();
+        r.read_i32().unwrap();
+        assert!(!r.is_exhausted());
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.pos(), 4);
+    }
+
+    #[test]
+    fn reader_over_raw_slice_matches_message_reader() {
+        let mut m = Message::new();
+        m.write_i64(42);
+        let bytes = m.into_bytes();
+        let mut r = MessageReader::new(&bytes);
+        assert_eq!(r.read_i64().unwrap(), 42);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_output_is_identical_after_canary() {
+        let mut m = Message::new();
+        m.write_str("a fairly long first payload to size the buffer");
+        let first_cap = m.capacity();
+        let mut buf = m.into_bytes();
+        canary_fill(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), first_cap);
+        let mut m = Message::from_bytes(buf);
+        m.reset();
+        m.write_i32(-9);
+        let mut fresh = Message::new();
+        fresh.write_i32(-9);
+        // Recycled + canaried buffer serializes byte-identically.
+        assert_eq!(m.as_bytes(), fresh.as_bytes());
+        assert_eq!(m.capacity(), first_cap);
     }
 
     #[test]

@@ -304,6 +304,48 @@ fn tcp_killed_peer_surfaces_as_orderly_remote_error() {
 }
 
 #[test]
+fn tcp_mid_stream_kill_surfaces_write_failure_to_sender() {
+    // Kill the peer *between* two writes on an established stream. The
+    // sender's next write fails; before the fix that error was swallowed
+    // (`let _ = stream.write_all(..)`) and the caller could only be saved
+    // by the reader-side notification. Now the write path itself injects
+    // PeerGone into the sender's own mailbox, so the failure is observed
+    // even if the reader-side signal is lost — never a silent hang.
+    use corm_net::{Packet, TcpTransport, Transport};
+
+    let (mailboxes, transport) = TcpTransport::new(2).unwrap();
+    // A write mid-stream: the connection is warm and proven.
+    transport.deliver(0, 1, Packet::Reply { req_id: 1, payload: vec![2; 8], err: None });
+    assert!(matches!(mailboxes[1].recv().unwrap(), Packet::Reply { req_id: 1, .. }));
+    transport.sever(1);
+    // Drain the notification from machine 0's reader thread first, so the
+    // next PeerGone we see is unambiguously from the *write* path.
+    assert!(matches!(mailboxes[0].recv().unwrap(), Packet::PeerGone { peer: 1 }));
+    let mut write_failure_observed = false;
+    for i in 0..64 {
+        transport.deliver(
+            0,
+            1,
+            Packet::Request {
+                req_id: i,
+                from: 0,
+                site: 0,
+                target_obj: 1,
+                payload: vec![0; 1 << 16],
+                oneway: false,
+            },
+        );
+        if let Ok(Some(p)) = mailboxes[0].try_recv() {
+            assert!(matches!(p, Packet::PeerGone { peer: 1 }), "unexpected {p:?}");
+            write_failure_observed = true;
+            break;
+        }
+    }
+    assert!(write_failure_observed, "sender never learned its writes were failing");
+    transport.shutdown();
+}
+
+#[test]
 fn tcp_fault_injection_dumps_flight_recorder_with_failing_req() {
     // End-to-end power-cord pull over real sockets: the third request
     // toward machine 1 severs it mid-flight. The caller must get an

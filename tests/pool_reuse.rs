@@ -1,0 +1,109 @@
+//! Sender-side marshal-buffer pool, end to end: steady-state RMI loops
+//! must recycle their marshal buffers (zero steady-state misses), the
+//! flight recorder must show warm call sites as pool hits, and the
+//! auditor's canary painting of recycled buffers must be invisible to
+//! program behavior and RMI statistics.
+
+use corm::{compile_and_run, OptConfig, RunOptions, TransportKind};
+use corm_apps::{AppSpec, ARRAY2D, LINKED_LIST, WEBSERVER};
+
+const ECHO_LOOP: &str = r#"
+    remote class R { int echo(int x) { return x; } }
+    class M {
+        static void main() {
+            R r = new R() @ 1;
+            int s = 0;
+            int i = 0;
+            while (i < 25) { s = s + r.echo(i); i = i + 1; }
+            System.println(Str.fromLong(s));
+        }
+    }
+"#;
+
+#[test]
+fn steady_state_loop_runs_hot_out_of_the_pool() {
+    let out = compile_and_run(
+        ECHO_LOOP,
+        OptConfig::ALL,
+        RunOptions { machines: 2, ..Default::default() },
+    )
+    .unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.output, "300\n");
+    let m0 = &out.metrics.machines[0];
+    // The first call at the site allocates (a cold miss); every later
+    // iteration checks the recycled request buffer back out.
+    assert!(m0.pool_hits >= 24, "expected a hot loop, got {} hits", m0.pool_hits);
+    assert_eq!(m0.pool_steady_misses(), 0, "the echo loop must not leak buffers");
+}
+
+#[test]
+fn flight_recorder_marks_warm_sites_as_pool_hits() {
+    let out = compile_and_run(
+        ECHO_LOOP,
+        OptConfig::ALL,
+        RunOptions { machines: 2, ..Default::default() },
+    )
+    .unwrap();
+    let json = corm::render_flight_json(&out.flight);
+    // The first send misses (pool empty), the rest hit: both flag values
+    // must appear in the dump.
+    assert!(json.contains("\"pool_hit\": true"), "warm sends must carry the pool flag");
+    assert!(json.contains("\"pool_hit\": false"), "the cold first send must not");
+}
+
+#[test]
+fn canary_painting_under_audit_changes_nothing_observable() {
+    // `audit: true` turns on canary-filling of recycled buffers (spare
+    // capacity is painted with a sentinel on check-in). Marshalers only
+    // ever append, so a run with the auditor + canaries enabled must be
+    // byte-identical in output and counter-identical in RMI stats.
+    fn both(spec: &AppSpec) -> Vec<corm::RunOutcome> {
+        let compiled = spec.compile(OptConfig::ALL);
+        [false, true]
+            .into_iter()
+            .map(|audit| {
+                corm::run(
+                    &compiled,
+                    RunOptions {
+                        machines: spec.machines,
+                        args: spec.quick_args.to_vec(),
+                        audit,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect()
+    }
+    for spec in [&LINKED_LIST, &ARRAY2D, &WEBSERVER] {
+        let runs = both(spec);
+        let (plain, audited) = (&runs[0], &runs[1]);
+        assert!(plain.error.is_none() && audited.error.is_none(), "{}", spec.name);
+        assert_eq!(plain.output, audited.output, "{}: canary mode changed output", spec.name);
+        assert_eq!(plain.stats, audited.stats, "{}: canary mode changed RMI stats", spec.name);
+        assert!(audited.audit.enabled, "{}: audit mode (and so canaries) must be on", spec.name);
+        for (m, snap) in audited.metrics.machines.iter().enumerate() {
+            assert_eq!(
+                snap.pool_steady_misses(),
+                0,
+                "{} machine {m} leaks buffers with canaries on",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pooling_works_over_tcp_too() {
+    let out = compile_and_run(
+        ECHO_LOOP,
+        OptConfig::ALL,
+        RunOptions { machines: 2, transport: TransportKind::Tcp, ..Default::default() },
+    )
+    .unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.output, "300\n");
+    let m0 = &out.metrics.machines[0];
+    assert!(m0.pool_hits >= 24, "expected a hot loop over tcp, got {} hits", m0.pool_hits);
+    assert_eq!(m0.pool_steady_misses(), 0);
+}

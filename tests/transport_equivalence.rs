@@ -69,6 +69,58 @@ fn tcp_measures_wire_time_and_channel_does_not() {
 }
 
 #[test]
+fn pool_checkouts_match_across_backends_for_poll_free_apps() {
+    // The sender-side marshal-buffer pool keys on (call site, lane), so
+    // for a deterministic poll-free app the number of checkouts a
+    // machine performs (hits + misses) is a pure function of the
+    // program — it cannot depend on the carrier. Both backends must
+    // also be leak-free: zero steady-state misses at quick scale.
+    //
+    // `pool_resident_bytes` is deliberately NOT compared: the channel
+    // backend moves the request `Vec` by pointer (capacity survives the
+    // round trip) while TCP reconstructs exact-size payloads on the
+    // read side, so the parked capacity legitimately differs.
+    for spec in [&LINKED_LIST, &ARRAY2D, &WEBSERVER] {
+        let compiled = spec.compile(OptConfig::ALL);
+        let mut runs = Vec::new();
+        for transport in [TransportKind::Channel, TransportKind::Tcp] {
+            let out = corm::run(
+                &compiled,
+                RunOptions {
+                    machines: spec.machines,
+                    args: spec.quick_args.to_vec(),
+                    transport,
+                    ..Default::default()
+                },
+            );
+            assert!(out.error.is_none(), "{} errored under {transport:?}", spec.name);
+            runs.push(out);
+        }
+        let (chan, tcp) = (&runs[0], &runs[1]);
+        for (m, (a, b)) in chan.metrics.machines.iter().zip(&tcp.metrics.machines).enumerate() {
+            assert_eq!(
+                a.pool_hits + a.pool_misses,
+                b.pool_hits + b.pool_misses,
+                "{} machine {m}: pool checkout count diverged across backends",
+                spec.name
+            );
+            assert_eq!(
+                a.pool_steady_misses(),
+                0,
+                "{} machine {m} leaks marshal buffers under channel",
+                spec.name
+            );
+            assert_eq!(
+                b.pool_steady_misses(),
+                0,
+                "{} machine {m} leaks marshal buffers under tcp",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
 fn modeled_time_is_backend_independent_for_poll_free_apps() {
     // Modeled wire time is a pure function of the (deterministic)
     // counters, so it cannot depend on the carrier.
