@@ -17,6 +17,7 @@
 
 pub mod equivalence;
 pub mod oracle;
+pub mod serve;
 
 use corm::{compile, run, Compiled, OptConfig, RunOptions, RunOutcome};
 

@@ -18,10 +18,17 @@
 //! app must report zero steady-state pool misses under the fully
 //! optimized configuration, with counters matching the committed
 //! baseline row.
+//!
+//! A fourth form gates the serving benchmark's tail latencies:
+//!   cargo run --release -p corm-bench --bin bench_gate -- --slo-gate BENCH_serve.json fresh.json
+//! comparing a fresh `serve_bench` document against the committed
+//! baseline under the coordinated-omission-safe p99/p99.9 budgets of
+//! `corm_bench::slo` and naming the violating request ids on failure.
 
 use corm_bench::alloc::{alloc_gate, STEADY_MISS_BUDGET};
 use corm_bench::gate::gate;
 use corm_bench::overhead::{measure_recorder_overhead, RECORDER_OVERHEAD_LIMIT_PCT};
+use corm_bench::slo::{slo_gate, P999_FLOOR_US, P999_MULT, P99_FLOOR_US, P99_MULT};
 
 fn recorder_overhead_gate(reps_arg: Option<&String>) -> ! {
     // The quick-scale walls are ~3ms per app, so the min-of-reps floor
@@ -84,6 +91,38 @@ fn alloc_gate_main(baseline_arg: Option<&String>) -> ! {
     std::process::exit(1);
 }
 
+fn slo_gate_main(baseline_arg: Option<&String>, fresh_arg: Option<&String>) -> ! {
+    let (Some(baseline_path), Some(fresh_path)) = (baseline_arg, fresh_arg) else {
+        eprintln!("usage: bench_gate --slo-gate <baseline.json> <fresh.json>");
+        std::process::exit(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let failures = slo_gate(&read(baseline_path), &read(fresh_path));
+    if failures.is_empty() {
+        println!(
+            "slo gate: OK ({fresh_path} within the p99 budget ×{P99_MULT:.0}/floor {P99_FLOOR_US} µs \
+             and p99.9 budget ×{P999_MULT:.0}/floor {P999_FLOOR_US} µs of {baseline_path})"
+        );
+        std::process::exit(0);
+    }
+    eprintln!("slo gate: {} violation(s) against {baseline_path}:", failures.len());
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    eprintln!();
+    eprintln!(
+        "Look the quoted request ids up in the flight-recorder dump serve_bench wrote next to \
+         the fresh document (--flight). If the regression is intentional, regenerate the \
+         baseline:\n  cargo run --release -p corm-bench --bin serve_bench -- --quick --json BENCH_serve.json"
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--recorder-overhead") {
@@ -92,10 +131,13 @@ fn main() {
     if args.get(1).map(String::as_str) == Some("--alloc-gate") {
         alloc_gate_main(args.get(2));
     }
+    if args.get(1).map(String::as_str) == Some("--slo-gate") {
+        slo_gate_main(args.get(2), args.get(3));
+    }
     let [_, baseline_path, fresh_path] = args.as_slice() else {
         eprintln!(
             "usage: bench_gate <baseline.json> <fresh.json> | --recorder-overhead [reps] | \
-             --alloc-gate <baseline.json>"
+             --alloc-gate <baseline.json> | --slo-gate <baseline.json> <fresh.json>"
         );
         std::process::exit(2);
     };

@@ -17,7 +17,9 @@ use corm_apps::AppSpec;
 pub mod alloc;
 pub mod gate;
 pub mod json;
+pub mod loadgen;
 pub mod overhead;
+pub mod slo;
 
 /// One measured row of a timing table.
 #[derive(Debug, Clone)]
@@ -170,11 +172,14 @@ pub fn shape_verdicts(table: &str, measured: &[MeasuredRow]) -> Vec<(String, boo
 
 // ----- machine-readable output (BENCH_tables.json) -------------------------
 
-/// Schema version of the JSON document produced by [`render_tables_json`].
-/// Bump on any breaking change to the layout.
+/// Schema version of the JSON documents produced by
+/// [`render_tables_json`] and [`slo::render_serve_json`]. Bump on any
+/// breaking change to either layout.
 ///
 /// v2: top-level `"transport"` field; per-row `"measured_wire_ns"`.
-pub const BENCH_JSON_SCHEMA_VERSION: u32 = 2;
+/// v3: every histogram object carries `"p999"`; the serving documents
+///     (`corm-bench serve` generator, see [`slo`]) share this version.
+pub const BENCH_JSON_SCHEMA_VERSION: u32 = 3;
 
 /// One table to export: stable id, human title, unit of the `seconds`
 /// column, and the measured rows.
@@ -185,7 +190,7 @@ pub struct JsonTable<'a> {
     pub rows: &'a [MeasuredRow],
 }
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -200,14 +205,15 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn hist_json(h: &HistSnapshot) -> String {
+pub(crate) fn hist_json(h: &HistSnapshot) -> String {
     format!(
-        r#"{{"count":{},"sum":{},"mean":{:.3},"p50":{},"p99":{}}}"#,
+        r#"{{"count":{},"sum":{},"mean":{:.3},"p50":{},"p99":{},"p999":{}}}"#,
         h.count,
         h.sum,
         h.mean(),
         h.quantile(0.5),
-        h.quantile(0.99)
+        h.quantile(0.99),
+        h.quantile(0.999)
     )
 }
 

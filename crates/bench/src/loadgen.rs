@@ -1,0 +1,111 @@
+//! Open-loop load generation for the serving benchmark.
+//!
+//! Thin orchestration over the VM's serving driver
+//! (`corm_vm::serve`, re-exported through `corm`): rate presets, the
+//! seeded schedules they expand to, and a sweep runner that drives the
+//! webserver app at each rate in turn. The schedules are fully
+//! deterministic — `(seed, rate, requests, npages)` pins every intended
+//! arrival time and every page choice — so two runs of the same sweep
+//! issue byte-identical request streams, which `tests/serving.rs`
+//! verifies down to the per-site RMI counters.
+
+pub use corm::{ArrivalSchedule, ServeOptions, ServeReport, StallSpec};
+
+use corm::{OptConfig, TransportKind, VmError};
+use corm_apps::serve::webserver_serve;
+
+/// The seed every committed baseline and CI run uses.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// One rate step of a sweep: `requests` arrivals at `rate_rps`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    pub rate_rps: f64,
+    pub requests: usize,
+}
+
+impl LoadPoint {
+    /// Expand this point into its arrival schedule.
+    pub fn schedule(&self, seed: u64, npages: u32) -> ArrivalSchedule {
+        ArrivalSchedule::generate(seed, self.rate_rps, self.requests, npages)
+    }
+}
+
+/// CI-scale sweep: two rates, a couple of seconds of offered load each —
+/// enough samples for a stable p99 without stretching the gate job.
+pub fn quick_sweep() -> Vec<LoadPoint> {
+    vec![LoadPoint { rate_rps: 200.0, requests: 300 }, LoadPoint { rate_rps: 500.0, requests: 500 }]
+}
+
+/// Paper-scale sweep (the EXPERIMENTS appendix): a wider rate ladder
+/// with enough requests per point for a meaningful p99.9.
+pub fn full_sweep() -> Vec<LoadPoint> {
+    vec![
+        LoadPoint { rate_rps: 200.0, requests: 2_000 },
+        LoadPoint { rate_rps: 500.0, requests: 5_000 },
+        LoadPoint { rate_rps: 1_000.0, requests: 10_000 },
+        LoadPoint { rate_rps: 2_000.0, requests: 10_000 },
+    ]
+}
+
+/// Drive the webserver at every point of the sweep, reusing `opts` for
+/// each run (machines, transport, clients, SLO, optional stall
+/// injection). Each point gets a fresh cluster — serving runs measure a
+/// warm service, not a warm process, and isolation keeps the points
+/// independent.
+pub fn run_sweep(
+    config: OptConfig,
+    points: &[LoadPoint],
+    seed: u64,
+    opts: &ServeOptions,
+) -> Result<Vec<(LoadPoint, ServeReport)>, VmError> {
+    let mut out = Vec::with_capacity(points.len());
+    for &p in points {
+        let schedule = p.schedule(seed, opts.npages.max(1) as u32);
+        let report = webserver_serve(config, &schedule, opts)?;
+        out.push((p, report));
+    }
+    Ok(out)
+}
+
+/// `ServeOptions` for the gate jobs: quick webserver scale on the given
+/// transport.
+pub fn gate_options(transport: TransportKind, machines: usize) -> ServeOptions {
+    let mut opts = ServeOptions::default();
+    opts.run.machines = machines;
+    opts.run.transport = transport;
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_expand_to_deterministic_schedules() {
+        for p in quick_sweep() {
+            let a = p.schedule(DEFAULT_SEED, 20);
+            let b = p.schedule(DEFAULT_SEED, 20);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), p.requests);
+            assert_eq!(a.rate_rps, p.rate_rps);
+        }
+    }
+
+    #[test]
+    fn sweep_serves_every_request() {
+        let mut opts = gate_options(TransportKind::Channel, 3);
+        opts.clients = 4;
+        let points = [LoadPoint { rate_rps: 2_000.0, requests: 120 }];
+        let runs = run_sweep(OptConfig::ALL, &points, DEFAULT_SEED, &opts).unwrap();
+        let (p, report) = &runs[0];
+        assert_eq!(report.intended, p.requests);
+        assert_eq!(report.errors, 0, "no transport or VM errors at quick scale");
+        assert_eq!(report.misses, 0, "every URL must route to a live page");
+        assert_eq!(report.completed as usize, p.requests);
+        assert_eq!(report.latency.count as usize, p.requests);
+        // the slaves' own hitCount() counters agree with the client view
+        let hits: i64 = report.slave_hits.iter().sum();
+        assert_eq!(hits as usize, p.requests);
+    }
+}

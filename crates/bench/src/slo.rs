@@ -1,0 +1,359 @@
+//! The serving-benchmark JSON document and its latency SLO gate.
+//!
+//! `serve_bench` renders one [`render_serve_json`] document per
+//! transport (`BENCH_serve.json`, `BENCH_serve_tcp.json`); CI runs
+//! `bench_gate --slo-gate <baseline> <fresh>` and fails the build when
+//! the freshly measured tail latencies regress beyond the committed
+//! baseline's budget.
+//!
+//! ## Gating rules
+//!
+//! Latencies are recorded against *intended* arrival time
+//! (coordinated-omission-safe — see `corm_vm::serve`), so a stalled
+//! server cannot hide behind a throttled client. Absolute microseconds
+//! are machine-dependent; the budget is therefore relative with an
+//! absolute floor:
+//!
+//! * `fresh p99  ≤ max(P99_FLOOR_US,  baseline p99  × P99_MULT)`
+//! * `fresh p999 ≤ max(P999_FLOOR_US, baseline p999 × P999_MULT)`
+//! * `errors` and `misses` must be zero — a failed or misrouted request
+//!   is a correctness bug, not load.
+//!
+//! A failing point's message names the violating request ids (from the
+//! flight recorder's `Slo` events), so the CI log points straight at the
+//! requests to look up in the dumped flight artifact.
+
+use crate::json::Json;
+use crate::loadgen::LoadPoint;
+use crate::{esc, hist_json, BENCH_JSON_SCHEMA_VERSION};
+use corm::{ServeReport, TransportKind};
+
+/// A fresh p99 may be this many times the baseline's before the gate
+/// trips. Generous on purpose: CI boxes timeshare, and the floor below
+/// absorbs the tiny-absolute-value regime where ratios are meaningless.
+pub const P99_MULT: f64 = 8.0;
+/// No p99 below this is ever a failure, whatever the baseline says.
+pub const P99_FLOOR_US: u64 = 10_000;
+pub const P999_MULT: f64 = 8.0;
+pub const P999_FLOOR_US: u64 = 40_000;
+
+/// How many violating request ids a gate message quotes (the full list
+/// lives in the JSON document and the flight dump).
+const QUOTED_REQS: usize = 8;
+
+fn point_json(point: &LoadPoint, r: &ServeReport) -> String {
+    use std::fmt::Write;
+    let m = &r.outcome.metrics;
+    let phases = format!(
+        r#"{{"queue_us":{},"marshal_us":{},"unmarshal_us":{},"invoke_us":{},"rtt_us":{}}}"#,
+        hist_json(&m.cluster_hist(|ms| &ms.queue_us)),
+        hist_json(&m.cluster_hist(|ms| &ms.marshal_us)),
+        hist_json(&m.cluster_hist(|ms| &ms.unmarshal_us)),
+        hist_json(&m.cluster_hist(|ms| &ms.invoke_us)),
+        hist_json(&m.cluster_hist(|ms| &ms.rtt_us)),
+    );
+    let mut reqs = String::from("[");
+    for (i, req) in r.violations.iter().enumerate() {
+        if i > 0 {
+            reqs.push(',');
+        }
+        let _ = write!(reqs, "{req}");
+    }
+    reqs.push(']');
+    format!(
+        concat!(
+            r#"{{"arrival_rate":{:.3},"requests":{},"achieved_rps":{:.3},"#,
+            r#""intended":{},"completed":{},"misses":{},"errors":{},"serve_wall_us":{},"#,
+            r#""latency_p50_us":{},"latency_p99_us":{},"latency_p999_us":{},"#,
+            r#""service_p50_us":{},"service_p99_us":{},"service_p999_us":{},"#,
+            r#""slo_violations":{},"violating_reqs":{},"#,
+            r#""latency":{},"service":{},"phases":{}}}"#
+        ),
+        point.rate_rps,
+        point.requests,
+        r.achieved_rps,
+        r.intended,
+        r.completed,
+        r.misses,
+        r.errors,
+        r.serve_wall_us,
+        r.latency.quantile(0.5),
+        r.latency.quantile(0.99),
+        r.latency.quantile(0.999),
+        r.service.quantile(0.5),
+        r.service.quantile(0.99),
+        r.service.quantile(0.999),
+        r.violations.len(),
+        reqs,
+        hist_json(&r.latency),
+        hist_json(&r.service),
+        phases,
+    )
+}
+
+/// Render a serving sweep as a schema-versioned JSON document.
+pub fn render_serve_json(
+    scale: &str,
+    transport: TransportKind,
+    machines: usize,
+    clients: usize,
+    seed: u64,
+    slo_us: u64,
+    runs: &[(LoadPoint, ServeReport)],
+) -> String {
+    let mut s = format!(
+        concat!(
+            r#"{{"schema_version":{},"generator":"corm-bench serve","scale":"{}","#,
+            r#""transport":"{}","machines":{},"clients":{},"seed":{},"slo_us":{},"points":["#
+        ),
+        BENCH_JSON_SCHEMA_VERSION,
+        esc(scale),
+        transport.label(),
+        machines,
+        clients,
+        seed,
+        slo_us,
+    );
+    for (i, (p, r)) in runs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&point_json(p, r));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Structural validation of one serving document.
+pub fn check_serve_schema(doc: &Json, who: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    match doc.get("schema_version").as_u64() {
+        Some(v) if v == u64::from(BENCH_JSON_SCHEMA_VERSION) => {}
+        Some(v) => bad.push(format!(
+            "{who}: schema_version {v}, expected {BENCH_JSON_SCHEMA_VERSION} — regenerate with the current `serve_bench` binary"
+        )),
+        None => bad.push(format!("{who}: missing schema_version")),
+    }
+    for (key, ok) in [
+        ("generator", doc.get("generator").as_str().is_some()),
+        ("scale", doc.get("scale").as_str().is_some()),
+        ("transport", doc.get("transport").as_str().is_some()),
+        ("machines", doc.get("machines").as_u64().is_some()),
+        ("clients", doc.get("clients").as_u64().is_some()),
+        ("seed", doc.get("seed").as_u64().is_some()),
+        ("slo_us", doc.get("slo_us").as_u64().is_some()),
+    ] {
+        if !ok {
+            bad.push(format!("{who}: missing or mistyped top-level {key:?}"));
+        }
+    }
+    let Some(points) = doc.get("points").as_arr() else {
+        bad.push(format!("{who}: missing points[]"));
+        return bad;
+    };
+    if points.is_empty() {
+        bad.push(format!("{who}: points[] is empty"));
+    }
+    for (pi, p) in points.iter().enumerate() {
+        let ctx = format!("{who}/point {pi}");
+        for (key, ok) in [
+            ("arrival_rate", p.get("arrival_rate").as_f64().is_some()),
+            ("requests", p.get("requests").as_u64().is_some()),
+            ("achieved_rps", p.get("achieved_rps").as_f64().is_some()),
+            ("intended", p.get("intended").as_u64().is_some()),
+            ("completed", p.get("completed").as_u64().is_some()),
+            ("misses", p.get("misses").as_u64().is_some()),
+            ("errors", p.get("errors").as_u64().is_some()),
+            ("latency_p50_us", p.get("latency_p50_us").as_u64().is_some()),
+            ("latency_p99_us", p.get("latency_p99_us").as_u64().is_some()),
+            ("latency_p999_us", p.get("latency_p999_us").as_u64().is_some()),
+            ("violating_reqs", p.get("violating_reqs").as_arr().is_some()),
+            ("latency", matches!(p.get("latency"), Json::Obj(_))),
+            ("phases", matches!(p.get("phases"), Json::Obj(_))),
+        ] {
+            if !ok {
+                bad.push(format!("{ctx}: missing or mistyped {key:?}"));
+            }
+        }
+    }
+    bad
+}
+
+fn quoted_reqs(p: &Json) -> String {
+    let reqs = p.get("violating_reqs").as_arr().unwrap_or(&[]);
+    if reqs.is_empty() {
+        return "none recorded".to_string();
+    }
+    let shown: Vec<String> =
+        reqs.iter().take(QUOTED_REQS).filter_map(|r| r.as_u64()).map(|r| r.to_string()).collect();
+    let more = reqs.len().saturating_sub(shown.len());
+    if more > 0 {
+        format!("req ids {} (+{more} more, see flight dump)", shown.join(", "))
+    } else {
+        format!("req ids {}", shown.join(", "))
+    }
+}
+
+/// Diff a fresh serving document against the committed baseline under
+/// the SLO budget. Empty = gate passes.
+pub fn compare_serve(baseline: &Json, fresh: &Json) -> Vec<String> {
+    let mut bad = Vec::new();
+    bad.extend(check_serve_schema(baseline, "baseline"));
+    bad.extend(check_serve_schema(fresh, "fresh"));
+    if !bad.is_empty() {
+        return bad;
+    }
+    for key in ["scale", "transport"] {
+        let (b, f) = (baseline.get(key).as_str().unwrap(), fresh.get(key).as_str().unwrap());
+        if b != f {
+            bad.push(format!("{key} mismatch: baseline {b:?} vs fresh {f:?} — not comparable"));
+        }
+    }
+    for key in ["machines", "seed", "slo_us"] {
+        let (b, f) = (baseline.get(key).as_u64(), fresh.get(key).as_u64());
+        if b != f {
+            bad.push(format!("{key} mismatch: baseline {b:?} vs fresh {f:?} — not comparable"));
+        }
+    }
+    if !bad.is_empty() {
+        return bad;
+    }
+
+    let bpoints = baseline.get("points").as_arr().unwrap();
+    let fpoints = fresh.get("points").as_arr().unwrap();
+    let rates = |ps: &[Json]| -> Vec<String> {
+        ps.iter().map(|p| format!("{:.3}", p.get("arrival_rate").as_f64().unwrap())).collect()
+    };
+    if rates(bpoints) != rates(fpoints) {
+        bad.push(format!(
+            "rate ladder changed: baseline {:?} vs fresh {:?}",
+            rates(bpoints),
+            rates(fpoints)
+        ));
+        return bad;
+    }
+
+    for (bp, fp) in bpoints.iter().zip(fpoints) {
+        let rate = fp.get("arrival_rate").as_f64().unwrap();
+        let ctx = format!("{rate:.0} rps");
+        let (intended, completed) =
+            (fp.get("intended").as_u64().unwrap(), fp.get("completed").as_u64().unwrap());
+        for key in ["errors", "misses"] {
+            let n = fp.get(key).as_u64().unwrap();
+            if n > 0 {
+                bad.push(format!("{ctx}: {n} {key} (of {intended} requests) — must be zero"));
+            }
+        }
+        if completed + fp.get("misses").as_u64().unwrap() + fp.get("errors").as_u64().unwrap()
+            != intended
+        {
+            bad.push(format!("{ctx}: only {completed} of {intended} requests accounted for"));
+        }
+        for (key, mult, floor) in [
+            ("latency_p99_us", P99_MULT, P99_FLOOR_US),
+            ("latency_p999_us", P999_MULT, P999_FLOOR_US),
+        ] {
+            let b = bp.get(key).as_u64().unwrap();
+            let f = fp.get(key).as_u64().unwrap();
+            let budget = ((b as f64 * mult) as u64).max(floor);
+            if f > budget {
+                bad.push(format!(
+                    "{ctx}: {key} regressed: fresh {f} µs vs budget {budget} µs (baseline {b} µs × {mult:.0}, floor {floor} µs); {}",
+                    quoted_reqs(fp)
+                ));
+            }
+        }
+    }
+    bad
+}
+
+/// Parse and gate two serving documents; the entry point used by
+/// `bench_gate --slo-gate`.
+pub fn slo_gate(baseline_text: &str, fresh_text: &str) -> Vec<String> {
+    let baseline = match crate::json::parse(baseline_text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("baseline: {e}")],
+    };
+    let fresh = match crate::json::parse(fresh_text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("fresh: {e}")],
+    };
+    compare_serve(&baseline, &fresh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(p99: u64, p999: u64, errors: u64, reqs: &str) -> String {
+        let completed = 300 - errors;
+        format!(
+            concat!(
+                r#"{{"schema_version":{},"generator":"corm-bench serve","scale":"quick","#,
+                r#""transport":"channel","machines":3,"clients":8,"seed":42,"slo_us":50000,"#,
+                r#""points":[{{"arrival_rate":200.000,"requests":300,"achieved_rps":199.5,"#,
+                r#""intended":300,"completed":{},"misses":0,"errors":{},"serve_wall_us":1500000,"#,
+                r#""latency_p50_us":400,"latency_p99_us":{},"latency_p999_us":{},"#,
+                r#""service_p50_us":350,"service_p99_us":900,"service_p999_us":1100,"#,
+                r#""slo_violations":0,"violating_reqs":{},"#,
+                r#""latency":{{}},"service":{{}},"phases":{{}}}}]}}"#
+            ),
+            BENCH_JSON_SCHEMA_VERSION, completed, errors, p99, p999, reqs,
+        )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(1000, 2000, 0, "[]");
+        assert_eq!(slo_gate(&d, &d), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tail_regression_beyond_budget_fails_and_names_reqs() {
+        let base = doc(1000, 2000, 0, "[]");
+        // 8× of 1000 µs is 8000, under the 10 ms floor — so the budget is
+        // the floor; 11 ms trips it.
+        let slow = doc(11_000, 3000, 0, "[7,9,13]");
+        let bad = slo_gate(&base, &slow);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("latency_p99_us regressed"), "{bad:?}");
+        assert!(bad[0].contains("req ids 7, 9, 13"), "{bad:?}");
+        // within budget: passes
+        assert_eq!(slo_gate(&base, &doc(9_000, 30_000, 0, "[]")), Vec::<String>::new());
+        // p999 over its floor fails too
+        let bad = slo_gate(&base, &doc(2_000, 41_000, 0, "[]"));
+        assert!(bad.iter().any(|m| m.contains("latency_p999_us regressed")), "{bad:?}");
+    }
+
+    #[test]
+    fn errors_fail_regardless_of_latency() {
+        let base = doc(1000, 2000, 0, "[]");
+        let bad = slo_gate(&base, &doc(1000, 2000, 2, "[]"));
+        assert!(bad.iter().any(|m| m.contains("2 errors")), "{bad:?}");
+    }
+
+    #[test]
+    fn structural_drift_is_fatal() {
+        let base = doc(1000, 2000, 0, "[]");
+        let old = base.replacen(
+            &format!(r#""schema_version":{BENCH_JSON_SCHEMA_VERSION}"#),
+            r#""schema_version":1"#,
+            1,
+        );
+        assert!(slo_gate(&old, &base).iter().any(|m| m.contains("regenerate")));
+        let tcp = base.replacen(r#""transport":"channel""#, r#""transport":"tcp""#, 1);
+        assert!(slo_gate(&base, &tcp).iter().any(|m| m.contains("transport mismatch")));
+        let rate = base.replacen(r#""arrival_rate":200.000"#, r#""arrival_rate":400.000"#, 1);
+        assert!(slo_gate(&base, &rate).iter().any(|m| m.contains("rate ladder changed")));
+        assert_eq!(slo_gate("not json", &base).len(), 1);
+    }
+
+    #[test]
+    fn long_violation_lists_are_truncated_in_the_message() {
+        let base = doc(1000, 2000, 0, "[]");
+        let many: Vec<String> = (0..20).map(|i| i.to_string()).collect();
+        let slow = doc(11_000, 3000, 0, &format!("[{}]", many.join(",")));
+        let bad = slo_gate(&base, &slow);
+        assert!(bad[0].contains("+12 more"), "{bad:?}");
+    }
+}

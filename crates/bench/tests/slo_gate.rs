@@ -1,0 +1,54 @@
+//! End-to-end slo-gate exercise: a real quick-scale serving sweep over
+//! the channel backend must self-gate cleanly, and the same sweep with
+//! an injected 10× server-side stall must fail the gate against the
+//! clean document, naming the violating request ids.
+
+use corm::{OptConfig, StallSpec, TransportKind};
+use corm_bench::loadgen::{gate_options, run_sweep, LoadPoint, DEFAULT_SEED};
+use corm_bench::slo::{render_serve_json, slo_gate};
+
+/// Small but real points so the whole test stays in CI-friendly time.
+fn test_points() -> Vec<LoadPoint> {
+    vec![
+        LoadPoint { rate_rps: 500.0, requests: 80 },
+        LoadPoint { rate_rps: 1_000.0, requests: 120 },
+    ]
+}
+
+fn render(runs: &[(LoadPoint, corm::ServeReport)], slo_us: u64) -> String {
+    render_serve_json("quick", TransportKind::Channel, 3, 4, DEFAULT_SEED, slo_us, runs)
+}
+
+#[test]
+fn clean_sweep_self_gates_and_catches_injected_stall() {
+    let mut opts = gate_options(TransportKind::Channel, 3);
+    opts.clients = 4;
+    let clean =
+        run_sweep(OptConfig::ALL, &test_points(), DEFAULT_SEED, &opts).expect("clean sweep");
+    let baseline = render(&clean, opts.slo_us);
+
+    // A document gated against itself must pass: identical percentiles
+    // sit inside any multiplicative budget.
+    let verdict = slo_gate(&baseline, &baseline);
+    assert!(verdict.is_empty(), "self-gate failed: {verdict:?}");
+
+    // Inject a stall an order of magnitude above the p99 floor: every
+    // third handled request sleeps 100 ms — past the 50 ms SLO and far
+    // past the baseline-relative p99 budget. The fresh doc must fail the
+    // gate and quote offender req ids pulled from the flight recorder.
+    // (The SLO itself is unchanged: a gate compares like with like.)
+    opts.run.stall = Some(StallSpec { every: 3, stall_us: 100_000 });
+    let stalled =
+        run_sweep(OptConfig::ALL, &test_points(), DEFAULT_SEED, &opts).expect("stalled sweep");
+    for (_, r) in &stalled {
+        assert!(!r.violations.is_empty(), "the stall must blow the 50 ms SLO");
+        assert!(r.flight_slo.is_some(), "violations must carry a flight dump");
+    }
+    let fresh = render(&stalled, opts.slo_us);
+
+    let verdict = slo_gate(&baseline, &fresh);
+    assert!(!verdict.is_empty(), "a 10x stall must fail the gate");
+    let text = verdict.join("\n");
+    assert!(text.contains("latency_p99"), "gate must name the blown percentile: {text}");
+    assert!(text.contains("req ids"), "gate must surface violating req ids: {text}");
+}

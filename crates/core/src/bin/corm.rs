@@ -12,6 +12,10 @@
 //! corm graph <file.mp>                      # points-to heap graph
 //! corm fuzz [--seed N] [--iters N] [--shrink] [--out DIR]
 //!                                           # differential fuzzing oracle
+//! corm serve [--config CFG] [--machines N] [--transport T] [--rate RPS]
+//!            [--requests N] [--seed N] [--clients N] [--slo-us N]
+//!            [--stall EVERY:US] [--metrics] [--dump-flight PATH]
+//!                                           # open-loop serving benchmark
 //! ```
 //!
 //! Observability flags:
@@ -32,11 +36,17 @@
 
 use std::process::ExitCode;
 
-use corm::{compile, run, OptConfig, RunOptions, TransportKind};
+use corm::{
+    compile, run, ArrivalSchedule, OptConfig, RunOptions, ServeOptions, StallSpec, TransportKind,
+};
+
+/// The webserver program `corm serve` drives (the app crate sits above
+/// this one in the dependency graph, so the source is embedded here).
+const WEBSERVER_MP: &str = include_str!("../../../apps/src/programs/webserver.mp");
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet] [--dump-flight PATH]\n  corm explain <file.mp> [--config CFG] [--json]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default) or tcp\n                     (real loopback sockets; also measures wire time)\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing\n  --dump-flight PATH write the flight-recorder events as JSON after the run\n\nexplain flags:\n  --config CFG       explain only this configuration (default: all 5 rows)\n  --json             machine-readable provenance instead of the text report"
+        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet] [--dump-flight PATH]\n  corm explain <file.mp> [--config CFG] [--json]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n  corm serve [--config CFG] [--machines N] [--transport T] [--rate RPS] [--requests N]\n             [--seed N] [--clients N] [--slo-us N] [--stall EVERY:US] [--metrics] [--dump-flight PATH]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default) or tcp\n                     (real loopback sockets; also measures wire time)\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing\n  --dump-flight PATH write the flight-recorder events as JSON after the run\n\nexplain flags:\n  --config CFG       explain only this configuration (default: all 5 rows)\n  --json             machine-readable provenance instead of the text report"
     );
     std::process::exit(2);
 }
@@ -157,12 +167,150 @@ fn parse_cli() -> Cli {
     cli
 }
 
+/// `corm serve`: run the embedded webserver open-loop and print the
+/// coordinated-omission-safe latency report.
+fn serve_main(argv: &[String]) -> ExitCode {
+    let mut config = OptConfig::ALL;
+    let mut opts = ServeOptions::default();
+    opts.run.machines = 3;
+    let mut rate = 500.0f64;
+    let mut requests = 500usize;
+    let mut seed = 42u64;
+    let mut metrics = false;
+    let mut dump_flight: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--config" => {
+                config = parse_config(&take(&mut i)).unwrap_or_else(|| usage());
+            }
+            "--machines" => opts.run.machines = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--transport" => {
+                opts.run.transport = take(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--rate" => rate = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--requests" => requests = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--clients" => opts.clients = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--slo-us" => opts.slo_us = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--stall" => {
+                let spec = take(&mut i);
+                let Some((every, stall_us)) = spec.split_once(':') else { usage() };
+                opts.run.stall = Some(StallSpec {
+                    every: every.parse().unwrap_or_else(|_| usage()),
+                    stall_us: stall_us.parse().unwrap_or_else(|_| usage()),
+                });
+            }
+            "--metrics" => metrics = true,
+            "--dump-flight" => dump_flight = Some(take(&mut i)),
+            other => {
+                eprintln!("unknown serve flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if opts.run.machines < 2 || rate <= 0.0 || requests == 0 {
+        eprintln!("serve needs --machines >= 2, --rate > 0 and --requests > 0");
+        return ExitCode::from(2);
+    }
+
+    let compiled = match compile(WEBSERVER_MP, config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("webserver: compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schedule = ArrivalSchedule::generate(seed, rate, requests, opts.npages.max(1) as u32);
+    let report = match corm::serve(&compiled, &corm::ServeSpec::default(), &schedule, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!("--- serving report ({}, {}) ---", config.label(), report.outcome.transport);
+    eprintln!("offered         : {:.1} rps (seed {seed}, {requests} requests)", report.offered_rps);
+    eprintln!(
+        "achieved        : {:.1} rps over {:.3} s",
+        report.achieved_rps,
+        report.serve_wall_us as f64 / 1e6
+    );
+    eprintln!(
+        "requests        : {} completed, {} misses, {} errors",
+        report.completed, report.misses, report.errors
+    );
+    eprintln!(
+        "latency (CO-safe): p50 {} µs, p99 {} µs, p99.9 {} µs  (vs intended arrival)",
+        report.latency.quantile(0.5),
+        report.latency.quantile(0.99),
+        report.latency.quantile(0.999)
+    );
+    eprintln!(
+        "service (closed) : p50 {} µs, p99 {} µs, p99.9 {} µs  (vs actual send)",
+        report.service.quantile(0.5),
+        report.service.quantile(0.99),
+        report.service.quantile(0.999)
+    );
+    let m = &report.outcome.metrics;
+    eprintln!(
+        "phases (mean µs) : queue {:.0}, marshal {:.0}, wire-rtt {:.0}, unmarshal {:.0}, invoke {:.0}",
+        m.cluster_hist(|ms| &ms.queue_us).mean(),
+        m.cluster_hist(|ms| &ms.marshal_us).mean(),
+        m.cluster_hist(|ms| &ms.rtt_us).mean(),
+        m.cluster_hist(|ms| &ms.unmarshal_us).mean(),
+        m.cluster_hist(|ms| &ms.invoke_us).mean(),
+    );
+    eprintln!("slave hits      : {:?}", report.slave_hits);
+    eprintln!(
+        "SLO ({} µs)  : {} violation(s){}",
+        report.slo_us,
+        report.violations.len(),
+        if report.violations.is_empty() {
+            String::new()
+        } else {
+            let shown: Vec<String> =
+                report.violations.iter().take(8).map(|r| r.to_string()).collect();
+            format!(
+                " — req ids {}{}",
+                shown.join(", "),
+                if report.violations.len() > 8 { ", ..." } else { "" }
+            )
+        }
+    );
+    if metrics {
+        print!("{}", corm::render_prometheus(m));
+    }
+    if let Some(path) = &dump_flight {
+        // Prefer the dump taken while the SLO violations were hot.
+        let dump = report.flight_slo.as_ref().unwrap_or(&report.outcome.flight);
+        if let Err(e) = std::fs::write(path, corm::render_flight_json(dump)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("flight recorder dump written to {path}");
+    }
+    if report.errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    // `fuzz` takes no <file.mp> operand — intercept it before the
-    // positional parser.
+    // `fuzz` and `serve` take no <file.mp> operand — intercept them
+    // before the positional parser.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("fuzz") {
         return ExitCode::from(corm_fuzz::cli::fuzz_main(&argv[1..]) as u8);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve_main(&argv[1..]);
     }
     let cli = parse_cli();
     let src = match std::fs::read_to_string(&cli.file) {

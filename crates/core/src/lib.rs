@@ -55,10 +55,11 @@ pub use corm_obs::{
     MachineSnapshot, MetricsRegistry, MetricsSnapshot, PhaseTotals, SiteSnapshot,
 };
 pub use corm_vm::pool::{BufferPool, Lane, PER_KEY_CAP};
+pub use corm_vm::serve::{ArrivalSchedule, ServeOptions, ServeReport, ServeSpec};
 pub use corm_vm::{
-    render_flight_json, render_timeline, to_chrome_trace, to_json, AuditSnapshot, FaultSpec,
-    FlightDump, FlightEvent, FlightKind, Phase, RunOptions, RunOutcome, TraceEvent, TraceKind,
-    VmError, DEFAULT_FLIGHT_CAPACITY,
+    render_flight_json, render_timeline, to_chrome_trace, to_json, write_flight_artifact,
+    AuditSnapshot, Cluster, FaultSpec, FlightDump, FlightEvent, FlightKind, Phase, RunOptions,
+    RunOutcome, StallSpec, TraceEvent, TraceKind, VmError, DEFAULT_FLIGHT_CAPACITY,
 };
 pub use corm_wire::StatsSnapshot;
 pub use explain::{render_explain, render_explain_all_rows, render_explain_json};
@@ -122,6 +123,19 @@ pub fn compile(src: &str, config: OptConfig) -> Result<Compiled, CompileError> {
 /// Execute a compiled program on the simulated cluster.
 pub fn run(compiled: &Compiled, opts: RunOptions) -> RunOutcome {
     corm_vm::run_program(compiled.module.clone(), compiled.plans.clone(), opts)
+}
+
+/// Drive a compiled service open-loop instead of running its `main`:
+/// slaves on machines `1..M`, client threads on machine 0 issuing RMIs
+/// against a seeded arrival schedule, latency measured against intended
+/// arrival time (see `corm_vm::serve` and DESIGN §13).
+pub fn serve(
+    compiled: &Compiled,
+    spec: &ServeSpec,
+    schedule: &ArrivalSchedule,
+    opts: &ServeOptions,
+) -> Result<ServeReport, VmError> {
+    corm_vm::serve(compiled.module.clone(), compiled.plans.clone(), spec, schedule, opts)
 }
 
 /// Compile and run in one step.

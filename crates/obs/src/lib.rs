@@ -34,7 +34,7 @@ pub mod report;
 pub mod trace;
 
 pub use chrome::to_chrome_trace;
-pub use hist::{HistSnapshot, Log2Histogram, NBUCKETS};
+pub use hist::{bucket_le, bucket_lower, HistSnapshot, Log2Histogram, NBUCKETS, SUB_BUCKETS};
 pub use metrics::{
     MachineMetrics, MachineSnapshot, MetricsRegistry, MetricsSnapshot, SiteMetrics, SiteSnapshot,
 };

@@ -32,8 +32,20 @@ pub struct MachineMetrics {
     pub unmarshal_us: Log2Histogram,
     /// User-method execution time on the serving side, µs.
     pub invoke_us: Log2Histogram,
+    /// Server-side queueing delay: time an incoming request spent
+    /// between the drain loop enqueuing it and a worker dequeuing it, µs.
+    /// The missing piece of the marshal/wire/unmarshal/invoke split under
+    /// load — on a saturated machine it dominates the round trip.
+    pub queue_us: Log2Histogram,
     /// Request payload bytes leaving this machine.
     pub payload_bytes: Log2Histogram,
+    /// Two-way RMIs started from this machine (throughput numerator).
+    pub requests_started: AtomicU64,
+    /// Two-way RMIs completed successfully from this machine (goodput).
+    pub requests_completed: AtomicU64,
+    /// Two-way RMIs currently awaiting a reply (gauge: incremented at
+    /// send, decremented when the reply is consumed or fails).
+    pub in_flight: AtomicU64,
     /// Shadow-table cycle-freedom checks performed by the runtime auditor
     /// on this machine (`RunOptions::audit`). Zero when auditing is off.
     pub audit_checks: AtomicU64,
@@ -115,7 +127,11 @@ impl MetricsRegistry {
             m.marshal_us.reset();
             m.unmarshal_us.reset();
             m.invoke_us.reset();
+            m.queue_us.reset();
             m.payload_bytes.reset();
+            m.requests_started.store(0, Ordering::Relaxed);
+            m.requests_completed.store(0, Ordering::Relaxed);
+            m.in_flight.store(0, Ordering::Relaxed);
             m.audit_checks.store(0, Ordering::Relaxed);
             m.audit_poisons.store(0, Ordering::Relaxed);
             m.pool_hits.store(0, Ordering::Relaxed);
@@ -137,7 +153,11 @@ impl MetricsRegistry {
                 marshal_us: m.marshal_us.snapshot(),
                 unmarshal_us: m.unmarshal_us.snapshot(),
                 invoke_us: m.invoke_us.snapshot(),
+                queue_us: m.queue_us.snapshot(),
                 payload_bytes: m.payload_bytes.snapshot(),
+                requests_started: m.requests_started.load(Ordering::Relaxed),
+                requests_completed: m.requests_completed.load(Ordering::Relaxed),
+                in_flight: m.in_flight.load(Ordering::Relaxed),
                 audit_checks: m.audit_checks.load(Ordering::Relaxed),
                 audit_poisons: m.audit_poisons.load(Ordering::Relaxed),
                 pool_hits: m.pool_hits.load(Ordering::Relaxed),
@@ -170,7 +190,11 @@ pub struct MachineSnapshot {
     pub marshal_us: HistSnapshot,
     pub unmarshal_us: HistSnapshot,
     pub invoke_us: HistSnapshot,
+    pub queue_us: HistSnapshot,
     pub payload_bytes: HistSnapshot,
+    pub requests_started: u64,
+    pub requests_completed: u64,
+    pub in_flight: u64,
     pub audit_checks: u64,
     pub audit_poisons: u64,
     pub pool_hits: u64,
@@ -263,6 +287,27 @@ mod tests {
     }
 
     #[test]
+    fn reset_clears_serving_metrics() {
+        // Regression guard for the serving-benchmark metrics: a second
+        // measured section must not see the first one's queueing delays,
+        // throughput counters or in-flight gauge.
+        let reg = MetricsRegistry::new(2);
+        reg.machine(0).queue_us.record(42);
+        reg.machine(1).queue_us.record(7);
+        reg.machine(0).requests_started.fetch_add(10, Ordering::Relaxed);
+        reg.machine(0).requests_completed.fetch_add(9, Ordering::Relaxed);
+        reg.machine(0).in_flight.fetch_add(1, Ordering::Relaxed);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.cluster_hist(|m| &m.queue_us).count, 0);
+        for m in &snap.machines {
+            assert_eq!(m.requests_started, 0);
+            assert_eq!(m.requests_completed, 0);
+            assert_eq!(m.in_flight, 0);
+        }
+    }
+
+    #[test]
     fn audit_counters_snapshot_and_reset() {
         let reg = MetricsRegistry::new(2);
         reg.machine(0).audit_checks.fetch_add(5, Ordering::Relaxed);
@@ -308,5 +353,45 @@ mod tests {
         let agg = snap.cluster_hist(|m| &m.rtt_us);
         assert_eq!(agg.count, 2);
         assert_eq!(agg.sum, 30);
+    }
+
+    #[test]
+    fn merged_quantiles_stay_within_per_shard_extremes() {
+        // Shards record very different ranges (a fast machine and a slow
+        // one); the merged quantile must lie within the envelope of the
+        // per-shard distributions, and between the per-shard quantiles
+        // themselves (mixture quantiles interpolate their components).
+        let reg = MetricsRegistry::new(3);
+        for v in 10..60 {
+            reg.machine(0).rtt_us.record(v); // fast shard
+        }
+        for v in 1_000..1_200 {
+            reg.machine(1).rtt_us.record(v); // slow shard
+        }
+        // machine 2 records nothing — an idle shard must not drag the
+        // merged quantiles toward zero.
+        let snap = reg.snapshot();
+        let merged = snap.cluster_hist(|m| &m.rtt_us);
+        assert_eq!(merged.count, 250);
+        let min_lower = snap.machines.iter().map(|m| m.rtt_us.min_lower()).filter(|&v| v > 0);
+        let max_le = snap.machines.iter().map(|m| m.rtt_us.max_le()).max().unwrap();
+        let envelope_lo = min_lower.min().unwrap();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let v = merged.quantile(q);
+            assert!(v >= envelope_lo, "q{q}: {v} below every shard's minimum");
+            assert!(v <= max_le, "q{q}: {v} above every shard's maximum");
+            let per_shard: Vec<u64> = snap
+                .machines
+                .iter()
+                .filter(|m| m.rtt_us.count > 0)
+                .map(|m| m.rtt_us.quantile(q))
+                .collect();
+            let lo = *per_shard.iter().min().unwrap();
+            let hi = *per_shard.iter().max().unwrap();
+            assert!(v >= lo && v <= hi, "q{q}: merged {v} outside shard quantiles [{lo},{hi}]");
+        }
+        // Four fifths of the mass is in the slow shard, so the merged
+        // tail must come from it.
+        assert!(merged.quantile(0.999) >= 1_000);
     }
 }

@@ -54,10 +54,11 @@ fn histogram(out: &mut String, name: &str, help: &str, series: &[(String, HistSn
         let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum);
         let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count);
     }
-    // Derived quantile gauges: log2 buckets are sparse, so dashboards
-    // would otherwise need histogram_quantile over very coarse data.
-    // Empty series report nothing (a 0 would read as a real latency).
-    for (q, suffix) in [(0.5, "p50"), (0.99, "p99")] {
+    // Derived quantile gauges: log-linear buckets are sparse, so
+    // dashboards would otherwise need histogram_quantile over coarse
+    // data. Empty series report nothing (a 0 would read as a real
+    // latency).
+    for (q, suffix) in [(0.5, "p50"), (0.99, "p99"), (0.999, "p999")] {
         let qname = format!("{name}_{suffix}");
         let _ = writeln!(out, "# HELP {qname} {help} ({suffix} upper bound, derived)");
         let _ = writeln!(out, "# TYPE {qname} gauge");
@@ -232,9 +233,35 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
     );
     histogram(
         &mut out,
+        "corm_queue_microseconds",
+        "Server-side queueing delay between packet arrival and worker pickup",
+        &per_machine_hist(&|ms| ms.queue_us),
+    );
+    histogram(
+        &mut out,
         "corm_rmi_payload_bytes",
         "Request payload size",
         &per_machine_hist(&|ms| ms.payload_bytes),
+    );
+
+    // Serving throughput/goodput counters and the in-flight gauge.
+    counter(
+        &mut out,
+        "corm_requests_started_total",
+        "Two-way RMIs started (throughput)",
+        &per_machine_pool(&|ms| ms.requests_started),
+    );
+    counter(
+        &mut out,
+        "corm_requests_completed_total",
+        "Two-way RMIs completed successfully (goodput)",
+        &per_machine_pool(&|ms| ms.requests_completed),
+    );
+    gauge(
+        &mut out,
+        "corm_in_flight_requests",
+        "Two-way RMIs currently awaiting a reply",
+        &per_machine_pool(&|ms| ms.in_flight),
     );
 
     let site_calls: Vec<(String, u64)> =
@@ -280,7 +307,8 @@ mod tests {
         assert!(text.contains(r#"corm_remote_rpcs_total{machine="0"} 4"#));
         assert!(text.contains(r#"corm_remote_rpcs_total{machine="1"} 0"#));
         assert!(text.contains("# TYPE corm_rmi_rtt_microseconds histogram"));
-        assert!(text.contains(r#"corm_rmi_rtt_microseconds_bucket{machine="0",le="127"} 1"#));
+        // 100 lands in the [96,111] log-linear sub-bucket.
+        assert!(text.contains(r#"corm_rmi_rtt_microseconds_bucket{machine="0",le="111"} 1"#));
         assert!(text.contains(r#"corm_rmi_rtt_microseconds_bucket{machine="0",le="+Inf"} 1"#));
         assert!(text.contains(r#"corm_rmi_rtt_microseconds_sum{machine="0"} 100"#));
         assert!(text.contains(r#"corm_site_calls_total{site="7"} 4"#));
@@ -320,22 +348,86 @@ mod tests {
     fn quantile_gauges_follow_each_histogram() {
         let reg = MetricsRegistry::new(2);
         for _ in 0..99 {
-            reg.machine(0).rtt_us.record(100); // bucket le=127
+            reg.machine(0).rtt_us.record(100); // bucket le=111
         }
-        reg.machine(0).rtt_us.record(100_000); // bucket le=131071
+        reg.machine(0).rtt_us.record(100_000); // bucket le=114687
         let text = render_prometheus(&reg.snapshot());
         assert!(text.contains("# TYPE corm_rmi_rtt_microseconds_p50 gauge"));
-        assert!(text.contains(r#"corm_rmi_rtt_microseconds_p50{machine="0"} 127"#));
-        assert!(text.contains(r#"corm_rmi_rtt_microseconds_p99{machine="0"} 127"#));
+        assert!(text.contains(r#"corm_rmi_rtt_microseconds_p50{machine="0"} 111"#));
+        assert!(text.contains(r#"corm_rmi_rtt_microseconds_p99{machine="0"} 111"#));
+        // p999 of 100 observations is the single 100 ms outlier.
+        assert!(text.contains("# TYPE corm_rmi_rtt_microseconds_p999 gauge"));
+        assert!(text.contains(r#"corm_rmi_rtt_microseconds_p999{machine="0"} 114687"#));
         // machine 1 recorded nothing: no gauge line rather than a fake 0
         assert!(!text.contains(r#"corm_rmi_rtt_microseconds_p50{machine="1"}"#));
         // every histogram family gets the derived gauges
-        for fam in
-            ["corm_marshal_microseconds", "corm_rmi_payload_bytes", "corm_site_rtt_microseconds"]
-        {
+        for fam in [
+            "corm_marshal_microseconds",
+            "corm_queue_microseconds",
+            "corm_rmi_payload_bytes",
+            "corm_site_rtt_microseconds",
+        ] {
             assert!(text.contains(&format!("# TYPE {fam}_p50 gauge")), "{fam}");
             assert!(text.contains(&format!("# TYPE {fam}_p99 gauge")), "{fam}");
+            assert!(text.contains(&format!("# TYPE {fam}_p999 gauge")), "{fam}");
         }
+    }
+
+    #[test]
+    fn serving_series_are_exposed() {
+        let reg = MetricsRegistry::new(2);
+        reg.machine(0).queue_us.record(50);
+        reg.machine(0).requests_started.fetch_add(7, std::sync::atomic::Ordering::Relaxed);
+        reg.machine(0).requests_completed.fetch_add(6, std::sync::atomic::Ordering::Relaxed);
+        reg.machine(0).in_flight.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE corm_queue_microseconds histogram"));
+        assert!(text.contains(r#"corm_queue_microseconds_count{machine="0"} 1"#));
+        assert!(text.contains("# TYPE corm_requests_started_total counter"));
+        assert!(text.contains(r#"corm_requests_started_total{machine="0"} 7"#));
+        assert!(text.contains(r#"corm_requests_completed_total{machine="0"} 6"#));
+        // in-flight can shrink: gauge, not counter
+        assert!(text.contains("# TYPE corm_in_flight_requests gauge"));
+        assert!(text.contains(r#"corm_in_flight_requests{machine="0"} 1"#));
+        assert!(text.contains(r#"corm_in_flight_requests{machine="1"} 0"#));
+    }
+
+    #[test]
+    fn bucket_le_labels_stay_cumulative_and_sorted() {
+        // Satellite guard for the log-linear layout: the `le` labels of
+        // one rendered histogram must be strictly increasing and the
+        // counts cumulative, ending in +Inf == count.
+        let reg = MetricsRegistry::new(1);
+        for v in [0, 3, 4, 5, 97, 100, 111, 112, 5_000, 1u64 << 33] {
+            reg.machine(0).rtt_us.record(v);
+        }
+        let text = render_prometheus(&reg.snapshot());
+        let mut les: Vec<u64> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        let mut inf_count = None;
+        for line in text.lines() {
+            if let Some(rest) =
+                line.strip_prefix("corm_rmi_rtt_microseconds_bucket{machine=\"0\",le=\"")
+            {
+                let (le, tail) = rest.split_once('"').unwrap();
+                let count: u64 = tail.trim_start_matches('}').trim().parse().unwrap();
+                if le == "+Inf" {
+                    inf_count = Some(count);
+                } else {
+                    les.push(le.parse().unwrap());
+                    counts.push(count);
+                }
+            }
+        }
+        assert!(les.len() >= 5, "expected several occupied buckets: {les:?}");
+        assert!(les.windows(2).all(|w| w[0] < w[1]), "le labels must be sorted: {les:?}");
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "counts must be cumulative: {counts:?}");
+        assert_eq!(inf_count, Some(10), "+Inf bucket equals the observation count");
+        // 97, 100 and 111 share the [96,111] sub-bucket; 112 opens the
+        // adjacent [112,127] one — distinctions the pure-log2 layout
+        // collapsed into a single [64,127] bucket.
+        assert!(text.contains(r#"le="111""#));
+        assert!(text.contains(r#"le="127""#));
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub enum FlightKind {
     Local,
     /// A pending request failed (peer loss, audit poison, ...).
     Fail,
+    /// A completed request violated its latency SLO (`bytes` carries the
+    /// measured latency in µs, clamped to u32). Recorded by the serving
+    /// benchmark so a failed slo-gate dumps the exact offending req ids.
+    Slo,
 }
 
 impl FlightKind {
@@ -50,6 +54,7 @@ impl FlightKind {
             FlightKind::Handle => 3,
             FlightKind::Local => 4,
             FlightKind::Fail => 5,
+            FlightKind::Slo => 6,
         }
     }
 
@@ -60,6 +65,7 @@ impl FlightKind {
             3 => FlightKind::Handle,
             4 => FlightKind::Local,
             5 => FlightKind::Fail,
+            6 => FlightKind::Slo,
             _ => return None,
         })
     }
@@ -71,6 +77,7 @@ impl FlightKind {
             FlightKind::Handle => "handle",
             FlightKind::Local => "local",
             FlightKind::Fail => "fail",
+            FlightKind::Slo => "slo",
         }
     }
 }

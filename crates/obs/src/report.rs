@@ -15,6 +15,8 @@ use crate::trace::{Phase, TraceEvent, TraceKind};
 pub struct PhaseTotals {
     /// Real: argument marshal time at calling sites.
     pub marshal_us: u64,
+    /// Real: server-side work-queue wait of requests handled here.
+    pub queue_us: u64,
     /// Real: unmarshal time (args on the server, returns on the caller).
     pub unmarshal_us: u64,
     /// Real: served user-method execution time.
@@ -65,6 +67,7 @@ pub fn phase_report(
                     let dur = e.t_us.saturating_sub(t0);
                     match phase {
                         Phase::Marshal => t.marshal_us += dur,
+                        Phase::Queue => t.queue_us += dur,
                         Phase::Unmarshal => t.unmarshal_us += dur,
                         Phase::Invoke => t.invoke_us += dur,
                         Phase::Wire => t.wire_modeled_us += dur,
@@ -107,16 +110,25 @@ pub fn render_phase_report(totals: &BTreeMap<u16, PhaseTotals>) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:>8} {:>10} {:>12} {:>10} {:>12} {:>12} {:>8} {:>8}",
-        "machine", "marshal", "unmarshal", "invoke", "wire(model)", "wire(meas)", "sent", "handled"
+        "{:>8} {:>10} {:>10} {:>12} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "machine",
+        "marshal",
+        "queue",
+        "unmarshal",
+        "invoke",
+        "wire(model)",
+        "wire(meas)",
+        "sent",
+        "handled"
     );
     let mut sum = PhaseTotals::default();
     for (m, t) in totals {
         let _ = writeln!(
             s,
-            "{:>8} {:>8} us {:>10} us {:>8} us {:>10} us {:>10} us {:>8} {:>8}",
+            "{:>8} {:>8} us {:>8} us {:>10} us {:>8} us {:>10} us {:>10} us {:>8} {:>8}",
             format!("m{m}"),
             t.marshal_us,
+            t.queue_us,
             t.unmarshal_us,
             t.invoke_us,
             t.wire_modeled_us,
@@ -125,6 +137,7 @@ pub fn render_phase_report(totals: &BTreeMap<u16, PhaseTotals>) -> String {
             t.rmi_handled
         );
         sum.marshal_us += t.marshal_us;
+        sum.queue_us += t.queue_us;
         sum.unmarshal_us += t.unmarshal_us;
         sum.invoke_us += t.invoke_us;
         sum.wire_modeled_us += t.wire_modeled_us;
@@ -134,9 +147,10 @@ pub fn render_phase_report(totals: &BTreeMap<u16, PhaseTotals>) -> String {
     }
     let _ = writeln!(
         s,
-        "{:>8} {:>8} us {:>10} us {:>8} us {:>10} us {:>10} us {:>8} {:>8}",
+        "{:>8} {:>8} us {:>8} us {:>10} us {:>8} us {:>10} us {:>10} us {:>8} {:>8}",
         "total",
         sum.marshal_us,
+        sum.queue_us,
         sum.unmarshal_us,
         sum.invoke_us,
         sum.wire_modeled_us,
@@ -150,6 +164,9 @@ pub fn render_phase_report(totals: &BTreeMap<u16, PhaseTotals>) -> String {
         sum.real_us(),
         sum.wire_modeled_us
     );
+    if sum.queue_us > 0 {
+        let _ = write!(s, "; queued (waiting, not work) {} us", sum.queue_us);
+    }
     if sum.wire_measured_us > 0 {
         let _ = write!(s, "; transport-measured wire {} us", sum.wire_measured_us);
     }
@@ -210,6 +227,25 @@ mod tests {
         let text = render_phase_report(&rep);
         assert!(text.contains("wire(meas)"));
         assert!(text.contains("transport-measured wire 49 us"));
+    }
+
+    #[test]
+    fn queue_spans_fold_into_their_own_column() {
+        let events = vec![
+            ev(2, 0, 1, TraceKind::PhaseBegin { phase: Phase::Queue, req: 1, site: 3 }),
+            ev(9, 1, 1, TraceKind::PhaseEnd { phase: Phase::Queue, req: 1, site: 3 }),
+            ev(9, 2, 1, TraceKind::PhaseBegin { phase: Phase::Invoke, req: 1, site: 3 }),
+            ev(12, 3, 1, TraceKind::PhaseEnd { phase: Phase::Invoke, req: 1, site: 3 }),
+        ];
+        let rep = phase_report(&events, |_| 0);
+        let m1 = rep[&1];
+        assert_eq!(m1.queue_us, 7);
+        assert_eq!(m1.invoke_us, 3);
+        // Queueing is waiting, not work: excluded from the real-time sum.
+        assert_eq!(m1.real_us(), 3);
+        let text = render_phase_report(&rep);
+        assert!(text.contains("queue"));
+        assert!(text.contains("queued (waiting, not work) 7 us"));
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub enum Phase {
     Marshal,
     /// Wire transit (simulated: the modeled Myrinet cost).
     Wire,
+    /// Sitting in the serving machine's work queue between the drain
+    /// loop receiving the request and a worker picking it up — the
+    /// component that dominates round trips on a saturated server.
+    Queue,
     /// Deserializing arguments (server) or the return value (caller).
     Unmarshal,
     /// Executing the user method on the serving machine.
@@ -27,6 +31,7 @@ impl Phase {
         match self {
             Phase::Marshal => "marshal",
             Phase::Wire => "wire",
+            Phase::Queue => "queue",
             Phase::Unmarshal => "unmarshal",
             Phase::Invoke => "invoke",
         }

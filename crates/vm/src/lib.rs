@@ -23,6 +23,7 @@ pub mod machine;
 pub mod pool;
 pub mod rmi;
 pub mod runtime;
+pub mod serve;
 
 /// Trace types live in `corm-obs` (shared with the exporters); re-export
 /// the module so `corm_vm::trace::…` paths keep working.
@@ -34,5 +35,7 @@ pub use corm_obs::{
 };
 pub use error::VmError;
 pub use runtime::{
-    run_program, AuditCounters, AuditSnapshot, FaultSpec, RunOptions, RunOutcome, Runtime,
+    run_program, write_flight_artifact, AuditCounters, AuditSnapshot, Cluster, FaultSpec,
+    RunOptions, RunOutcome, Runtime, StallSpec,
 };
+pub use serve::{serve, ArrivalSchedule, ServeOptions, ServeReport, ServeSpec};

@@ -125,9 +125,25 @@ pub fn remote_call(
     site: CallSiteId,
     mid: MethodId,
     argv: &[Value],
-    _want_ret: bool,
+    want_ret: bool,
     oneway: bool,
 ) -> VmResult<Value> {
+    remote_call_with_req(interp, guard, site, mid, argv, want_ret, oneway).map(|(v, _)| v)
+}
+
+/// Like [`remote_call`], but also returns the minted request id, letting
+/// drivers (the open-loop serving benchmark) correlate one call with its
+/// flight-recorder and trace events — e.g. to tag SLO violators.
+#[allow(clippy::too_many_arguments)]
+pub fn remote_call_with_req(
+    interp: &mut Interp,
+    guard: &mut MutexGuard<'_, MachineState>,
+    site: CallSiteId,
+    mid: MethodId,
+    argv: &[Value],
+    _want_ret: bool,
+    oneway: bool,
+) -> VmResult<(Value, u64)> {
     let rt = interp.rt.clone();
     let plans = rt.plans.clone();
     let plan = plans
@@ -182,11 +198,18 @@ pub fn remote_call(
     site_scope.payload_bytes.record(payload_len);
     shard.payload_bytes.record(payload_len);
 
-    if receiver.machine == my {
+    if !oneway {
+        shard.requests_started.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    let result = if receiver.machine == my {
         local_rpc(interp, guard, plan, &ser, site, req, receiver, msg, oneway, pool_hit)
     } else {
         wire_rpc(interp, guard, plan, &ser, site, req, receiver, msg, oneway, pool_hit)
+    };
+    if !oneway && result.is_ok() {
+        shard.requests_completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
+    result.map(|v| (v, req))
 }
 
 /// "If the remote object ... is (accidentally) located on the same machine
@@ -260,10 +283,11 @@ fn local_rpc(
     shard.invoke_us.record((rt.start.elapsed() - i0).as_micros() as u64);
     rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Invoke, req, site: site.0 });
     update_arg_caches(guard, plan, site, &vals);
-    let us = (rt.start.elapsed() - t0).as_micros() as u64;
+    let end_us = rt.start.elapsed().as_micros() as u64;
+    let us = end_us.saturating_sub(t0.as_micros() as u64);
     shard.rtt_us.record(us);
     rt.obs.site(site.0).rtt_us.record(us);
-    rt.trace_event(my, TraceKind::LocalRpc { req, site: site.0, us });
+    rt.trace_event_at(my, end_us, TraceKind::LocalRpc { req, site: site.0, us });
 
     // Clone the return value through serialization as well. The clone
     // buffer pools on its own lane: return payloads have a different
@@ -306,6 +330,7 @@ fn wire_rpc(
 
     if !oneway {
         guard.replies.insert(req, ReplySlot::Waiting { dest: receiver.machine });
+        shard.in_flight.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
     let payload = msg.into_bytes();
     let net = rt.net.clone();
@@ -358,6 +383,7 @@ fn wire_rpc(
         }
         machine.cv.wait(guard);
     };
+    shard.in_flight.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
 
     match result {
         Err(remote_err) => {
@@ -541,13 +567,37 @@ pub fn handle_request(
     target_obj: u32,
     payload: Vec<u8>,
     oneway: bool,
+    enq_us: u64,
 ) {
     let plans = rt.plans.clone();
     let site = CallSiteId(site);
     let machine = rt.machine(my).clone();
     let mut interp = Interp::new(rt.clone(), my);
-    let t0 = rt.start.elapsed();
     let shard = rt.obs.machine(my);
+    // Close the queue phase the drain loop opened: the time between the
+    // drainer receiving this request and this worker picking it up is
+    // pure waiting — the component that dominates round trips on a
+    // saturated server. Closed before `t0` so the queue span ends no
+    // later than the handle span begins.
+    if enq_us > 0 {
+        let now_us = rt.start.elapsed().as_micros() as u64;
+        shard.queue_us.record(now_us.saturating_sub(enq_us));
+        rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Queue, req: req_id, site: site.0 });
+    }
+    let t0 = rt.start.elapsed();
+    // Stall injection (RunOptions::stall): model a slow server by putting
+    // the configured requests to sleep before any processing.
+    if let Some(stall) = rt.stall {
+        if stall.every > 0
+            && stall.stall_us > 0
+            && rt
+                .stall_count
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                .is_multiple_of(stall.every)
+        {
+            std::thread::sleep(std::time::Duration::from_micros(stall.stall_us));
+        }
+    }
     let reused_before = shard.stats.snapshot().reused_objs;
     let request_bytes = payload.len() as u32;
 
@@ -623,12 +673,14 @@ pub fn handle_request(
         run
     })();
 
-    rt.trace_event(
+    let end_us = rt.start.elapsed().as_micros() as u64;
+    rt.trace_event_at(
         my,
+        end_us,
         TraceKind::Handle {
             req: req_id,
             site: site.0,
-            us: (rt.start.elapsed() - t0).as_micros() as u64,
+            us: end_us.saturating_sub(t0.as_micros() as u64),
             reused: shard.stats.snapshot().reused_objs - reused_before,
         },
     );

@@ -54,6 +54,11 @@ pub struct RunOptions {
     /// Fault injection: abruptly kill a machine mid-run (see
     /// [`FaultSpec`]). `None` in normal operation.
     pub fault: Option<FaultSpec>,
+    /// Server-side stall injection (see [`StallSpec`]): every N-th
+    /// handled request sleeps before processing. `None` in normal
+    /// operation; the SLO gate uses it to prove a degraded server
+    /// actually fails the gate.
+    pub stall: Option<StallSpec>,
 }
 
 /// Deterministic fault injection for failure-path tests: the
@@ -66,6 +71,18 @@ pub struct FaultSpec {
     pub victim: u16,
     /// 1-based: `1` kills the victim at the first request toward it.
     pub after_sends: u64,
+}
+
+/// Deterministic server-side slowness: every `every`-th request handled
+/// anywhere in the cluster sleeps `stall_us` before processing. Models a
+/// GC pause / overloaded server for coordinated-omission and SLO-gate
+/// tests without touching the request path's timing otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallSpec {
+    /// Stall the 1st, `every+1`-th, `2*every+1`-th, ... handled request.
+    pub every: u64,
+    /// How long each stalled request sleeps, in microseconds.
+    pub stall_us: u64,
 }
 
 impl Default for RunOptions {
@@ -82,6 +99,7 @@ impl Default for RunOptions {
             audit: false,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             fault: None,
+            stall: None,
         }
     }
 }
@@ -159,6 +177,10 @@ pub struct Runtime {
     pub fault: Option<FaultSpec>,
     /// Count of wire requests sent toward the fault victim so far.
     pub fault_sends: std::sync::atomic::AtomicU64,
+    /// Stall injection, when requested (see [`StallSpec`]).
+    pub stall: Option<StallSpec>,
+    /// Count of requests handled since start, for [`StallSpec::every`].
+    pub stall_count: std::sync::atomic::AtomicU64,
     /// Per-call-site marshal-buffer pool (DESIGN §12): request buffers
     /// circulate caller → server → reply → caller, so steady-state
     /// marshals allocate nothing. Canary mode rides on `audit`.
@@ -176,9 +198,19 @@ impl Runtime {
     /// are monotone in recording order and same-microsecond ties break
     /// deterministically.
     pub fn trace_event(&self, machine: u16, kind: crate::trace::TraceKind) {
+        let t_us = self.start.elapsed().as_micros() as u64;
+        self.trace_event_at(machine, t_us, kind);
+    }
+
+    /// [`trace_event`](Self::trace_event) with an explicit timestamp.
+    /// Duration-carrying events (`Handle`, `LocalRpc`) pass the same
+    /// floored end-µs their duration was computed against, so exporters
+    /// rendering `ts - dur` recover the exact floored start — computing
+    /// the timestamp at push time instead can round the start up past a
+    /// child phase span's begin.
+    pub fn trace_event_at(&self, machine: u16, t_us: u64, kind: crate::trace::TraceKind) {
         if let Some(tr) = &self.trace {
             let mut events = tr.lock();
-            let t_us = self.start.elapsed().as_micros() as u64;
             let seq = events.len() as u64;
             events.push(crate::trace::TraceEvent { t_us, seq, machine, kind });
         }
@@ -236,7 +268,7 @@ impl Runtime {
 /// Write a flight dump into `$CORM_FLIGHT_DIR` (if set) under a unique
 /// name. CI points this at its artifact directory; locally it is unset
 /// and dumps stay in [`RunOutcome::flight`] only.
-fn write_flight_artifact(dump: &FlightDump) {
+pub fn write_flight_artifact(dump: &FlightDump) {
     let Ok(dir) = std::env::var("CORM_FLIGHT_DIR") else { return };
     if dir.is_empty() {
         return;
@@ -315,170 +347,213 @@ impl RunOutcome {
     }
 }
 
-/// Execute `module` (compiled into `plans`) on a simulated cluster.
-pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> RunOutcome {
-    let obs = Arc::new(MetricsRegistry::new(opts.machines));
-    let (mailboxes, net) =
-        NetHandle::with_kind(opts.transport, opts.machines, opts.cost, obs.clone())
-            .unwrap_or_else(|e| panic!("cannot bring up {} transport: {e}", opts.transport));
-    let static_defaults = crate::machine::MachineState::static_defaults(&module.table);
-    let machines: Vec<Arc<MachineShared>> = (0..opts.machines)
-        .map(|i| Arc::new(MachineShared::with_statics(i as u16, static_defaults.clone())))
-        .collect();
+/// A booted cluster whose service threads are live but whose `main` has
+/// not run: the runtime, drain loops and worker pools of a program run,
+/// decoupled from *what* drives them. [`run_program`] is
+/// `start → clinits + main → finish`; the open-loop serving driver
+/// ([`crate::serve`]) instead issues RMIs directly between `start` and
+/// `finish`.
+pub struct Cluster {
+    pub rt: Arc<Runtime>,
+    services: Vec<std::thread::JoinHandle<()>>,
+    transport: TransportKind,
+    /// Dumps the flight recorder if the driving thread unwinds.
+    _panic_guard: PanicFlightGuard,
+}
 
-    let rt = Arc::new(Runtime {
-        module,
-        plans,
-        obs: obs.clone(),
-        net,
-        machines,
-        barrier: ClusterBarrier::new(opts.machines),
-        args: opts.args.clone(),
-        start: Instant::now(),
-        output: Mutex::new(String::new()),
-        echo: opts.echo,
-        auto_gc: opts.auto_gc,
-        spawned: Mutex::new(Vec::new()),
-        trace: if opts.trace { Some(Mutex::new(Vec::new())) } else { None },
-        audit: opts.audit,
-        audit_counters: AuditCounters::default(),
-        flight: Arc::new(FlightRecorder::new(opts.machines, opts.flight_capacity)),
-        flight_failed: Mutex::new(Vec::new()),
-        transport_code: match opts.transport {
-            TransportKind::Channel => TRANSPORT_CHANNEL,
-            TransportKind::Tcp => TRANSPORT_TCP,
-        },
-        fault: opts.fault,
-        fault_sends: std::sync::atomic::AtomicU64::new(0),
-        pool: crate::pool::BufferPool::new(opts.machines, opts.audit),
-    });
-    let _panic_guard = PanicFlightGuard { rt: rt.clone() };
+impl Cluster {
+    /// Bring up the simulated cluster: transport, machines, one drain
+    /// loop plus a worker pool per machine. Static initializers have NOT
+    /// run yet — call [`Cluster::run_clinits`] before issuing work.
+    pub fn start(module: Arc<Module>, plans: Arc<Plans>, opts: &RunOptions) -> Cluster {
+        let obs = Arc::new(MetricsRegistry::new(opts.machines));
+        let (mailboxes, net) =
+            NetHandle::with_kind(opts.transport, opts.machines, opts.cost, obs.clone())
+                .unwrap_or_else(|e| panic!("cannot bring up {} transport: {e}", opts.transport));
+        let static_defaults = crate::machine::MachineState::static_defaults(&module.table);
+        let machines: Vec<Arc<MachineShared>> = (0..opts.machines)
+            .map(|i| Arc::new(MachineShared::with_statics(i as u16, static_defaults.clone())))
+            .collect();
 
-    // Service threads: one GM-style drain loop per machine plus a small
-    // request worker pool.
-    let mut services = Vec::new();
-    for mailbox in mailboxes {
-        let (work_tx, work_rx) =
-            crossbeam::channel::unbounded::<(u64, u16, u32, u32, Vec<u8>, bool)>();
-        for _ in 0..opts.workers_per_machine.max(1) {
+        let rt = Arc::new(Runtime {
+            module,
+            plans,
+            obs: obs.clone(),
+            net,
+            machines,
+            barrier: ClusterBarrier::new(opts.machines),
+            args: opts.args.clone(),
+            start: Instant::now(),
+            output: Mutex::new(String::new()),
+            echo: opts.echo,
+            auto_gc: opts.auto_gc,
+            spawned: Mutex::new(Vec::new()),
+            trace: if opts.trace { Some(Mutex::new(Vec::new())) } else { None },
+            audit: opts.audit,
+            audit_counters: AuditCounters::default(),
+            flight: Arc::new(FlightRecorder::new(opts.machines, opts.flight_capacity)),
+            flight_failed: Mutex::new(Vec::new()),
+            transport_code: match opts.transport {
+                TransportKind::Channel => TRANSPORT_CHANNEL,
+                TransportKind::Tcp => TRANSPORT_TCP,
+            },
+            fault: opts.fault,
+            fault_sends: std::sync::atomic::AtomicU64::new(0),
+            stall: opts.stall,
+            stall_count: std::sync::atomic::AtomicU64::new(0),
+            pool: crate::pool::BufferPool::new(opts.machines, opts.audit),
+        });
+        let _panic_guard = PanicFlightGuard { rt: rt.clone() };
+
+        // Service threads: one GM-style drain loop per machine plus a
+        // small request worker pool.
+        let mut services = Vec::new();
+        for mailbox in mailboxes {
+            let (work_tx, work_rx) = crossbeam::channel::unbounded::<WorkItem>();
+            for _ in 0..opts.workers_per_machine.max(1) {
+                let rt2 = rt.clone();
+                let rx = work_rx.clone();
+                let mid = mailbox.machine();
+                services.push(spawn_vm_thread("corm-worker", move || {
+                    while let Ok((req_id, from, site, target_obj, payload, oneway, enq_us)) =
+                        rx.recv()
+                    {
+                        rmi::handle_request(
+                            &rt2, mid, req_id, from, site, target_obj, payload, oneway, enq_us,
+                        );
+                    }
+                }));
+            }
             let rt2 = rt.clone();
-            let rx = work_rx.clone();
-            let mid = mailbox.machine();
-            services.push(spawn_vm_thread("corm-worker", move || {
-                while let Ok((req_id, from, site, target_obj, payload, oneway)) = rx.recv() {
-                    rmi::handle_request(&rt2, mid, req_id, from, site, target_obj, payload, oneway);
-                }
+            services.push(spawn_vm_thread("corm-drain", move || {
+                drain_loop(rt2, mailbox, work_tx);
             }));
         }
-        let rt2 = rt.clone();
-        services.push(spawn_vm_thread("corm-drain", move || {
-            drain_loop(rt2, mailbox, work_tx);
-        }));
+
+        Cluster { rt, services, transport: opts.transport, _panic_guard }
     }
 
-    // Static initializers: per machine, in declaration order (each
-    // machine owns its statics, as in one JVM per node).
-    let clinit_err = run_clinits(&rt);
+    /// Static initializers: per machine, in declaration order (each
+    /// machine owns its statics, as in one JVM per node).
+    pub fn run_clinits(&self) -> Option<VmError> {
+        run_clinits(&self.rt)
+    }
 
-    // main() runs on machine 0.
-    let error = match clinit_err {
+    /// Drain user-spawned threads, shut the network down, join the
+    /// service threads and fold everything into a [`RunOutcome`].
+    pub fn finish(self, error: Option<VmError>) -> RunOutcome {
+        let Cluster { rt, services, transport, _panic_guard } = self;
+
+        // Join user-spawned threads (applications terminate their
+        // workers).
+        loop {
+            let handle = rt.spawned.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+
+        let wall = rt.start.elapsed();
+
+        // Shut the network down and join the service threads.
+        for i in 0..rt.machines.len() {
+            rt.net.send(i as u16, i as u16, Packet::Shutdown);
+        }
+        for s in services {
+            let _ = s.join();
+        }
+        // Tear the backend down (joins TCP reader threads; no-op on
+        // channel) so measured wire time is final and nothing outlives
+        // the run.
+        rt.net.shutdown();
+        let measured_wire_ns = rt.net.measured_wire_ns_per_machine();
+        let measured_wire = Duration::from_nanos(measured_wire_ns.iter().sum());
+
+        // Aggregate heap statistics and modeled allocation cost. Each
+        // machine's deserialization allocations land in its own shard, so
+        // per-machine metrics attribute them to the heap that paid them.
+        let mut heap = HeapStats::default();
+        for m in &rt.machines {
+            let st = m.state.lock();
+            let hs = st.heap.stats;
+            heap.allocs += hs.allocs;
+            heap.alloc_bytes += hs.alloc_bytes;
+            heap.deser_allocs += hs.deser_allocs;
+            heap.deser_bytes += hs.deser_bytes;
+            heap.freed += hs.freed;
+            heap.freed_bytes += hs.freed_bytes;
+            heap.gc_runs += hs.gc_runs;
+            let shard = &rt.obs.machine(m.id).stats;
+            RmiStats::bump(&shard.deser_bytes, hs.deser_bytes);
+            RmiStats::bump(&shard.deser_allocs, hs.deser_allocs);
+        }
+        // Modeled managed-runtime overhead: dynamic serializer dispatch,
+        // cycle-table lookups and deserialization allocations all
+        // executed at native-Rust speed here, but cost real time on the
+        // paper's Manta/JVM substrate. The per-op costs are calibrated
+        // from the paper's own table deltas (see `corm_net::CostModel`);
+        // this is what makes the three optimizations' gains visible at
+        // the paper's magnitudes.
+        let snap = rt.obs.cluster_snapshot();
+        rt.net.add_modeled_ns(rt.net.cost.runtime_ns(
+            snap.ser_invocations,
+            snap.cycle_lookups,
+            heap.deser_allocs,
+        ));
+
+        let modeled = Duration::from_nanos(rt.net.modeled_ns());
+        let output = rt.output.lock().clone();
+        let trace = rt.trace.as_ref().map(|t| t.lock().clone()).unwrap_or_default();
+
+        // Classify the run for the flight recorder and persist a dump on
+        // any failure (CI collects `$CORM_FLIGHT_DIR` as artifacts).
+        let reason = match &error {
+            Some(e) if e.message.contains(corm_codegen::AUDIT_ERROR_PREFIX) => "audit-mismatch",
+            _ if !rt.flight_failed.lock().is_empty() => "peer-gone",
+            Some(_) => "error",
+            None => "ok",
+        };
+        let flight = rt.flight_dump(reason);
+        if reason != "ok" {
+            write_flight_artifact(&flight);
+        }
+
+        RunOutcome {
+            output,
+            wall,
+            modeled,
+            stats: rt.obs.cluster_snapshot(),
+            metrics: rt.obs.snapshot(),
+            heap,
+            error,
+            trace,
+            transport,
+            measured_wire,
+            measured_wire_ns,
+            audit: rt.audit_counters.snapshot(rt.audit),
+            flight,
+        }
+    }
+}
+
+/// Execute `module` (compiled into `plans`) on a simulated cluster.
+pub fn run_program(module: Arc<Module>, plans: Arc<Plans>, opts: RunOptions) -> RunOutcome {
+    let cluster = Cluster::start(module, plans, &opts);
+
+    // main() runs on machine 0, after every machine's statics.
+    let error = match cluster.run_clinits() {
         Some(e) => Some(e),
         None => {
-            let main = rt.module.main;
-            let mut interp = Interp::new(rt.clone(), 0);
+            let main = cluster.rt.module.main;
+            let mut interp = Interp::new(cluster.rt.clone(), 0);
             interp.run_function(main, Vec::new()).err()
         }
     };
 
-    // Join user-spawned threads (applications terminate their workers).
-    loop {
-        let handle = rt.spawned.lock().pop();
-        match handle {
-            Some(h) => {
-                let _ = h.join();
-            }
-            None => break,
-        }
-    }
-
-    let wall = rt.start.elapsed();
-
-    // Shut the network down and join the service threads.
-    for i in 0..rt.machines.len() {
-        rt.net.send(i as u16, i as u16, Packet::Shutdown);
-    }
-    for s in services {
-        let _ = s.join();
-    }
-    // Tear the backend down (joins TCP reader threads; no-op on channel)
-    // so measured wire time is final and nothing outlives the run.
-    rt.net.shutdown();
-    let measured_wire_ns = rt.net.measured_wire_ns_per_machine();
-    let measured_wire = Duration::from_nanos(measured_wire_ns.iter().sum());
-
-    // Aggregate heap statistics and modeled allocation cost. Each
-    // machine's deserialization allocations land in its own shard, so
-    // per-machine metrics attribute them to the heap that paid them.
-    let mut heap = HeapStats::default();
-    for m in &rt.machines {
-        let st = m.state.lock();
-        let hs = st.heap.stats;
-        heap.allocs += hs.allocs;
-        heap.alloc_bytes += hs.alloc_bytes;
-        heap.deser_allocs += hs.deser_allocs;
-        heap.deser_bytes += hs.deser_bytes;
-        heap.freed += hs.freed;
-        heap.freed_bytes += hs.freed_bytes;
-        heap.gc_runs += hs.gc_runs;
-        let shard = &rt.obs.machine(m.id).stats;
-        RmiStats::bump(&shard.deser_bytes, hs.deser_bytes);
-        RmiStats::bump(&shard.deser_allocs, hs.deser_allocs);
-    }
-    // Modeled managed-runtime overhead: dynamic serializer dispatch,
-    // cycle-table lookups and deserialization allocations all executed at
-    // native-Rust speed here, but cost real time on the paper's Manta/JVM
-    // substrate. The per-op costs are calibrated from the paper's own
-    // table deltas (see `corm_net::CostModel`); this is what makes the
-    // three optimizations' gains visible at the paper's magnitudes.
-    let snap = obs.cluster_snapshot();
-    rt.net.add_modeled_ns(rt.net.cost.runtime_ns(
-        snap.ser_invocations,
-        snap.cycle_lookups,
-        heap.deser_allocs,
-    ));
-
-    let modeled = Duration::from_nanos(rt.net.modeled_ns());
-    let output = rt.output.lock().clone();
-    let trace = rt.trace.as_ref().map(|t| t.lock().clone()).unwrap_or_default();
-
-    // Classify the run for the flight recorder and persist a dump on any
-    // failure (CI collects `$CORM_FLIGHT_DIR` as artifacts).
-    let reason = match &error {
-        Some(e) if e.message.contains(corm_codegen::AUDIT_ERROR_PREFIX) => "audit-mismatch",
-        _ if !rt.flight_failed.lock().is_empty() => "peer-gone",
-        Some(_) => "error",
-        None => "ok",
-    };
-    let flight = rt.flight_dump(reason);
-    if reason != "ok" {
-        write_flight_artifact(&flight);
-    }
-
-    RunOutcome {
-        output,
-        wall,
-        modeled,
-        stats: obs.cluster_snapshot(),
-        metrics: obs.snapshot(),
-        heap,
-        error,
-        trace,
-        transport: opts.transport,
-        measured_wire,
-        measured_wire_ns,
-        audit: rt.audit_counters.snapshot(rt.audit),
-        flight,
-    }
+    cluster.finish(error)
 }
 
 /// Spawn a VM thread with a large stack: recursive serializer programs
@@ -540,6 +615,13 @@ fn record_failed_reqs(rt: &Runtime, my: u16, peer: u16, failed: &[u64]) {
     rt.flight_failed.lock().extend_from_slice(failed);
 }
 
+/// One queued request: `(req_id, from, site, target_obj, payload,
+/// oneway, enq_us)`. The last element is the drain loop's enqueue
+/// timestamp (µs since run start), which the worker turns into the
+/// request's queue-phase latency. It rides host-side only — the wire
+/// format is unchanged.
+type WorkItem = (u64, u16, u32, u32, Vec<u8>, bool, u64);
+
 /// The per-machine receive loop: exactly one drainer per machine, as in
 /// the paper's modified GM layer. Requests go to the worker pool (or a
 /// dedicated thread for one-way spawns); replies wake the waiting caller;
@@ -547,7 +629,7 @@ fn record_failed_reqs(rt: &Runtime, my: u16, peer: u16, failed: &[u64]) {
 fn drain_loop(
     rt: Arc<Runtime>,
     mailbox: Box<dyn Mailbox>,
-    work_tx: crossbeam::channel::Sender<(u64, u16, u32, u32, Vec<u8>, bool)>,
+    work_tx: crossbeam::channel::Sender<WorkItem>,
 ) {
     let my = mailbox.machine();
     loop {
@@ -595,18 +677,30 @@ fn drain_loop(
                 rt.net.send(my, from, Packet::Reply { req_id, payload, err: None });
             }
             Packet::Request { req_id, from, site, target_obj, payload, oneway } => {
+                // Queue phase opens the moment the drainer has the
+                // request; the worker (or spawned thread) closes it when
+                // it picks the request up.
+                let enq_us = rt.start.elapsed().as_micros() as u64;
+                rt.trace_event(
+                    my,
+                    crate::trace::TraceKind::PhaseBegin {
+                        phase: crate::trace::Phase::Queue,
+                        req: req_id,
+                        site,
+                    },
+                );
                 if oneway {
                     // Long-running spawned work gets its own thread so it
                     // cannot starve the request pool.
                     let rt2 = rt.clone();
                     let handle = spawn_vm_thread("corm-spawn", move || {
                         rmi::handle_request(
-                            &rt2, my, req_id, from, site, target_obj, payload, true,
+                            &rt2, my, req_id, from, site, target_obj, payload, true, enq_us,
                         );
                     });
                     rt.spawned.lock().push(handle);
                 } else {
-                    let _ = work_tx.send((req_id, from, site, target_obj, payload, oneway));
+                    let _ = work_tx.send((req_id, from, site, target_obj, payload, oneway, enq_us));
                 }
             }
         }

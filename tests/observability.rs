@@ -194,13 +194,26 @@ fn metrics_are_scoped_per_run_with_no_bleed_through() {
     for (a, b) in first.metrics.machines.iter().zip(&second.metrics.machines) {
         assert_eq!(a.stats, b.stats, "per-machine shards leaked between runs");
     }
-    // And an explicitly reused registry comes back to zero on reset.
+    // And an explicitly reused registry comes back to zero on reset —
+    // including the serving-side metrics (queue phase, request
+    // lifecycle counters) that a long-running `corm serve` touches.
+    use std::sync::atomic::Ordering::Relaxed;
     let reg = MetricsRegistry::new(2);
     reg.machine(0).rtt_us.record(7);
-    reg.site(1).calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    reg.machine(0).queue_us.record(13);
+    reg.machine(1).requests_started.fetch_add(3, Relaxed);
+    reg.machine(1).requests_completed.fetch_add(2, Relaxed);
+    reg.machine(1).in_flight.fetch_add(1, Relaxed);
+    reg.site(1).calls.fetch_add(1, Relaxed);
     reg.reset();
     assert_eq!(reg.cluster_snapshot(), corm::StatsSnapshot::default());
     assert!(reg.snapshot().sites.is_empty());
+    for m in &reg.snapshot().machines {
+        assert_eq!(m.queue_us.count, 0, "queue histogram leaked across reset");
+        assert_eq!(m.requests_started, 0);
+        assert_eq!(m.requests_completed, 0);
+        assert_eq!(m.in_flight, 0, "in-flight gauge leaked across reset");
+    }
 }
 
 #[test]

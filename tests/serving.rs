@@ -1,0 +1,130 @@
+//! Open-loop serving integration tests (DESIGN §13): schedule and
+//! call-counter determinism, coordinated-omission safety under an
+//! injected server-side stall, SLO violations surfacing through the
+//! flight recorder, and a TCP smoke run.
+
+use corm::{ArrivalSchedule, OptConfig, ServeOptions, StallSpec, TransportKind};
+use corm_apps::serve::webserver_serve;
+
+const SEED: u64 = 42;
+
+fn channel_opts(machines: usize) -> ServeOptions {
+    let mut opts = ServeOptions::default();
+    opts.run.machines = machines;
+    opts.clients = 4;
+    opts
+}
+
+/// Two runs from the same seed must issue the identical request stream:
+/// same schedule, same per-site RMI call counters, same per-slave hit
+/// counts. This is what makes the serving benchmark and its committed
+/// baseline comparable at all.
+#[test]
+fn same_seed_gives_identical_schedules_and_call_counters() {
+    let schedule = ArrivalSchedule::generate(SEED, 2_000.0, 150, 20);
+    assert_eq!(schedule, ArrivalSchedule::generate(SEED, 2_000.0, 150, 20));
+
+    let opts = channel_opts(3);
+    let a = webserver_serve(OptConfig::ALL, &schedule, &opts).expect("first run");
+    let b = webserver_serve(OptConfig::ALL, &schedule, &opts).expect("second run");
+    for r in [&a, &b] {
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.misses, 0, "every URL must route to a live page");
+        assert_eq!(r.completed as usize, r.intended);
+    }
+    // Same URLs hashed to the same slaves: per-slave hitCount() agrees.
+    assert_eq!(a.slave_hits, b.slave_hits);
+    assert_eq!(a.slave_hits.iter().sum::<i64>(), 150);
+    // And the per-site call counters are identical — the runs made the
+    // exact same RMIs (init, getPage, hitCount) site by site.
+    let calls = |r: &corm::ServeReport| -> Vec<(u32, u64)> {
+        r.outcome.metrics.sites.iter().map(|s| (s.site, s.calls)).collect()
+    };
+    assert_eq!(calls(&a), calls(&b), "per-site RMI call counters diverged between identical runs");
+    assert_eq!(a.outcome.stats.remote_rpcs, b.outcome.stats.remote_rpcs);
+}
+
+/// The coordinated-omission claim, demonstrated: a server that stalls
+/// still *completes* every request (a closed-loop harness would report a
+/// healthy p50 and a high completion count), but latency measured
+/// against intended arrival explodes — the backlog is charged to the
+/// server, not silently excused by the throttled clients.
+#[test]
+fn stalled_server_inflates_intended_latency_while_completions_stay_high() {
+    let stall_us = 100_000;
+    let schedule = ArrivalSchedule::generate(SEED, 1_500.0, 120, 20);
+    let mut opts = channel_opts(3);
+    opts.slo_us = 10_000;
+    opts.run.stall = Some(StallSpec { every: 3, stall_us });
+    let r = webserver_serve(OptConfig::ALL, &schedule, &opts).expect("stalled run");
+
+    // Completion stays high: the closed-loop view looks healthy.
+    assert_eq!(r.errors, 0);
+    assert_eq!(r.completed as usize + r.misses as usize, r.intended);
+    // But the CO-safe histogram shows the stall: the tail is at least a
+    // full stall long, and the median intended-time latency dwarfs the
+    // median send-to-reply (service) latency the closed-loop view sees.
+    assert!(
+        r.latency.quantile(0.99) >= stall_us,
+        "CO-safe p99 {} µs must absorb the {} µs stall",
+        r.latency.quantile(0.99),
+        stall_us
+    );
+    assert!(
+        r.latency.quantile(0.5) >= 4 * r.service.quantile(0.5).max(1),
+        "intended-time p50 {} µs should dwarf closed-loop p50 {} µs",
+        r.latency.quantile(0.5),
+        r.service.quantile(0.5)
+    );
+
+    // The violators surfaced through the flight recorder: an Slo event
+    // per violation and a dump whose failing_reqs name them.
+    assert!(!r.violations.is_empty(), "a stalled server must blow a 10 ms SLO");
+    let dump = r.flight_slo.as_ref().expect("violations must produce a flight dump");
+    assert_eq!(dump.reason, "slo-violation");
+    assert_eq!(dump.failing_reqs, r.violations);
+    let slo_events = dump
+        .machines
+        .iter()
+        .flat_map(|(_, evs)| evs.iter())
+        .filter(|e| e.kind.name() == "slo")
+        .count();
+    assert!(slo_events > 0, "flight rings must hold the Slo violation events");
+}
+
+/// A clean quick-scale run on the channel backend meets a generous SLO —
+/// no violations, no dump.
+#[test]
+fn unstalled_channel_run_meets_the_slo() {
+    let schedule = ArrivalSchedule::generate(SEED, 1_000.0, 100, 20);
+    let opts = channel_opts(3);
+    let r = webserver_serve(OptConfig::ALL, &schedule, &opts).expect("clean run");
+    assert_eq!(r.errors, 0);
+    assert_eq!(r.completed as usize, r.intended);
+    assert!(
+        r.violations.is_empty(),
+        "quick-scale channel serving blew the {} µs SLO: {:?} (p99 {} µs)",
+        r.slo_us,
+        r.violations,
+        r.latency.quantile(0.99)
+    );
+    assert!(r.flight_slo.is_none());
+    // The phase split saw real server-side work.
+    let m = &r.outcome.metrics;
+    assert!(m.cluster_hist(|ms| &ms.queue_us).count > 0, "queue phase must be measured");
+    assert!(m.cluster_hist(|ms| &ms.invoke_us).count > 0);
+}
+
+/// The same driver works over real loopback sockets.
+#[test]
+fn serving_works_over_tcp() {
+    let schedule = ArrivalSchedule::generate(SEED, 500.0, 60, 20);
+    let mut opts = channel_opts(2);
+    opts.run.transport = TransportKind::Tcp;
+    let r = webserver_serve(OptConfig::ALL, &schedule, &opts).expect("tcp run");
+    assert_eq!(r.errors, 0);
+    assert_eq!(r.misses, 0);
+    assert_eq!(r.completed as usize, r.intended);
+    assert_eq!(r.outcome.transport, TransportKind::Tcp);
+    assert_eq!(r.slave_hits.iter().sum::<i64>(), 60);
+}
