@@ -24,10 +24,18 @@
 //! comparing a fresh `serve_bench` document against the committed
 //! baseline under the coordinated-omission-safe p99/p99.9 budgets of
 //! `corm_bench::slo` and naming the violating request ids on failure.
+//!
+//! A fifth form gates mesh scaling:
+//!   cargo run --release -p corm-bench --bin bench_gate -- --scale-gate BENCH_scale.json fresh.json
+//! comparing a fresh `scale_bench` document against the committed
+//! baseline: per-call overhead must stay flat across the mesh ladder
+//! (x1.5-or-floor of the smallest mesh) and must not regress past the
+//! x8-or-floor budget of `corm_bench::scale` at any point.
 
 use corm_bench::alloc::{alloc_gate, STEADY_MISS_BUDGET};
 use corm_bench::gate::gate;
 use corm_bench::overhead::{measure_recorder_overhead, RECORDER_OVERHEAD_LIMIT_PCT};
+use corm_bench::scale::{scale_gate, FLAT_FLOOR_US, FLAT_MULT, REGRESS_FLOOR_US, REGRESS_MULT};
 use corm_bench::slo::{slo_gate, P999_FLOOR_US, P999_MULT, P99_FLOOR_US, P99_MULT};
 
 fn recorder_overhead_gate(reps_arg: Option<&String>) -> ! {
@@ -123,6 +131,38 @@ fn slo_gate_main(baseline_arg: Option<&String>, fresh_arg: Option<&String>) -> !
     std::process::exit(1);
 }
 
+fn scale_gate_main(baseline_arg: Option<&String>, fresh_arg: Option<&String>) -> ! {
+    let (Some(baseline_path), Some(fresh_path)) = (baseline_arg, fresh_arg) else {
+        eprintln!("usage: bench_gate --scale-gate <baseline.json> <fresh.json>");
+        std::process::exit(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let failures = scale_gate(&read(baseline_path), &read(fresh_path));
+    if failures.is_empty() {
+        println!(
+            "scale gate: OK ({fresh_path} per-call overhead flat within ×{FLAT_MULT}/floor \
+             {FLAT_FLOOR_US} µs across the mesh ladder, and within ×{REGRESS_MULT:.0}/floor \
+             {REGRESS_FLOOR_US} µs of {baseline_path} at every point)"
+        );
+        std::process::exit(0);
+    }
+    eprintln!("scale gate: {} violation(s) against {baseline_path}:", failures.len());
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    eprintln!();
+    eprintln!(
+        "If the scaling change is intentional, regenerate the baseline:\n  \
+         cargo run --release -p corm-bench --bin scale_bench -- --json BENCH_scale.json"
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--recorder-overhead") {
@@ -134,10 +174,14 @@ fn main() {
     if args.get(1).map(String::as_str) == Some("--slo-gate") {
         slo_gate_main(args.get(2), args.get(3));
     }
+    if args.get(1).map(String::as_str) == Some("--scale-gate") {
+        scale_gate_main(args.get(2), args.get(3));
+    }
     let [_, baseline_path, fresh_path] = args.as_slice() else {
         eprintln!(
             "usage: bench_gate <baseline.json> <fresh.json> | --recorder-overhead [reps] | \
-             --alloc-gate <baseline.json> | --slo-gate <baseline.json> <fresh.json>"
+             --alloc-gate <baseline.json> | --slo-gate <baseline.json> <fresh.json> | \
+             --scale-gate <baseline.json> <fresh.json>"
         );
         std::process::exit(2);
     };

@@ -1,36 +1,59 @@
 //! Transport-equivalence sweep (CI).
 //!
-//! Runs every app under every table configuration on both the
-//! in-process channel fabric and the loopback-TCP mesh, diffs program
-//! output and the shard-folded counters with the rules from
-//! `corm_apps::equivalence`, and exits nonzero on any divergence.
+//! Runs every app under every table configuration on the in-process
+//! channel fabric and on each requested wire backend (loopback TCP,
+//! reactor), diffs program output and the shard-folded counters with
+//! the rules from `corm_apps::equivalence`, and exits nonzero on any
+//! divergence.
 //!
 //! Usage:
-//!   cargo run --release -p corm-bench --bin equivalence
+//!   cargo run --release -p corm-bench --bin equivalence [--transport tcp|reactor]
+//!
+//! With no `--transport`, both wire backends are swept.
 
 use corm::{OptConfig, TransportKind};
 use corm_apps::equivalence::{diff_runs, run_under};
 use corm_apps::ALL_APPS;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wires: Vec<TransportKind> = match args.get(1).map(String::as_str) {
+        None => vec![TransportKind::Tcp, TransportKind::Reactor],
+        Some("--transport") => {
+            let kind =
+                args.get(2).and_then(|s| s.parse().ok()).filter(|k| *k != TransportKind::Channel);
+            let Some(kind) = kind else {
+                eprintln!("usage: equivalence [--transport tcp|reactor]");
+                std::process::exit(2);
+            };
+            vec![kind]
+        }
+        Some(other) => {
+            eprintln!("unknown flag {other}\nusage: equivalence [--transport tcp|reactor]");
+            std::process::exit(2);
+        }
+    };
+
     let mut checked = 0usize;
     let mut failures: Vec<String> = Vec::new();
-    for spec in ALL_APPS {
-        for (_, config) in OptConfig::TABLE_ROWS {
-            let a = run_under(&spec, config, TransportKind::Channel);
-            let b = run_under(&spec, config, TransportKind::Tcp);
-            let bad = diff_runs(spec.name, &config.label(), &a, &b);
-            checked += 1;
-            if bad.is_empty() {
-                println!(
-                    "ok   {:<12} {:<22} wire(meas) {:>9} ns over tcp",
-                    spec.name,
-                    config.label(),
-                    b.measured_wire_ns
-                );
-            } else {
-                println!("FAIL {:<12} {:<22}", spec.name, config.label());
-                failures.extend(bad);
+    for wire in &wires {
+        for spec in ALL_APPS {
+            for (_, config) in OptConfig::TABLE_ROWS {
+                let a = run_under(&spec, config, TransportKind::Channel);
+                let b = run_under(&spec, config, *wire);
+                let bad = diff_runs(spec.name, &config.label(), &a, &b);
+                checked += 1;
+                if bad.is_empty() {
+                    println!(
+                        "ok   {:<12} {:<22} wire(meas) {:>9} ns over {wire}",
+                        spec.name,
+                        config.label(),
+                        b.measured_wire_ns
+                    );
+                } else {
+                    println!("FAIL {:<12} {:<22} over {wire}", spec.name, config.label());
+                    failures.extend(bad);
+                }
             }
         }
     }

@@ -1,0 +1,133 @@
+//! Mesh-scaling benchmark (DESIGN §14).
+//!
+//! Drives the open-loop serving workload at one fixed offered rate
+//! across a ladder of mesh sizes (default N ∈ {2, 8, 32}) and reports
+//! per-call overhead (mean closed-loop service time) at each N. On the
+//! reactor transport this is the O(threads)-vs-O(peers) claim made
+//! measurable: the ladder's top end multiplies the peer count 16× while
+//! the fabric thread count stays capped.
+//!
+//! Usage:
+//!   scale_bench [--machines N1,N2,...] [--transport channel|tcp|reactor]
+//!               [--rate RPS] [--requests N] [--seed N] [--clients N]
+//!               [--json PATH]
+//!
+//! `--json` writes the schema-versioned scale document the
+//! `bench_gate --scale-gate` job consumes.
+
+use corm::{OptConfig, TransportKind};
+use corm_bench::loadgen::{LoadPoint, DEFAULT_SEED};
+use corm_bench::scale::{render_scale_json, run_scale_sweep, ScalePoint, DEFAULT_MACHINES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scale_bench [--machines N1,N2,...] [--transport channel|tcp|reactor]\n                   [--rate RPS] [--requests N] [--seed N] [--clients N] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+struct Cli {
+    machines: Vec<usize>,
+    transport: TransportKind,
+    rate: f64,
+    requests: usize,
+    seed: u64,
+    clients: usize,
+    json: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli {
+        machines: DEFAULT_MACHINES.to_vec(),
+        transport: TransportKind::Reactor,
+        rate: 200.0,
+        requests: 200,
+        seed: DEFAULT_SEED,
+        clients: 4,
+        json: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--machines" => {
+                cli.machines = take(&mut i)
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--transport" => cli.transport = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rate" => cli.rate = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--requests" => cli.requests = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cli.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--clients" => cli.clients = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--json" => cli.json = Some(take(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if cli.machines.len() < 2 || cli.machines.iter().any(|&n| n < 2) {
+        eprintln!("--machines needs at least two mesh sizes, each >= 2");
+        std::process::exit(2);
+    }
+    cli
+}
+
+fn print_point(p: &ScalePoint) {
+    let r = &p.report;
+    println!(
+        "N={:<3} | per-call {:>8.0} µs | p50 {:>6} µs | p99 {:>7} µs | {:>5}/{:<5} ok | {:>7.1} rps achieved",
+        p.machines,
+        r.service.mean(),
+        r.service.quantile(0.5),
+        r.service.quantile(0.99),
+        r.completed,
+        r.intended,
+        r.achieved_rps,
+    );
+}
+
+fn main() {
+    let cli = parse_cli();
+    let point = LoadPoint { rate_rps: cli.rate, requests: cli.requests };
+    println!(
+        "scale benchmark: webserver, {} transport, mesh ladder {:?}, {:.0} rps x {} requests, {} clients, seed {}",
+        cli.transport.label(),
+        cli.machines,
+        cli.rate,
+        cli.requests,
+        cli.clients,
+        cli.seed,
+    );
+    let points = match run_scale_sweep(
+        OptConfig::ALL,
+        &cli.machines,
+        point,
+        cli.seed,
+        cli.transport,
+        cli.clients,
+    ) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("scale run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for p in &points {
+        print_point(p);
+    }
+
+    if let Some(path) = &cli.json {
+        let doc = render_scale_json("quick", cli.transport, point, cli.seed, cli.clients, &points);
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("scale document written to {path}");
+    }
+}

@@ -7,7 +7,7 @@
 //! throttling the load.
 //!
 //! Usage:
-//!   serve_bench [--quick | --full] [--transport channel|tcp]
+//!   serve_bench [--quick | --full] [--transport channel|tcp|reactor]
 //!               [--rates R1,R2,...] [--requests N] [--seed N]
 //!               [--machines N] [--clients N] [--slo-us N]
 //!               [--stall EVERY:US] [--json PATH] [--flight PATH]
@@ -29,7 +29,7 @@ use corm_bench::slo::render_serve_json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_bench [--quick | --full] [--transport channel|tcp] [--rates R1,R2,...]\n                   [--requests N] [--seed N] [--machines N] [--clients N] [--slo-us N]\n                   [--stall EVERY:US] [--json PATH] [--flight PATH]"
+        "usage: serve_bench [--quick | --full] [--transport channel|tcp|reactor] [--rates R1,R2,...]\n                   [--requests N] [--seed N] [--machines N] [--clients N] [--slo-us N]\n                   [--stall EVERY:US] [--json PATH] [--flight PATH]"
     );
     std::process::exit(2);
 }

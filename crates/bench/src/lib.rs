@@ -19,6 +19,7 @@ pub mod gate;
 pub mod json;
 pub mod loadgen;
 pub mod overhead;
+pub mod scale;
 pub mod slo;
 
 /// One measured row of a timing table.

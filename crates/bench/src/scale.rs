@@ -1,0 +1,379 @@
+//! The mesh-scaling benchmark document and its CI scale gate.
+//!
+//! The reactor transport exists so a full N-machine mesh costs
+//! O(threads) instead of O(peers) threads — which is only worth having
+//! if per-call overhead stays flat as N grows. `scale_bench` drives the
+//! open-loop serving workload at a fixed offered rate across a ladder
+//! of mesh sizes (default N ∈ {2, 8, 32}) and renders one
+//! [`render_scale_json`] document; CI runs
+//! `bench_gate --scale-gate <baseline> <fresh>` and fails the build
+//! when scaling flatness or absolute per-call overhead regresses.
+//!
+//! ## Gating rules
+//!
+//! "Per-call overhead" is the mean closed-loop *service* time (client
+//! send → reply decoded), which excludes open-loop queueing delay and
+//! so isolates the transport + marshal cost per RMI from scheduler
+//! backlog. Two independent budgets:
+//!
+//! * **Flatness (within the fresh run):** for every point,
+//!   `per_call(N) ≤ max(FLAT_FLOOR_US, per_call(N_min) × FLAT_MULT)`.
+//!   A mesh whose per-call cost balloons with N has lost the O(threads)
+//!   property the reactor promises — whatever the baseline says.
+//! * **Regression (against the committed baseline):** per point,
+//!   `fresh per_call ≤ max(REGRESS_FLOOR_US, baseline × REGRESS_MULT)`.
+//!   Same x-or-floor shape as the SLO gate: CI boxes timeshare, so the
+//!   multiplier is generous and the floor absorbs the tiny-absolute
+//!   regime where ratios are meaningless.
+//! * `errors` and `misses` must be zero at every point.
+
+use crate::json::Json;
+use crate::loadgen::LoadPoint;
+use crate::{esc, hist_json, BENCH_JSON_SCHEMA_VERSION};
+use corm::{OptConfig, ServeOptions, ServeReport, TransportKind, VmError};
+use corm_apps::serve::webserver_serve;
+
+/// N=32 per-call overhead may be this many times the N=2 overhead
+/// before the flatness check trips (the issue's x1.5-or-floor budget).
+pub const FLAT_MULT: f64 = 1.5;
+/// Flatness floor: below this absolute per-call mean, growth ratios are
+/// dominated by host-scheduler quanta (the benches run on timeshared
+/// single-digit-core CI boxes where a 32-machine mesh timeslices ~35
+/// threads), not by transport scaling.
+pub const FLAT_FLOOR_US: u64 = 2_500;
+/// A fresh per-call mean may be this many times the committed
+/// baseline's before the regression check trips.
+pub const REGRESS_MULT: f64 = 8.0;
+/// No per-call mean below this is ever a regression failure.
+pub const REGRESS_FLOOR_US: u64 = 5_000;
+
+/// The mesh-size ladder every committed baseline and CI run uses.
+pub const DEFAULT_MACHINES: [usize; 3] = [2, 8, 32];
+
+/// One measured mesh size.
+pub struct ScalePoint {
+    pub machines: usize,
+    pub report: ServeReport,
+}
+
+/// Drive the serving workload once per mesh size. The offered load is
+/// identical at every N (same seed → same arrival schedule and URL
+/// choices), so the only variable is the fabric fan-out.
+pub fn run_scale_sweep(
+    config: OptConfig,
+    machines: &[usize],
+    point: LoadPoint,
+    seed: u64,
+    transport: TransportKind,
+    clients: usize,
+) -> Result<Vec<ScalePoint>, VmError> {
+    let mut out = Vec::with_capacity(machines.len());
+    for &n in machines {
+        let mut opts = ServeOptions::default();
+        opts.run.machines = n;
+        opts.run.transport = transport;
+        opts.clients = clients;
+        let schedule = point.schedule(seed, opts.npages.max(1) as u32);
+        let report = webserver_serve(config, &schedule, &opts)?;
+        out.push(ScalePoint { machines: n, report });
+    }
+    Ok(out)
+}
+
+fn point_json(p: &ScalePoint) -> String {
+    let r = &p.report;
+    format!(
+        concat!(
+            r#"{{"machines":{},"per_call_us":{:.3},"achieved_rps":{:.3},"#,
+            r#""intended":{},"completed":{},"misses":{},"errors":{},"#,
+            r#""service_p50_us":{},"service_p99_us":{},"#,
+            r#""service":{},"latency":{}}}"#
+        ),
+        p.machines,
+        r.service.mean(),
+        r.achieved_rps,
+        r.intended,
+        r.completed,
+        r.misses,
+        r.errors,
+        r.service.quantile(0.5),
+        r.service.quantile(0.99),
+        hist_json(&r.service),
+        hist_json(&r.latency),
+    )
+}
+
+/// Render a scale sweep as a schema-versioned JSON document.
+#[allow(clippy::too_many_arguments)]
+pub fn render_scale_json(
+    scale: &str,
+    transport: TransportKind,
+    point: LoadPoint,
+    seed: u64,
+    clients: usize,
+    points: &[ScalePoint],
+) -> String {
+    let mut s = format!(
+        concat!(
+            r#"{{"schema_version":{},"generator":"corm-bench scale","scale":"{}","#,
+            r#""transport":"{}","rate_rps":{:.3},"requests":{},"seed":{},"clients":{},"points":["#
+        ),
+        BENCH_JSON_SCHEMA_VERSION,
+        esc(scale),
+        transport.label(),
+        point.rate_rps,
+        point.requests,
+        seed,
+        clients,
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&point_json(p));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Structural validation of one scale document.
+pub fn check_scale_schema(doc: &Json, who: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    match doc.get("schema_version").as_u64() {
+        Some(v) if v == u64::from(BENCH_JSON_SCHEMA_VERSION) => {}
+        Some(v) => bad.push(format!(
+            "{who}: schema_version {v}, expected {BENCH_JSON_SCHEMA_VERSION} — regenerate with the current `scale_bench` binary"
+        )),
+        None => bad.push(format!("{who}: missing schema_version")),
+    }
+    for (key, ok) in [
+        ("generator", doc.get("generator").as_str().is_some()),
+        ("scale", doc.get("scale").as_str().is_some()),
+        ("transport", doc.get("transport").as_str().is_some()),
+        ("rate_rps", doc.get("rate_rps").as_f64().is_some()),
+        ("requests", doc.get("requests").as_u64().is_some()),
+        ("seed", doc.get("seed").as_u64().is_some()),
+        ("clients", doc.get("clients").as_u64().is_some()),
+    ] {
+        if !ok {
+            bad.push(format!("{who}: missing or mistyped top-level {key:?}"));
+        }
+    }
+    let Some(points) = doc.get("points").as_arr() else {
+        bad.push(format!("{who}: missing points[]"));
+        return bad;
+    };
+    if points.len() < 2 {
+        bad.push(format!("{who}: a scale sweep needs at least 2 mesh sizes"));
+    }
+    for (pi, p) in points.iter().enumerate() {
+        let ctx = format!("{who}/point {pi}");
+        for (key, ok) in [
+            ("machines", p.get("machines").as_u64().is_some()),
+            ("per_call_us", p.get("per_call_us").as_f64().is_some()),
+            ("intended", p.get("intended").as_u64().is_some()),
+            ("completed", p.get("completed").as_u64().is_some()),
+            ("misses", p.get("misses").as_u64().is_some()),
+            ("errors", p.get("errors").as_u64().is_some()),
+        ] {
+            if !ok {
+                bad.push(format!("{ctx}: missing or mistyped {key:?}"));
+            }
+        }
+    }
+    bad
+}
+
+/// Diff a fresh scale document against the committed baseline under the
+/// flatness + regression budgets. Empty = gate passes.
+pub fn compare_scale(baseline: &Json, fresh: &Json) -> Vec<String> {
+    let mut bad = Vec::new();
+    bad.extend(check_scale_schema(baseline, "baseline"));
+    bad.extend(check_scale_schema(fresh, "fresh"));
+    if !bad.is_empty() {
+        return bad;
+    }
+    for key in ["scale", "transport"] {
+        let (b, f) = (baseline.get(key).as_str().unwrap(), fresh.get(key).as_str().unwrap());
+        if b != f {
+            bad.push(format!("{key} mismatch: baseline {b:?} vs fresh {f:?} — not comparable"));
+        }
+    }
+    for key in ["requests", "seed", "clients"] {
+        let (b, f) = (baseline.get(key).as_u64(), fresh.get(key).as_u64());
+        if b != f {
+            bad.push(format!("{key} mismatch: baseline {b:?} vs fresh {f:?} — not comparable"));
+        }
+    }
+    if (baseline.get("rate_rps").as_f64().unwrap() - fresh.get("rate_rps").as_f64().unwrap()).abs()
+        > 1e-9
+    {
+        bad.push("rate_rps mismatch — not comparable".to_string());
+    }
+    if !bad.is_empty() {
+        return bad;
+    }
+
+    let bpoints = baseline.get("points").as_arr().unwrap();
+    let fpoints = fresh.get("points").as_arr().unwrap();
+    let ladder = |ps: &[Json]| -> Vec<u64> {
+        ps.iter().filter_map(|p| p.get("machines").as_u64()).collect()
+    };
+    if ladder(bpoints) != ladder(fpoints) {
+        bad.push(format!(
+            "machine ladder changed: baseline {:?} vs fresh {:?}",
+            ladder(bpoints),
+            ladder(fpoints)
+        ));
+        return bad;
+    }
+
+    // Correctness at every fresh point first.
+    for fp in fpoints {
+        let n = fp.get("machines").as_u64().unwrap();
+        let ctx = format!("N={n}");
+        let intended = fp.get("intended").as_u64().unwrap();
+        for key in ["errors", "misses"] {
+            let c = fp.get(key).as_u64().unwrap();
+            if c > 0 {
+                bad.push(format!("{ctx}: {c} {key} (of {intended} requests) — must be zero"));
+            }
+        }
+    }
+
+    // Flatness: every point against the smallest mesh of the same run.
+    let base_call = fpoints[0].get("per_call_us").as_f64().unwrap();
+    let n_min = fpoints[0].get("machines").as_u64().unwrap();
+    for fp in &fpoints[1..] {
+        let n = fp.get("machines").as_u64().unwrap();
+        let call = fp.get("per_call_us").as_f64().unwrap();
+        let budget = (base_call * FLAT_MULT).max(FLAT_FLOOR_US as f64);
+        if call > budget {
+            bad.push(format!(
+                "N={n}: per-call overhead {call:.0} µs exceeds the flatness budget {budget:.0} µs \
+                 (N={n_min} measured {base_call:.0} µs × {FLAT_MULT}, floor {FLAT_FLOOR_US} µs) — \
+                 the mesh no longer scales flat"
+            ));
+        }
+    }
+
+    // Regression vs the committed baseline, point by point.
+    for (bp, fp) in bpoints.iter().zip(fpoints) {
+        let n = fp.get("machines").as_u64().unwrap();
+        let b = bp.get("per_call_us").as_f64().unwrap();
+        let f = fp.get("per_call_us").as_f64().unwrap();
+        let budget = (b * REGRESS_MULT).max(REGRESS_FLOOR_US as f64);
+        if f > budget {
+            bad.push(format!(
+                "N={n}: per-call overhead regressed: fresh {f:.0} µs vs budget {budget:.0} µs \
+                 (baseline {b:.0} µs × {REGRESS_MULT:.0}, floor {REGRESS_FLOOR_US} µs)"
+            ));
+        }
+    }
+    bad
+}
+
+/// Parse and gate two scale documents; the entry point used by
+/// `bench_gate --scale-gate`.
+pub fn scale_gate(baseline_text: &str, fresh_text: &str) -> Vec<String> {
+    let baseline = match crate::json::parse(baseline_text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("baseline: {e}")],
+    };
+    let fresh = match crate::json::parse(fresh_text) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("fresh: {e}")],
+    };
+    compare_scale(&baseline, &fresh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(calls: &[(u64, f64)], errors: u64) -> String {
+        let mut points = String::new();
+        for (i, (n, us)) in calls.iter().enumerate() {
+            if i > 0 {
+                points.push(',');
+            }
+            points.push_str(&format!(
+                concat!(
+                    r#"{{"machines":{},"per_call_us":{:.3},"achieved_rps":190.0,"#,
+                    r#""intended":200,"completed":{},"misses":0,"errors":{},"#,
+                    r#""service_p50_us":400,"service_p99_us":900,"#,
+                    r#""service":{{}},"latency":{{}}}}"#
+                ),
+                n,
+                us,
+                200 - errors,
+                errors,
+            ));
+        }
+        format!(
+            concat!(
+                r#"{{"schema_version":{},"generator":"corm-bench scale","scale":"quick","#,
+                r#""transport":"reactor","rate_rps":200.000,"requests":200,"seed":42,"#,
+                r#""clients":4,"points":[{}]}}"#
+            ),
+            BENCH_JSON_SCHEMA_VERSION, points,
+        )
+    }
+
+    #[test]
+    fn identical_flat_documents_pass() {
+        let d = doc(&[(2, 400.0), (8, 450.0), (32, 500.0)], 0);
+        assert_eq!(scale_gate(&d, &d), Vec::<String>::new());
+    }
+
+    #[test]
+    fn ballooning_overhead_fails_flatness_whatever_the_baseline_says() {
+        // The baseline itself is bad: if N=32 blows past 1.5× of N=2 (and
+        // the floor), the gate trips even with an identical baseline.
+        let bloated = doc(&[(2, 4_000.0), (8, 4_500.0), (32, 9_000.0)], 0);
+        let bad = scale_gate(&bloated, &bloated);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("no longer scales flat"), "{bad:?}");
+        assert!(bad[0].contains("N=32"), "{bad:?}");
+        // Under the floor, the same ratio passes: tiny absolute values.
+        let small = doc(&[(2, 400.0), (8, 450.0), (32, 900.0)], 0);
+        assert_eq!(scale_gate(&small, &small), Vec::<String>::new());
+    }
+
+    #[test]
+    fn per_point_regression_vs_baseline_fails() {
+        let base = doc(&[(2, 400.0), (8, 450.0), (32, 500.0)], 0);
+        // Flat (all equal) but 16× the committed baseline and over the
+        // 5 ms regression floor at every point.
+        let slow = doc(&[(2, 6_400.0), (8, 7_200.0), (32, 8_000.0)], 0);
+        let bad = scale_gate(&base, &slow);
+        assert!(bad.iter().any(|m| m.contains("regressed")), "{bad:?}");
+        // Within x8-or-floor: passes.
+        let ok = doc(&[(2, 2_000.0), (8, 2_200.0), (32, 2_400.0)], 0);
+        assert_eq!(scale_gate(&base, &ok), Vec::<String>::new());
+    }
+
+    #[test]
+    fn errors_fail_regardless_of_overhead() {
+        let base = doc(&[(2, 400.0), (8, 450.0), (32, 500.0)], 0);
+        let broken = doc(&[(2, 400.0), (8, 450.0), (32, 500.0)], 3);
+        let bad = scale_gate(&base, &broken);
+        assert!(bad.iter().any(|m| m.contains("3 errors")), "{bad:?}");
+    }
+
+    #[test]
+    fn provenance_drift_is_fatal() {
+        let base = doc(&[(2, 400.0), (8, 450.0), (32, 500.0)], 0);
+        let tcp = base.replacen(r#""transport":"reactor""#, r#""transport":"tcp""#, 1);
+        assert!(scale_gate(&base, &tcp).iter().any(|m| m.contains("transport mismatch")));
+        let ladder = doc(&[(2, 400.0), (8, 450.0), (16, 500.0)], 0);
+        assert!(scale_gate(&base, &ladder).iter().any(|m| m.contains("machine ladder changed")));
+        let old = base.replacen(
+            &format!(r#""schema_version":{BENCH_JSON_SCHEMA_VERSION}"#),
+            r#""schema_version":1"#,
+            1,
+        );
+        assert!(scale_gate(&old, &base).iter().any(|m| m.contains("regenerate")));
+        assert_eq!(scale_gate("not json", &base).len(), 1);
+    }
+}

@@ -46,7 +46,7 @@ const WEBSERVER_MP: &str = include_str!("../../../apps/src/programs/webserver.mp
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet] [--dump-flight PATH]\n  corm explain <file.mp> [--config CFG] [--json]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n  corm serve [--config CFG] [--machines N] [--transport T] [--rate RPS] [--requests N]\n             [--seed N] [--clients N] [--slo-us N] [--stall EVERY:US] [--metrics] [--dump-flight PATH]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default) or tcp\n                     (real loopback sockets; also measures wire time)\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing\n  --dump-flight PATH write the flight-recorder events as JSON after the run\n\nexplain flags:\n  --config CFG       explain only this configuration (default: all 5 rows)\n  --json             machine-readable provenance instead of the text report"
+        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet] [--dump-flight PATH]\n  corm explain <file.mp> [--config CFG] [--json]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n  corm serve [--config CFG] [--machines N] [--transport T] [--rate RPS] [--requests N]\n             [--seed N] [--clients N] [--slo-us N] [--stall EVERY:US] [--metrics] [--dump-flight PATH]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default), tcp\n                     (one socket+thread per peer pair), or reactor (shared\n                     event loops, pipelined + batched); tcp and reactor\n                     also measure wire time\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing\n  --dump-flight PATH write the flight-recorder events as JSON after the run\n\nexplain flags:\n  --config CFG       explain only this configuration (default: all 5 rows)\n  --json             machine-readable provenance instead of the text report"
     );
     std::process::exit(2);
 }
@@ -152,7 +152,7 @@ fn parse_cli() -> Cli {
             "--transport" => {
                 i += 1;
                 let Some(kind) = argv.get(i).and_then(|s| s.parse().ok()) else {
-                    eprintln!("bad --transport value (expected channel|tcp)");
+                    eprintln!("bad --transport value (expected channel|tcp|reactor)");
                     usage();
                 };
                 cli.transport = kind;
@@ -387,7 +387,7 @@ fn main() -> ExitCode {
                 eprintln!("transport       : {}", outcome.transport);
                 eprintln!("wall            : {:?}", outcome.wall);
                 eprintln!("modeled         : {:.3} ms", outcome.modeled.as_secs_f64() * 1e3);
-                if outcome.transport == TransportKind::Tcp {
+                if outcome.transport != TransportKind::Channel {
                     eprintln!(
                         "wire (measured) : {:.3} ms",
                         outcome.measured_wire.as_secs_f64() * 1e3

@@ -15,11 +15,13 @@
 
 pub mod cost;
 pub mod packet;
+pub mod reactor;
 pub mod tcp;
 pub mod transport;
 
 pub use cost::CostModel;
 pub use packet::Packet;
+pub use reactor::{BatchConfig, ReactorTransport};
 pub use tcp::TcpTransport;
 pub use transport::{
     ClusterBarrier, Mailbox, Mailboxes, NetHandle, RecvError, Transport, TransportKind,

@@ -77,6 +77,26 @@ impl Packet {
     /// `scratch` is cleared first and keeps its capacity across sends.
     pub fn encode_frame_into<'a>(&'a self, ts_ns: u64, scratch: &mut Vec<u8>) -> &'a [u8] {
         scratch.clear();
+        self.encode_prefixed_header(ts_ns, scratch)
+    }
+
+    /// Append one *complete* frame — length prefix, body, and a copy of
+    /// the payload — to `out` without clearing it. This is the coalescing
+    /// primitive: the reactor backend batches several frames into one
+    /// outbound buffer and flushes them with a single write. The payload
+    /// is copied here (unlike [`Packet::encode_frame_into`], which keeps
+    /// it zero-copy for an immediate vectored write) because batched
+    /// bytes must outlive the packet.
+    pub fn encode_frame_append(&self, ts_ns: u64, out: &mut Vec<u8>) {
+        let payload = self.encode_prefixed_header(ts_ns, out);
+        out.extend_from_slice(payload);
+    }
+
+    /// Append the length prefix and header (everything but the payload
+    /// bytes) at `out`'s current end and return the payload slice. The
+    /// prefix counts the payload even though it is not appended here.
+    fn encode_prefixed_header<'a>(&'a self, ts_ns: u64, scratch: &mut Vec<u8>) -> &'a [u8] {
+        let start = scratch.len();
         scratch.extend_from_slice(&[0u8; 4]); // length prefix, backpatched below
         scratch.extend_from_slice(&ts_ns.to_le_bytes());
         let payload: &[u8] = match self {
@@ -121,8 +141,8 @@ impl Packet {
                 &[]
             }
         };
-        let body_len = (scratch.len() - 4 + payload.len()) as u32;
-        scratch[..4].copy_from_slice(&body_len.to_le_bytes());
+        let body_len = (scratch.len() - start - 4 + payload.len()) as u32;
+        scratch[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
         payload
     }
 
@@ -277,6 +297,39 @@ mod tests {
             assert_eq!(q, p);
             assert_eq!(ts, 99);
         }
+    }
+
+    #[test]
+    fn appended_frames_coalesce_and_split_back_into_packets() {
+        let packets = [
+            Packet::Request {
+                req_id: 5,
+                from: 0,
+                site: 9,
+                target_obj: 1,
+                payload: vec![7; 13],
+                oneway: false,
+            },
+            Packet::Reply { req_id: 5, payload: vec![1], err: None },
+            Packet::Shutdown,
+        ];
+        // Batch all three into one buffer, as the reactor's outbound
+        // queue does, then walk the length prefixes back out.
+        let mut batch = Vec::new();
+        for p in &packets {
+            p.encode_frame_append(42, &mut batch);
+        }
+        let mut pos = 0;
+        for p in &packets {
+            let len = u32::from_le_bytes(batch[pos..pos + 4].try_into().unwrap()) as usize;
+            let body = &batch[pos + 4..pos + 4 + len];
+            assert_eq!(body, p.encode_body(42), "appended frame matches the canonical body");
+            let (q, ts) = Packet::decode_body(body).unwrap();
+            assert_eq!(&q, p);
+            assert_eq!(ts, 42);
+            pos += 4 + len;
+        }
+        assert_eq!(pos, batch.len(), "no stray bytes between coalesced frames");
     }
 
     #[test]

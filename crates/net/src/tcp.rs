@@ -30,13 +30,14 @@ use crate::packet::Packet;
 use crate::transport::{Mailbox, Mailboxes, RecvError, Transport, TransportKind};
 
 /// Hello preamble: magic + the connecting machine's id, so the acceptor
-/// knows which peer each inbound stream belongs to.
-const HELLO_MAGIC: [u8; 2] = [0xC0, 0x4A];
+/// knows which peer each inbound stream belongs to. Shared with the
+/// reactor backend, which brings its mesh up the same way.
+pub(crate) const HELLO_MAGIC: [u8; 2] = [0xC0, 0x4A];
 
 /// Upper bound on a single frame; anything larger is treated as a
 /// corrupt stream (the biggest real payloads are array messages well
 /// under this).
-const MAX_FRAME: usize = 1 << 30;
+pub(crate) const MAX_FRAME: usize = 1 << 30;
 
 /// Blocked readers wake at least this often to check the shutdown flag
 /// (the FIN from an orderly shutdown wakes them immediately anyway).
@@ -48,7 +49,7 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 const CONNECT_ATTEMPTS: u32 = 10;
 const CONNECT_BACKOFF_START: Duration = Duration::from_millis(1);
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -308,7 +309,7 @@ fn write_all_vectored(stream: &mut TcpStream, head: &[u8], tail: &[u8]) -> io::R
     Ok(())
 }
 
-fn open_stream(addr: SocketAddr, from: u16) -> io::Result<TcpStream> {
+pub(crate) fn open_stream(addr: SocketAddr, from: u16) -> io::Result<TcpStream> {
     let mut backoff = CONNECT_BACKOFF_START;
     let mut last_err = None;
     for attempt in 0..CONNECT_ATTEMPTS {

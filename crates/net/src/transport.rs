@@ -19,6 +19,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
 use crate::cost::CostModel;
 use crate::packet::Packet;
+use crate::reactor::ReactorTransport;
 use crate::tcp::TcpTransport;
 
 /// Why a receive could not produce a packet.
@@ -88,6 +89,10 @@ pub enum TransportKind {
     Channel,
     /// Real loopback TCP mesh; wire transit is additionally measured.
     Tcp,
+    /// Nonblocking loopback TCP mesh multiplexed over a small fixed
+    /// reactor pool (O(threads), not O(peers)), with adaptive write
+    /// coalescing. Wire transit is additionally measured.
+    Reactor,
 }
 
 impl TransportKind {
@@ -95,6 +100,7 @@ impl TransportKind {
         match self {
             TransportKind::Channel => "channel",
             TransportKind::Tcp => "tcp",
+            TransportKind::Reactor => "reactor",
         }
     }
 }
@@ -112,7 +118,8 @@ impl FromStr for TransportKind {
         match s {
             "channel" => Ok(TransportKind::Channel),
             "tcp" => Ok(TransportKind::Tcp),
-            other => Err(format!("unknown transport {other:?} (expected channel|tcp)")),
+            "reactor" => Ok(TransportKind::Reactor),
+            other => Err(format!("unknown transport {other:?} (expected channel|tcp|reactor)")),
         }
     }
 }
@@ -240,6 +247,10 @@ impl NetHandle {
                 let (mb, t) = TcpTransport::new(n)?;
                 (mb, t)
             }
+            TransportKind::Reactor => {
+                let (mb, t) = ReactorTransport::new(n)?;
+                (mb, t)
+            }
         };
         Ok((mailboxes, NetHandle { transport, obs, cost, modeled_ns: Arc::new(AtomicU64::new(0)) }))
     }
@@ -338,9 +349,12 @@ mod tests {
             .expect("fabric construction")
     }
 
+    const ALL_KINDS: [TransportKind; 3] =
+        [TransportKind::Channel, TransportKind::Tcp, TransportKind::Reactor];
+
     #[test]
     fn point_to_point_delivery() {
-        for kind in [TransportKind::Channel, TransportKind::Tcp] {
+        for kind in ALL_KINDS {
             let (mailboxes, net) = fabric_of(kind, 2);
             net.send(
                 0,
@@ -383,7 +397,7 @@ mod tests {
     #[test]
     fn stats_are_identical_across_backends() {
         let mut snaps = Vec::new();
-        for kind in [TransportKind::Channel, TransportKind::Tcp] {
+        for kind in ALL_KINDS {
             let (mailboxes, net) = fabric_of(kind, 2);
             net.send(0, 1, Packet::Reply { req_id: 1, payload: vec![0; 1000], err: None });
             net.send(1, 1, Packet::NewRemote { req_id: 2, from: 1, class: 0 });
@@ -394,6 +408,7 @@ mod tests {
             net.shutdown();
         }
         assert_eq!(snaps[0], snaps[1], "accounting must not depend on the backend");
+        assert_eq!(snaps[0], snaps[2], "accounting must not depend on the backend");
     }
 
     #[test]
@@ -417,14 +432,16 @@ mod tests {
     fn transport_kind_parses() {
         assert_eq!("channel".parse::<TransportKind>().unwrap(), TransportKind::Channel);
         assert_eq!("tcp".parse::<TransportKind>().unwrap(), TransportKind::Tcp);
+        assert_eq!("reactor".parse::<TransportKind>().unwrap(), TransportKind::Reactor);
         assert!("gm".parse::<TransportKind>().is_err());
         assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+        assert_eq!(TransportKind::Reactor.to_string(), "reactor");
         assert_eq!(TransportKind::default(), TransportKind::Channel);
     }
 
     #[test]
     fn sever_notifies_survivors_and_drops_dead_traffic() {
-        for kind in [TransportKind::Channel, TransportKind::Tcp] {
+        for kind in ALL_KINDS {
             let (mailboxes, net) = fabric_of(kind, 3);
             net.sever(1);
             for mb in [&mailboxes[0], &mailboxes[2]] {

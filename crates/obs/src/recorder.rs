@@ -96,12 +96,14 @@ pub const FLAG_POOL_HIT: u8 = 1 << 5;
 /// crosses as a byte).
 pub const TRANSPORT_CHANNEL: u8 = 0;
 pub const TRANSPORT_TCP: u8 = 1;
+pub const TRANSPORT_REACTOR: u8 = 2;
 
 /// Human name for a transport code.
 pub fn transport_name(code: u8) -> &'static str {
     match code {
         TRANSPORT_CHANNEL => "channel",
         TRANSPORT_TCP => "tcp",
+        TRANSPORT_REACTOR => "reactor",
         _ => "unknown",
     }
 }

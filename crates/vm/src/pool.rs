@@ -48,6 +48,14 @@ struct Entry {
 /// (same sharding discipline as the metrics registry).
 struct Shard {
     slots: Mutex<HashMap<(u32, Lane), Entry>>,
+    /// Outstanding checkouts keyed by request id: request `r`'s buffer
+    /// was checked out under `ledger[r]`. With pipelined transports,
+    /// replies for one call site can arrive out of order relative to
+    /// other sites' checkouts on the same machine; resolving the
+    /// check-in key through the ledger (instead of trusting call-stack
+    /// attribution at completion time) guarantees every buffer returns
+    /// to the exact slot it left, no matter the completion order.
+    ledger: Mutex<HashMap<u64, (u32, Lane)>>,
 }
 
 pub struct BufferPool {
@@ -62,7 +70,12 @@ pub struct BufferPool {
 impl BufferPool {
     pub fn new(machines: usize, canary: bool) -> Self {
         BufferPool {
-            shards: (0..machines).map(|_| Shard { slots: Mutex::new(HashMap::new()) }).collect(),
+            shards: (0..machines)
+                .map(|_| Shard {
+                    slots: Mutex::new(HashMap::new()),
+                    ledger: Mutex::new(HashMap::new()),
+                })
+                .collect(),
             canary,
         }
     }
@@ -119,6 +132,49 @@ impl BufferPool {
         }
         metrics.pool_resident_bytes.fetch_add(buf.capacity() as u64, Relaxed);
         e.bufs.push(buf);
+    }
+
+    /// [`BufferPool::checkout`] for a buffer that will travel with
+    /// request `req_id` and come back with its reply: the (site, lane)
+    /// key is recorded in the per-machine ledger so the matching
+    /// [`BufferPool::put_for`] lands in the right slot even when
+    /// pipelined replies complete out of order.
+    pub fn checkout_for(
+        &self,
+        machine: u16,
+        req_id: u64,
+        site: u32,
+        lane: Lane,
+        hint: usize,
+        metrics: &MachineMetrics,
+    ) -> (Vec<u8>, bool) {
+        let out = self.checkout(machine, site, lane, hint, metrics);
+        self.shards[machine as usize].ledger.lock().insert(req_id, (site, lane));
+        out
+    }
+
+    /// Check request `req_id`'s buffer back in under the key its
+    /// checkout recorded, consuming the ledger entry. A buffer with no
+    /// ledger entry (a double check-in, or a checkout that never went
+    /// through [`BufferPool::checkout_for`]) is dropped rather than
+    /// guessed into some slot.
+    pub fn put_for(&self, machine: u16, req_id: u64, buf: Vec<u8>, metrics: &MachineMetrics) {
+        let key = self.shards[machine as usize].ledger.lock().remove(&req_id);
+        if let Some((site, lane)) = key {
+            self.put(machine, site, lane, buf, metrics);
+        }
+    }
+
+    /// Forget request `req_id`'s outstanding checkout: its buffer is
+    /// lost (failed call, severed peer) and will never be checked in.
+    pub fn abandon(&self, machine: u16, req_id: u64) {
+        self.shards[machine as usize].ledger.lock().remove(&req_id);
+    }
+
+    /// Outstanding request-keyed checkouts on `machine` (test hook: the
+    /// ledger must drain back to empty when every call completes).
+    pub fn outstanding(&self, machine: u16) -> usize {
+        self.shards[machine as usize].ledger.lock().len()
     }
 }
 
@@ -212,6 +268,46 @@ mod tests {
             hits += 1;
         }
         assert_eq!(hits, PER_KEY_CAP);
+    }
+
+    #[test]
+    fn out_of_order_check_ins_land_in_their_own_slots() {
+        let reg = MetricsRegistry::new(1);
+        let m = reg.machine(0);
+        let pool = BufferPool::new(1, false);
+        // Two pipelined requests at different sites, with very different
+        // steady-state sizes. Their replies complete in reverse order.
+        let (big, _) = pool.checkout_for(0, 101, 1, Lane::Args, 1024, m);
+        let (small, _) = pool.checkout_for(0, 102, 2, Lane::Args, 16, m);
+        assert_eq!(pool.outstanding(0), 2);
+        pool.put_for(0, 102, small, m); // reply for req 102 arrives first
+        pool.put_for(0, 101, big, m);
+        assert_eq!(pool.outstanding(0), 0, "ledger drains as replies land");
+        // Each site gets *its own* buffer back: the ledger, not the
+        // completion order, decides the slot.
+        let (b1, hit1) = pool.checkout(0, 1, Lane::Args, 1024, m);
+        let (b2, hit2) = pool.checkout(0, 2, Lane::Args, 16, m);
+        assert!(hit1 && hit2);
+        assert!(b1.capacity() >= 1024, "site 1 got the small buffer back");
+        assert!(b2.capacity() < 1024, "site 2 got the big buffer back");
+    }
+
+    #[test]
+    fn unledgered_and_abandoned_buffers_never_pollute_a_slot() {
+        let reg = MetricsRegistry::new(1);
+        let m = reg.machine(0);
+        let pool = BufferPool::new(1, false);
+        // A put with no ledger entry drops the buffer instead of
+        // guessing a slot.
+        pool.put_for(0, 999, Vec::with_capacity(64), m);
+        assert_eq!(reg.snapshot().machines[0].pool_resident_bytes, 0);
+        // An abandoned checkout (failed call) consumes the entry; a
+        // later stray put for the same id is likewise a drop.
+        let (buf, _) = pool.checkout_for(0, 7, 3, Lane::Args, 32, m);
+        pool.abandon(0, 7);
+        assert_eq!(pool.outstanding(0), 0);
+        pool.put_for(0, 7, buf, m);
+        assert_eq!(reg.snapshot().machines[0].pool_resident_bytes, 0);
     }
 
     #[test]

@@ -179,7 +179,10 @@ pub fn remote_call_with_req(
     let (buf, pool_hit) = if oneway {
         (Vec::with_capacity(plan.args_wire_size_hint), false)
     } else {
-        rt.pool.checkout(my, site.0, Lane::Args, plan.args_wire_size_hint, shard)
+        // Checked out under the request id: with pipelined transports the
+        // replies that return these buffers can land in any order, so the
+        // pool's ledger — not completion order — decides the slot.
+        rt.pool.checkout_for(my, req, site.0, Lane::Args, plan.args_wire_size_hint, shard)
     };
     let mut msg = Message::from_bytes(buf);
     let mut ct = if plan.args_cycle_table { Some(SerCycleTable::new()) } else { None };
@@ -206,8 +209,15 @@ pub fn remote_call_with_req(
     } else {
         wire_rpc(interp, guard, plan, &ser, site, req, receiver, msg, oneway, pool_hit)
     };
-    if !oneway && result.is_ok() {
-        shard.requests_completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    if !oneway {
+        if result.is_ok() {
+            shard.requests_completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        } else {
+            // The buffer died with the failed call; retire its ledger
+            // entry so the id can't alias a future check-in. (No-op when
+            // the call already consumed the entry before failing.)
+            rt.pool.abandon(my, req);
+        }
     }
     result.map(|v| (v, req))
 }
@@ -256,7 +266,7 @@ fn local_rpc(
     // The clone is done with the request bytes; recycle them for the
     // site's next call (one-way buffers were never pooled).
     if !oneway {
-        rt.pool.put(my, site.0, Lane::Args, reader_msg.into_bytes(), shard);
+        rt.pool.put_for(my, req, reader_msg.into_bytes(), shard);
     }
 
     let f = interp.func_of(plan.method)?;
@@ -420,8 +430,11 @@ fn wire_rpc(
             // a bare ack), so checking it in here closes the per-site
             // recycling loop. On TCP the receiver decoded into a fresh
             // Vec, but the hit/miss accounting is identical either way.
+            // Check-in goes through the request-id ledger: pipelined
+            // replies can land out of order, and the ledger routes each
+            // buffer back to the slot it was checked out of.
             if plan.ret_ignored || plan.ret.is_none() {
-                rt.pool.put(my, site.0, Lane::Args, payload, shard);
+                rt.pool.put_for(my, req, payload, shard);
                 return Ok(Value::Null);
             }
             rt.trace_event(
@@ -432,7 +445,7 @@ fn wire_rpc(
             let out = deserialize_ret(&rt, my, guard, ser, plan, site, &payload);
             shard.unmarshal_us.record((rt.start.elapsed() - u0).as_micros() as u64);
             rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Unmarshal, req, site: site.0 });
-            rt.pool.put(my, site.0, Lane::Args, payload, shard);
+            rt.pool.put_for(my, req, payload, shard);
             out
         }
     }

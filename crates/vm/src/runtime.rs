@@ -8,7 +8,8 @@ use corm_heap::HeapStats;
 use corm_ir::Module;
 use corm_net::{ClusterBarrier, CostModel, Mailbox, NetHandle, Packet, RecvError, TransportKind};
 use corm_obs::recorder::{
-    FlightEvent, FlightKind, DEFAULT_FLIGHT_CAPACITY, TRANSPORT_CHANNEL, TRANSPORT_TCP,
+    FlightEvent, FlightKind, DEFAULT_FLIGHT_CAPACITY, TRANSPORT_CHANNEL, TRANSPORT_REACTOR,
+    TRANSPORT_TCP,
 };
 use corm_obs::{render_flight_json, FlightDump, FlightRecorder, MetricsRegistry, MetricsSnapshot};
 use corm_wire::{RmiStats, StatsSnapshot};
@@ -396,6 +397,7 @@ impl Cluster {
             transport_code: match opts.transport {
                 TransportKind::Channel => TRANSPORT_CHANNEL,
                 TransportKind::Tcp => TRANSPORT_TCP,
+                TransportKind::Reactor => TRANSPORT_REACTOR,
             },
             fault: opts.fault,
             fault_sends: std::sync::atomic::AtomicU64::new(0),

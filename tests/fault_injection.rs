@@ -445,6 +445,238 @@ fn channel_fault_injection_matches_tcp_semantics() {
     assert!(corm::render_flight_json(&out.flight).contains("\"transport\": \"channel\""));
 }
 
+// ---------------------------------------------------------------------
+// Reactor-transport faults. The shared-event-loop fabric pipelines and
+// batches frames, so it has failure modes TCP does not: a coalesced
+// batch can be torn mid-buffer by a peer kill, and a write failure is
+// discovered by a reactor thread rather than the sending thread.
+// All of them must still surface as orderly PeerGone — never hangs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn reactor_remote_exception_propagates() {
+    expect_error_on(
+        r#"
+        remote class R { int div(int a, int b) { return a / b; } }
+        class M { static void main() { R r = new R() @ 1; System.println(Str.fromLong(r.div(1, 0))); } }
+        "#,
+        2,
+        "division by zero",
+        TransportKind::Reactor,
+    );
+}
+
+#[test]
+fn reactor_nested_rmi_error_propagates_to_origin() {
+    expect_error_on(
+        r#"
+        remote class C { int boom() { int[] a = new int[1]; return a[5]; } }
+        remote class B {
+            C c;
+            void wire(C c) { this.c = c; }
+            int relay() { return this.c.boom(); }
+        }
+        class M {
+            static void main() {
+                C c = new C() @ 0;
+                B b = new B() @ 1;
+                b.wire(c);
+                System.println(Str.fromLong(b.relay()));
+            }
+        }
+        "#,
+        2,
+        "out of bounds",
+        TransportKind::Reactor,
+    );
+}
+
+#[test]
+fn reactor_runs_shut_down_cleanly_under_load() {
+    // Same teardown hammer as the TCP variant, but here shutdown also
+    // races the coalescing buffers: frames parked for a batch must
+    // either flush or be dropped without wedging a reactor thread.
+    let src = r#"
+        remote class R { int echo(int x) { return x; } }
+        class M {
+            static void main() {
+                R r = new R() @ 1;
+                int s = 0;
+                int i = 0;
+                while (i < 200) { s = s + r.echo(i); i = i + 1; }
+                System.println(Str.fromLong(s));
+            }
+        }
+    "#;
+    for _ in 0..3 {
+        let out = compile_and_run(
+            src,
+            OptConfig::ALL,
+            RunOptions { machines: 3, transport: TransportKind::Reactor, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.error.is_none(), "{:?}", out.error);
+        assert_eq!(out.output, "19900\n");
+    }
+}
+
+#[test]
+fn reactor_killed_peer_surfaces_as_orderly_remote_error() {
+    // Power-cord pull on the reactor fabric: survivors observe PeerGone
+    // for exactly the dead peer, and sends toward it drop, not hang.
+    use corm_net::{Packet, ReactorTransport, Transport};
+
+    let (mailboxes, transport) = ReactorTransport::new(3).unwrap();
+    transport.deliver(1, 0, Packet::Reply { req_id: 9, payload: vec![1], err: None });
+    match mailboxes[0].recv().unwrap() {
+        Packet::Reply { req_id, .. } => assert_eq!(req_id, 9),
+        other => panic!("unexpected {other:?}"),
+    }
+    transport.sever(1);
+    for mb in [&mailboxes[0], &mailboxes[2]] {
+        match mb.recv().unwrap() {
+            Packet::PeerGone { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    transport.deliver(0, 1, Packet::Reply { req_id: 10, payload: vec![], err: None });
+    transport.shutdown();
+}
+
+#[test]
+fn reactor_mid_stream_kill_surfaces_write_failure_to_sender() {
+    // Same shape as the TCP variant, but the failing flush may happen on
+    // a reactor thread instead of the sending thread; the PeerGone must
+    // still land in the *sender's* mailbox.
+    use corm_net::{Packet, ReactorTransport, Transport};
+
+    let (mailboxes, transport) = ReactorTransport::new(2).unwrap();
+    transport.deliver(0, 1, Packet::Reply { req_id: 1, payload: vec![2; 8], err: None });
+    assert!(matches!(mailboxes[1].recv().unwrap(), Packet::Reply { req_id: 1, .. }));
+    transport.sever(1);
+    assert!(matches!(mailboxes[0].recv().unwrap(), Packet::PeerGone { peer: 1 }));
+    let mut write_failure_observed = false;
+    for i in 0..64 {
+        transport.deliver(
+            0,
+            1,
+            Packet::Request {
+                req_id: i,
+                from: 0,
+                site: 0,
+                target_obj: 1,
+                payload: vec![0; 1 << 16],
+                oneway: false,
+            },
+        );
+        if let Ok(Some(p)) = mailboxes[0].try_recv() {
+            assert!(matches!(p, Packet::PeerGone { peer: 1 }), "unexpected {p:?}");
+            write_failure_observed = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(write_failure_observed, "sender never learned its writes were failing");
+    transport.shutdown();
+}
+
+#[test]
+fn reactor_torn_batch_fails_pending_calls_as_orderly_peer_gone() {
+    // Frames parked in a coalescing buffer when the peer dies: the batch
+    // is torn before it ever reaches a socket. The sender must get
+    // PeerGone (so the VM fails the pending calls), the survivor mesh
+    // must keep working, and nothing may hang waiting on the dead batch.
+    use corm_net::{BatchConfig, Packet, ReactorTransport, Transport};
+    use std::time::Duration;
+
+    let cfg = BatchConfig {
+        flush_bytes: 1 << 20,
+        flush_deadline: Duration::from_millis(500),
+        batch_after: 0, // always under load: every frame parks in the batch
+        window: Duration::from_secs(1),
+    };
+    let (mailboxes, transport) = ReactorTransport::with_config(3, cfg).unwrap();
+    // Queue several pipelined requests toward machine 1; with the huge
+    // flush threshold and long deadline they sit in the batch buffer.
+    for req_id in 0..5u64 {
+        transport.deliver(
+            0,
+            1,
+            Packet::Request {
+                req_id,
+                from: 0,
+                site: 0,
+                target_obj: 1,
+                payload: vec![7; 64],
+                oneway: false,
+            },
+        );
+    }
+    transport.sever(1);
+    // The torn batch surfaces as PeerGone to the sender (and machine 2
+    // learns via its own severed stream).
+    match mailboxes[0].recv().unwrap() {
+        Packet::PeerGone { peer } => assert_eq!(peer, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    match mailboxes[2].recv().unwrap() {
+        Packet::PeerGone { peer } => assert_eq!(peer, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    // The survivor pair still carries traffic (batched, so flushed by
+    // the deadline at the latest).
+    transport.deliver(0, 2, Packet::Reply { req_id: 99, payload: vec![1], err: None });
+    match mailboxes[2].recv().unwrap() {
+        Packet::Reply { req_id, .. } => assert_eq!(req_id, 99),
+        other => panic!("unexpected {other:?}"),
+    }
+    transport.shutdown();
+}
+
+#[test]
+fn reactor_fault_injection_dumps_flight_recorder_with_failing_req() {
+    // End-to-end power-cord pull over the reactor fabric, mirroring the
+    // TCP test: orderly error plus a parseable flight dump naming the
+    // failing request and the reactor transport.
+    use corm::FaultSpec;
+
+    let src = r#"
+        remote class R { int echo(int x) { return x; } }
+        class M {
+            static void main() {
+                R r = new R() @ 1;
+                int s = 0;
+                int i = 0;
+                while (i < 50) { s = s + r.echo(i); i = i + 1; }
+                System.println(Str.fromLong(s));
+            }
+        }
+    "#;
+    let out = compile_and_run(
+        src,
+        OptConfig::ALL,
+        RunOptions {
+            machines: 2,
+            transport: TransportKind::Reactor,
+            fault: Some(FaultSpec { victim: 1, after_sends: 3 }),
+            ..Default::default()
+        },
+    )
+    .expect("compile failed");
+    let err = out.error.expect("severed peer must fail the pending RMI");
+    assert!(
+        err.message.contains("peer machine 1 disconnected"),
+        "expected an orderly peer-gone error, got: {}",
+        err.message
+    );
+    assert_eq!(out.flight.reason, "peer-gone");
+    assert!(!out.flight.failing_reqs.is_empty(), "dump must name the failing request");
+    let json = corm::render_flight_json(&out.flight);
+    assert!(json.contains("\"transport\": \"reactor\""));
+    assert!(json.contains("\"kind\": \"fail\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
 #[test]
 fn errors_do_not_poison_subsequent_runs() {
     // A failing run followed by a succeeding one on fresh state.

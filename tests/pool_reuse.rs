@@ -107,3 +107,74 @@ fn pooling_works_over_tcp_too() {
     assert!(m0.pool_hits >= 24, "expected a hot loop over tcp, got {} hits", m0.pool_hits);
     assert_eq!(m0.pool_steady_misses(), 0);
 }
+
+#[test]
+fn pooling_works_over_reactor_too() {
+    let out = compile_and_run(
+        ECHO_LOOP,
+        OptConfig::ALL,
+        RunOptions { machines: 2, transport: TransportKind::Reactor, ..Default::default() },
+    )
+    .unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.output, "300\n");
+    let m0 = &out.metrics.machines[0];
+    assert!(m0.pool_hits >= 24, "expected a hot loop over reactor, got {} hits", m0.pool_hits);
+    assert_eq!(m0.pool_steady_misses(), 0);
+}
+
+const INTERLEAVED_SITES: &str = r#"
+    remote class Small { int tag(int x) { return x; } }
+    remote class Big {
+        int sum(int[] a) {
+            int s = 0; int i = 0;
+            while (i < a.length) { s = s + a[i]; i = i + 1; }
+            return s;
+        }
+    }
+    class M {
+        static void main() {
+            Small s = new Small() @ 1;
+            Big b = new Big() @ 1;
+            int[] block = new int[256];
+            int i = 0;
+            while (i < 256) { block[i] = i; i = i + 1; }
+            int acc = 0;
+            i = 0;
+            // Interleave a tiny-payload site with a large-payload site so
+            // their buffers keep crossing in the pool; the ledger must
+            // route each one home regardless of the interleaving.
+            while (i < 20) {
+                acc = acc + s.tag(i) + b.sum(block);
+                i = i + 1;
+            }
+            System.println(Str.fromLong(acc));
+        }
+    }
+"#;
+
+#[test]
+fn interleaved_sites_never_swap_buffers_across_slots() {
+    // 0+1+..+19 = 190; sum(0..255) = 32640 per call, 20 calls.
+    let want = format!("{}\n", 190 + 20 * 32640);
+    for transport in [TransportKind::Channel, TransportKind::Tcp, TransportKind::Reactor] {
+        let out = compile_and_run(
+            INTERLEAVED_SITES,
+            OptConfig::ALL,
+            RunOptions { machines: 2, transport, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.error.is_none(), "{transport}: {:?}", out.error);
+        assert_eq!(out.output, want, "{transport}");
+        let m0 = &out.metrics.machines[0];
+        // Each site cold-misses once; every later checkout must be a hit.
+        // If check-ins ever landed in the wrong slot, the small site
+        // would keep missing on capacity and steady misses would climb.
+        assert_eq!(
+            m0.pool_steady_misses(),
+            0,
+            "{transport}: interleaved sites leaked or swapped buffers"
+        );
+        assert!(m0.pool_hits >= 38, "{transport}: got only {} hits", m0.pool_hits);
+    }
+}

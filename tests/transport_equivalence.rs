@@ -1,6 +1,7 @@
 //! Cross-transport equivalence: every app under every configuration
 //! must behave identically whether packets move over the in-process
-//! channel fabric or the real loopback-TCP mesh.
+//! channel fabric, the real loopback-TCP mesh, or the reactor fabric
+//! (shared event loops with pipelining + adaptive batching).
 //!
 //! All counter accounting happens in `NetHandle::send` before the
 //! backend carries the packet, so for the poll-free apps
@@ -8,56 +9,67 @@
 //! is asserted bit-equal. The polling apps (`lu`, `superopt`) keep
 //! exact timing-free counters and tolerance-checked poll-affected ones
 //! — see `corm_apps::equivalence` for the full classification.
+//!
+//! Tests are prefixed `tcp_` / `reactor_` so CI can shard the sweep
+//! across a backend matrix with a plain name filter.
 
 use corm::{OptConfig, RunOptions, TransportKind};
 use corm_apps::equivalence::{assert_equivalent, run_under};
 use corm_apps::{AppSpec, ALL_APPS, ARRAY2D, LINKED_LIST, LU, SUPEROPT, WEBSERVER};
 
-fn check_all_configs(spec: &AppSpec) {
+fn check_all_configs(spec: &AppSpec, wire: TransportKind) {
     for (_, config) in OptConfig::TABLE_ROWS {
-        assert_equivalent(spec, config, TransportKind::Channel, TransportKind::Tcp);
+        assert_equivalent(spec, config, TransportKind::Channel, wire);
     }
 }
 
-#[test]
-fn linked_list_is_transport_invariant() {
-    check_all_configs(&LINKED_LIST);
+macro_rules! invariance_tests {
+    ($($name:ident => $spec:expr, $wire:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                check_all_configs(&$spec, $wire);
+            }
+        )*
+    };
 }
 
-#[test]
-fn array2d_is_transport_invariant() {
-    check_all_configs(&ARRAY2D);
+invariance_tests! {
+    tcp_linked_list_is_transport_invariant => LINKED_LIST, TransportKind::Tcp;
+    tcp_array2d_is_transport_invariant => ARRAY2D, TransportKind::Tcp;
+    tcp_lu_is_transport_invariant => LU, TransportKind::Tcp;
+    tcp_superopt_is_transport_invariant => SUPEROPT, TransportKind::Tcp;
+    tcp_webserver_is_transport_invariant => WEBSERVER, TransportKind::Tcp;
+    reactor_linked_list_is_transport_invariant => LINKED_LIST, TransportKind::Reactor;
+    reactor_array2d_is_transport_invariant => ARRAY2D, TransportKind::Reactor;
+    reactor_lu_is_transport_invariant => LU, TransportKind::Reactor;
+    reactor_superopt_is_transport_invariant => SUPEROPT, TransportKind::Reactor;
+    reactor_webserver_is_transport_invariant => WEBSERVER, TransportKind::Reactor;
 }
 
-#[test]
-fn lu_is_transport_invariant() {
-    check_all_configs(&LU);
-}
-
-#[test]
-fn superopt_is_transport_invariant() {
-    check_all_configs(&SUPEROPT);
-}
-
-#[test]
-fn webserver_is_transport_invariant() {
-    check_all_configs(&WEBSERVER);
+fn output_matches_the_oracle(wire: TransportKind) {
+    // Not only backend-vs-backend agreement: the wire run reproduces the
+    // host-side oracle bit-for-bit, same as channel runs do elsewhere.
+    for spec in ALL_APPS {
+        let run = run_under(&spec, OptConfig::ALL, wire);
+        assert_eq!(run.error, None, "{} errored under {wire}", spec.name);
+        assert_eq!(
+            run.output,
+            spec.expected_output(spec.quick_args, spec.machines),
+            "{} output diverged from the oracle under {wire}",
+            spec.name
+        );
+    }
 }
 
 #[test]
 fn tcp_output_matches_the_oracle() {
-    // Not only backend-vs-backend agreement: the TCP run reproduces the
-    // host-side oracle bit-for-bit, same as channel runs do elsewhere.
-    for spec in ALL_APPS {
-        let run = run_under(&spec, OptConfig::ALL, TransportKind::Tcp);
-        assert_eq!(run.error, None, "{} errored under tcp", spec.name);
-        assert_eq!(
-            run.output,
-            spec.expected_output(spec.quick_args, spec.machines),
-            "{} output diverged from the oracle under tcp",
-            spec.name
-        );
-    }
+    output_matches_the_oracle(TransportKind::Tcp);
+}
+
+#[test]
+fn reactor_output_matches_the_oracle() {
+    output_matches_the_oracle(TransportKind::Reactor);
 }
 
 #[test]
@@ -69,7 +81,14 @@ fn tcp_measures_wire_time_and_channel_does_not() {
 }
 
 #[test]
-fn pool_checkouts_match_across_backends_for_poll_free_apps() {
+fn reactor_measures_wire_time_including_batch_wait() {
+    // Frames are timestamped at *enqueue*, so time spent parked in a
+    // coalescing buffer is charged to measured wire time too.
+    let run = run_under(&ARRAY2D, OptConfig::ALL, TransportKind::Reactor);
+    assert!(run.measured_wire_ns > 0, "reactor must record real in-flight time");
+}
+
+fn pool_checkouts_match(wire: TransportKind) {
     // The sender-side marshal-buffer pool keys on (call site, lane), so
     // for a deterministic poll-free app the number of checkouts a
     // machine performs (hits + misses) is a pure function of the
@@ -78,12 +97,13 @@ fn pool_checkouts_match_across_backends_for_poll_free_apps() {
     //
     // `pool_resident_bytes` is deliberately NOT compared: the channel
     // backend moves the request `Vec` by pointer (capacity survives the
-    // round trip) while TCP reconstructs exact-size payloads on the
-    // read side, so the parked capacity legitimately differs.
+    // round trip) while the socket backends reconstruct exact-size
+    // payloads on the read side, so parked capacity legitimately
+    // differs.
     for spec in [&LINKED_LIST, &ARRAY2D, &WEBSERVER] {
         let compiled = spec.compile(OptConfig::ALL);
         let mut runs = Vec::new();
-        for transport in [TransportKind::Channel, TransportKind::Tcp] {
+        for transport in [TransportKind::Channel, wire] {
             let out = corm::run(
                 &compiled,
                 RunOptions {
@@ -96,8 +116,8 @@ fn pool_checkouts_match_across_backends_for_poll_free_apps() {
             assert!(out.error.is_none(), "{} errored under {transport:?}", spec.name);
             runs.push(out);
         }
-        let (chan, tcp) = (&runs[0], &runs[1]);
-        for (m, (a, b)) in chan.metrics.machines.iter().zip(&tcp.metrics.machines).enumerate() {
+        let (chan, other) = (&runs[0], &runs[1]);
+        for (m, (a, b)) in chan.metrics.machines.iter().zip(&other.metrics.machines).enumerate() {
             assert_eq!(
                 a.pool_hits + a.pool_misses,
                 b.pool_hits + b.pool_misses,
@@ -113,11 +133,21 @@ fn pool_checkouts_match_across_backends_for_poll_free_apps() {
             assert_eq!(
                 b.pool_steady_misses(),
                 0,
-                "{} machine {m} leaks marshal buffers under tcp",
+                "{} machine {m} leaks marshal buffers under {wire}",
                 spec.name
             );
         }
     }
+}
+
+#[test]
+fn tcp_pool_checkouts_match_across_backends_for_poll_free_apps() {
+    pool_checkouts_match(TransportKind::Tcp);
+}
+
+#[test]
+fn reactor_pool_checkouts_match_across_backends_for_poll_free_apps() {
+    pool_checkouts_match(TransportKind::Reactor);
 }
 
 #[test]
@@ -126,7 +156,7 @@ fn modeled_time_is_backend_independent_for_poll_free_apps() {
     // counters, so it cannot depend on the carrier.
     let compiled = ARRAY2D.compile(OptConfig::ALL);
     let mut modeled = Vec::new();
-    for transport in [TransportKind::Channel, TransportKind::Tcp] {
+    for transport in [TransportKind::Channel, TransportKind::Tcp, TransportKind::Reactor] {
         let out = corm::run(
             &compiled,
             RunOptions {
@@ -139,5 +169,6 @@ fn modeled_time_is_backend_independent_for_poll_free_apps() {
         assert!(out.error.is_none());
         modeled.push(out.modeled);
     }
-    assert_eq!(modeled[0], modeled[1]);
+    assert_eq!(modeled[0], modeled[1], "tcp modeled time diverged");
+    assert_eq!(modeled[0], modeled[2], "reactor modeled time diverged");
 }
