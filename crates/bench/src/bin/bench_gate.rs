@@ -8,11 +8,14 @@
 //! Usage:
 //!   cargo run --release -p corm-bench --bin bench_gate -- BENCH_tables.json fresh.json
 //!   cargo run --release -p corm-bench --bin bench_gate -- --recorder-overhead [reps]
+//!   cargo run --release -p corm-bench --bin bench_gate -- --timeline-overhead [reps]
 //!   cargo run --release -p corm-bench --bin bench_gate -- --alloc-gate BENCH_tables.json
 //!
 //! The second form gates the flight recorder's wall-time overhead on the
 //! quick-scale bench (recorder on vs off, best-of-reps), failing past
-//! the 5% budget.
+//! the 5% budget; `--timeline-overhead` is the same gate for the
+//! timeline sampler thread (sampling at 1ms, 10x the default cadence,
+//! vs not spawned at all).
 //!
 //! The third form gates the sender-side marshal-buffer pool: each paper
 //! app must report zero steady-state pool misses under the fully
@@ -34,37 +37,46 @@
 
 use corm_bench::alloc::{alloc_gate, STEADY_MISS_BUDGET};
 use corm_bench::gate::gate;
-use corm_bench::overhead::{measure_recorder_overhead, RECORDER_OVERHEAD_LIMIT_PCT};
+use corm_bench::overhead::{
+    measure_recorder_overhead, measure_timeline_overhead, OverheadReport,
+    RECORDER_OVERHEAD_LIMIT_PCT, TIMELINE_OVERHEAD_LIMIT_PCT,
+};
 use corm_bench::scale::{scale_gate, FLAT_FLOOR_US, FLAT_MULT, REGRESS_FLOOR_US, REGRESS_MULT};
 use corm_bench::slo::{slo_gate, P999_FLOOR_US, P999_MULT, P99_FLOOR_US, P99_MULT};
 
-fn recorder_overhead_gate(reps_arg: Option<&String>) -> ! {
+fn overhead_gate(
+    what: &str,
+    flag: &str,
+    limit_pct: f64,
+    measure: fn(usize) -> OverheadReport,
+    reps_arg: Option<&String>,
+) -> ! {
     // The quick-scale walls are ~3ms per app, so the min-of-reps floor
     // needs many samples before scheduler noise (±15% at 5 reps) drops
     // under the budget (±2% at 20 reps on an idle host).
     let reps = match reps_arg {
         None => 20,
         Some(s) => s.parse().unwrap_or_else(|_| {
-            eprintln!("usage: bench_gate --recorder-overhead [reps]");
+            eprintln!("usage: bench_gate {flag} [reps]");
             std::process::exit(2);
         }),
     };
-    let r = measure_recorder_overhead(reps);
+    let r = measure(reps);
     println!(
-        "recorder overhead: on {:.4}s, off {:.4}s, overhead {:+.2}% (budget {:.0}%, best of {reps})",
+        "{what} overhead: on {:.4}s, off {:.4}s, overhead {:+.2}% (budget {:.0}%, best of {reps})",
         r.on_s,
         r.off_s,
         r.overhead_pct(),
-        RECORDER_OVERHEAD_LIMIT_PCT
+        limit_pct
     );
-    if r.within_budget() {
-        println!("bench gate: OK (flight recorder within its overhead budget)");
+    if r.overhead_pct() <= limit_pct {
+        println!("bench gate: OK ({what} within its overhead budget)");
         std::process::exit(0);
     }
     eprintln!(
-        "bench gate: flight recorder overhead {:+.2}% exceeds the {:.0}% budget",
+        "bench gate: {what} overhead {:+.2}% exceeds the {:.0}% budget",
         r.overhead_pct(),
-        RECORDER_OVERHEAD_LIMIT_PCT
+        limit_pct
     );
     std::process::exit(1);
 }
@@ -166,7 +178,22 @@ fn scale_gate_main(baseline_arg: Option<&String>, fresh_arg: Option<&String>) ->
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--recorder-overhead") {
-        recorder_overhead_gate(args.get(2));
+        overhead_gate(
+            "flight recorder",
+            "--recorder-overhead",
+            RECORDER_OVERHEAD_LIMIT_PCT,
+            measure_recorder_overhead,
+            args.get(2),
+        );
+    }
+    if args.get(1).map(String::as_str) == Some("--timeline-overhead") {
+        overhead_gate(
+            "timeline sampler",
+            "--timeline-overhead",
+            TIMELINE_OVERHEAD_LIMIT_PCT,
+            measure_timeline_overhead,
+            args.get(2),
+        );
     }
     if args.get(1).map(String::as_str) == Some("--alloc-gate") {
         alloc_gate_main(args.get(2));
@@ -180,8 +207,8 @@ fn main() {
     let [_, baseline_path, fresh_path] = args.as_slice() else {
         eprintln!(
             "usage: bench_gate <baseline.json> <fresh.json> | --recorder-overhead [reps] | \
-             --alloc-gate <baseline.json> | --slo-gate <baseline.json> <fresh.json> | \
-             --scale-gate <baseline.json> <fresh.json>"
+             --timeline-overhead [reps] | --alloc-gate <baseline.json> | \
+             --slo-gate <baseline.json> <fresh.json> | --scale-gate <baseline.json> <fresh.json>"
         );
         std::process::exit(2);
     };

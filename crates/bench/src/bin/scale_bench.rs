@@ -10,10 +10,12 @@
 //! Usage:
 //!   scale_bench [--machines N1,N2,...] [--transport channel|tcp|reactor]
 //!               [--rate RPS] [--requests N] [--seed N] [--clients N]
-//!               [--json PATH]
+//!               [--json PATH] [--timeline-json PATH]
 //!
 //! `--json` writes the schema-versioned scale document the
-//! `bench_gate --scale-gate` job consumes.
+//! `bench_gate --scale-gate` job consumes; `--timeline-json` writes the
+//! sampled telemetry timeline of the largest mesh (DESIGN §15) so a
+//! failed gate ships its time-resolved story as a CI artifact.
 
 use corm::{OptConfig, TransportKind};
 use corm_bench::loadgen::{LoadPoint, DEFAULT_SEED};
@@ -21,7 +23,7 @@ use corm_bench::scale::{render_scale_json, run_scale_sweep, ScalePoint, DEFAULT_
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scale_bench [--machines N1,N2,...] [--transport channel|tcp|reactor]\n                   [--rate RPS] [--requests N] [--seed N] [--clients N] [--json PATH]"
+        "usage: scale_bench [--machines N1,N2,...] [--transport channel|tcp|reactor]\n                   [--rate RPS] [--requests N] [--seed N] [--clients N] [--json PATH]\n                   [--timeline-json PATH]"
     );
     std::process::exit(2);
 }
@@ -34,6 +36,7 @@ struct Cli {
     seed: u64,
     clients: usize,
     json: Option<String>,
+    timeline_json: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -46,6 +49,7 @@ fn parse_cli() -> Cli {
         seed: DEFAULT_SEED,
         clients: 4,
         json: None,
+        timeline_json: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -67,6 +71,7 @@ fn parse_cli() -> Cli {
             "--seed" => cli.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--clients" => cli.clients = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--json" => cli.json = Some(take(&mut i)),
+            "--timeline-json" => cli.timeline_json = Some(take(&mut i)),
             _ => usage(),
         }
         i += 1;
@@ -129,5 +134,24 @@ fn main() {
             std::process::exit(2);
         }
         println!("scale document written to {path}");
+    }
+    if let Some(path) = &cli.timeline_json {
+        // The largest mesh is where scaling pathologies live.
+        match points.last() {
+            Some(p) => {
+                let doc = corm::render_timeline_json(&p.report.outcome.timeline);
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!(
+                    "timeline (N={}, {} samples, {} health finding(s)) written to {path}",
+                    p.machines,
+                    p.report.outcome.timeline.total_samples(),
+                    p.report.outcome.timeline.health.len()
+                );
+            }
+            None => println!("no ladder points; {path} not written"),
+        }
     }
 }

@@ -11,6 +11,7 @@
 //!               [--rates R1,R2,...] [--requests N] [--seed N]
 //!               [--machines N] [--clients N] [--slo-us N]
 //!               [--stall EVERY:US] [--json PATH] [--flight PATH]
+//!               [--timeline-json PATH]
 //!
 //! `--json` writes the schema-versioned serving document the
 //! `bench_gate --slo-gate` job consumes; `--flight` writes the flight
@@ -19,7 +20,9 @@
 //! request ids can be looked up. `--stall EVERY:US` injects a
 //! server-side stall of US microseconds into every EVERY-th handled
 //! request — the fault the SLO gate exists to catch; CI uses it to prove
-//! the gate trips.
+//! the gate trips. `--timeline-json` writes the sampled telemetry
+//! timeline of the last sweep point (DESIGN §15) so a gate failure's
+//! time-resolved story rides along as a CI artifact.
 
 use corm::{OptConfig, TransportKind};
 use corm_bench::loadgen::{
@@ -29,7 +32,7 @@ use corm_bench::slo::render_serve_json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_bench [--quick | --full] [--transport channel|tcp|reactor] [--rates R1,R2,...]\n                   [--requests N] [--seed N] [--machines N] [--clients N] [--slo-us N]\n                   [--stall EVERY:US] [--json PATH] [--flight PATH]"
+        "usage: serve_bench [--quick | --full] [--transport channel|tcp|reactor] [--rates R1,R2,...]\n                   [--requests N] [--seed N] [--machines N] [--clients N] [--slo-us N]\n                   [--stall EVERY:US] [--json PATH] [--flight PATH] [--timeline-json PATH]"
     );
     std::process::exit(2);
 }
@@ -46,6 +49,7 @@ struct Cli {
     stall: Option<StallSpec>,
     json: Option<String>,
     flight: Option<String>,
+    timeline_json: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -62,6 +66,7 @@ fn parse_cli() -> Cli {
         stall: None,
         json: None,
         flight: None,
+        timeline_json: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -99,6 +104,7 @@ fn parse_cli() -> Cli {
             }
             "--json" => cli.json = Some(take(&mut i)),
             "--flight" => cli.flight = Some(take(&mut i)),
+            "--timeline-json" => cli.timeline_json = Some(take(&mut i)),
             _ => usage(),
         }
         i += 1;
@@ -213,6 +219,23 @@ fn main() {
                 );
             }
             None => println!("no SLO violations; {path} not written"),
+        }
+    }
+    if let Some(path) = &cli.timeline_json {
+        match runs.last() {
+            Some((_, r)) => {
+                let doc = corm::render_timeline_json(&r.outcome.timeline);
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!(
+                    "timeline ({} samples, {} health finding(s)) written to {path}",
+                    r.outcome.timeline.total_samples(),
+                    r.outcome.timeline.health.len()
+                );
+            }
+            None => println!("no sweep points; {path} not written"),
         }
     }
 }

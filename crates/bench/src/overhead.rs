@@ -1,12 +1,15 @@
-//! Flight-recorder overhead gate.
+//! Always-on observability overhead gates.
 //!
-//! The flight recorder (DESIGN §11) is on by default in every run, so its
-//! cost must stay in the noise. This module measures the quick-scale
-//! bench — all five evaluation apps under the full optimization stack —
-//! twice per repetition, once with the recorder at its default capacity
-//! and once with it disabled (`flight_capacity: 0` turns `record` into a
-//! no-op), and reports the relative wall-time overhead. CI runs this via
-//! `bench_gate --recorder-overhead` and fails the build past the budget.
+//! The flight recorder (DESIGN §11) and the timeline sampler (DESIGN
+//! §15) are on by default in every run, so their cost must stay in the
+//! noise. This module measures the quick-scale bench — all five
+//! evaluation apps under the full optimization stack — twice per
+//! repetition, once with the subsystem on and once with it disabled
+//! (`flight_capacity: 0` turns `record` into a no-op;
+//! `timeline_interval_us: 0` skips spawning the sampler thread), and
+//! reports the relative wall-time overhead. CI runs these via
+//! `bench_gate --recorder-overhead` / `--timeline-overhead` and fails
+//! the build past the budget.
 //!
 //! The on/off runs are interleaved inside each repetition so both sides
 //! see the same warm-up, scheduler and thermal conditions, and each side
@@ -19,6 +22,15 @@ use corm_apps::ALL_APPS;
 /// Overhead budget, percent: recorder-on may cost at most this much wall
 /// time over recorder-off on the quick-scale bench.
 pub const RECORDER_OVERHEAD_LIMIT_PCT: f64 = 5.0;
+
+/// Sampler budget, percent: same shape as the recorder gate. The gate
+/// samples at 1ms — 10x the default cadence — so the shipped default has
+/// an order-of-magnitude margin under the budget.
+pub const TIMELINE_OVERHEAD_LIMIT_PCT: f64 = RECORDER_OVERHEAD_LIMIT_PCT;
+
+/// Sampler cadence the gate measures at, µs (deliberately 10x the
+/// [`corm::DEFAULT_TIMELINE_INTERVAL_US`] default).
+pub const TIMELINE_GATE_INTERVAL_US: u64 = 1_000;
 
 /// Best-of-reps wall seconds, recorder on vs off, summed over the five
 /// evaluation apps.
@@ -43,31 +55,25 @@ impl OverheadReport {
     }
 }
 
-/// Measure the recorder's wall-time overhead on the quick-scale bench.
-pub fn measure_recorder_overhead(reps: usize) -> OverheadReport {
+/// Best-of-reps wall seconds over one on/off toggle of [`RunOptions`],
+/// interleaved per repetition, summed over the five evaluation apps.
+fn measure_toggle(reps: usize, on: &RunOptions, off: &RunOptions) -> OverheadReport {
     let mut on_s = 0.0;
     let mut off_s = 0.0;
     for app in &ALL_APPS {
         let compiled = app.compile(OptConfig::ALL);
-        // best[0] = recorder on, best[1] = recorder off
         let mut best = [f64::INFINITY; 2];
         for _ in 0..reps.max(1) {
-            for (slot, capacity) in [(0, DEFAULT_FLIGHT_CAPACITY), (1, 0)] {
+            for (slot, proto) in [(0, on), (1, off)] {
                 let out = corm::run(
                     &compiled,
                     RunOptions {
                         machines: app.machines,
                         args: app.quick_args.to_vec(),
-                        flight_capacity: capacity,
-                        ..Default::default()
+                        ..proto.clone()
                     },
                 );
-                assert!(
-                    out.error.is_none(),
-                    "{} failed with flight_capacity={capacity}: {:?}",
-                    app.name,
-                    out.error
-                );
+                assert!(out.error.is_none(), "{} failed: {:?}", app.name, out.error);
                 best[slot] = best[slot].min(out.wall.as_secs_f64());
             }
         }
@@ -77,18 +83,39 @@ pub fn measure_recorder_overhead(reps: usize) -> OverheadReport {
     OverheadReport { on_s, off_s }
 }
 
+/// Measure the recorder's wall-time overhead on the quick-scale bench.
+pub fn measure_recorder_overhead(reps: usize) -> OverheadReport {
+    let on = RunOptions { flight_capacity: DEFAULT_FLIGHT_CAPACITY, ..Default::default() };
+    let off = RunOptions { flight_capacity: 0, ..Default::default() };
+    measure_toggle(reps, &on, &off)
+}
+
+/// Measure the timeline sampler's wall-time overhead on the quick-scale
+/// bench, at the aggressive [`TIMELINE_GATE_INTERVAL_US`] cadence.
+pub fn measure_timeline_overhead(reps: usize) -> OverheadReport {
+    let on = RunOptions { timeline_interval_us: TIMELINE_GATE_INTERVAL_US, ..Default::default() };
+    let off = RunOptions { timeline_interval_us: 0, ..Default::default() };
+    measure_toggle(reps, &on, &off)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn overhead_report_measures_both_sides() {
-        let r = measure_recorder_overhead(1);
-        assert!(r.on_s > 0.0 && r.off_s > 0.0);
-        assert!(r.overhead_pct().is_finite());
+    fn overhead_reports_measure_both_sides() {
+        // One test, both gates run back to back: each measurement spins
+        // up full clusters for every app, so running them in parallel
+        // test threads would just add scheduler noise to the rest of
+        // the suite.
+        for measure in [measure_recorder_overhead, measure_timeline_overhead] {
+            let r = measure(1);
+            assert!(r.on_s > 0.0 && r.off_s > 0.0);
+            assert!(r.overhead_pct().is_finite());
+        }
         // No budget assertion here: debug builds and loaded test hosts
         // are too noisy for the 5% gate, which CI enforces in release
-        // via `bench_gate --recorder-overhead`.
+        // via `bench_gate --recorder-overhead` / `--timeline-overhead`.
     }
 
     #[test]

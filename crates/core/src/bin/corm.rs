@@ -4,7 +4,7 @@
 //! ```text
 //! corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--stats]
 //!                    [--trace] [--trace-json PATH] [--metrics] [--quiet]
-//!                    [--dump-flight PATH]
+//!                    [--dump-flight PATH] [--timeline-json PATH]
 //! corm explain <file.mp> [--config CFG] [--json]
 //!                                           # per-site analysis provenance
 //! corm analyze <file.mp> [--config CFG]     # analysis report + marshalers
@@ -15,7 +15,11 @@
 //! corm serve [--config CFG] [--machines N] [--transport T] [--rate RPS]
 //!            [--requests N] [--seed N] [--clients N] [--slo-us N]
 //!            [--stall EVERY:US] [--metrics] [--dump-flight PATH]
-//!                                           # open-loop serving benchmark
+//!            [--timeline-json PATH]         # open-loop serving benchmark
+//! corm top [--config CFG] [--machines N] [--transport T] [--rate RPS]
+//!          [--seconds S] [--seed N] [--clients N] [--refresh-ms MS]
+//!          [--stall EVERY:US] [--timeline-json PATH]
+//!                                           # live cluster view (serve-driven)
 //! ```
 //!
 //! Observability flags:
@@ -27,6 +31,11 @@
 //!   Prometheus text exposition format;
 //! * `--dump-flight PATH` writes the flight-recorder ring (last N RMI
 //!   events per machine) as JSON after the run, whether it failed or not;
+//! * `--timeline-json PATH` writes the sampled telemetry timeline (per
+//!   machine: RPS, queue depth, pool residency, batching ratio at the
+//!   sampler cadence, plus health findings) as schema-versioned JSON;
+//! * `corm top` drives the embedded webserver open-loop and redraws a
+//!   plain-ANSI per-machine table live from the timeline rings;
 //! * `corm explain` prints verdict, rule and witness for every decision
 //!   behind each remote call site's marshal plan — with an explicit
 //!   `--config` only that row, otherwise all five Table 1 rows.
@@ -37,7 +46,8 @@
 use std::process::ExitCode;
 
 use corm::{
-    compile, run, ArrivalSchedule, OptConfig, RunOptions, ServeOptions, StallSpec, TransportKind,
+    compile, run, ArrivalSchedule, MetricsRegistry, OptConfig, RunOptions, ServeOptions,
+    ServeReport, StallSpec, TimelineSample, TransportKind,
 };
 
 /// The webserver program `corm serve` drives (the app crate sits above
@@ -46,7 +56,7 @@ const WEBSERVER_MP: &str = include_str!("../../../apps/src/programs/webserver.mp
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet] [--dump-flight PATH]\n  corm explain <file.mp> [--config CFG] [--json]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n  corm serve [--config CFG] [--machines N] [--transport T] [--rate RPS] [--requests N]\n             [--seed N] [--clients N] [--slo-us N] [--stall EVERY:US] [--metrics] [--dump-flight PATH]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default), tcp\n                     (one socket+thread per peer pair), or reactor (shared\n                     event loops, pipelined + batched); tcp and reactor\n                     also measure wire time\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing\n  --dump-flight PATH write the flight-recorder events as JSON after the run\n\nexplain flags:\n  --config CFG       explain only this configuration (default: all 5 rows)\n  --json             machine-readable provenance instead of the text report"
+        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet] [--dump-flight PATH] [--timeline-json PATH]\n  corm explain <file.mp> [--config CFG] [--json]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n  corm serve [--config CFG] [--machines N] [--transport T] [--rate RPS] [--requests N]\n             [--seed N] [--clients N] [--slo-us N] [--stall EVERY:US] [--metrics] [--dump-flight PATH]\n             [--timeline-json PATH]\n  corm top   [--config CFG] [--machines N] [--transport T] [--rate RPS] [--seconds S]\n             [--seed N] [--clients N] [--refresh-ms MS] [--stall EVERY:US] [--timeline-json PATH]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default), tcp\n                     (one socket+thread per peer pair), or reactor (shared\n                     event loops, pipelined + batched); tcp and reactor\n                     also measure wire time\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing\n  --dump-flight PATH write the flight-recorder events as JSON after the run\n  --timeline-json PATH\n                     write the sampled telemetry timeline as JSON (per-machine\n                     deltas at the 10ms sampler cadence + health findings)\n\ntop flags:\n  --seconds S        drive the webserver for ~S seconds (default 10)\n  --refresh-ms MS    redraw cadence for the live table (default 250)\n\nexplain flags:\n  --config CFG       explain only this configuration (default: all 5 rows)\n  --json             machine-readable provenance instead of the text report"
     );
     std::process::exit(2);
 }
@@ -86,6 +96,7 @@ struct Cli {
     transport: TransportKind,
     json: bool,
     dump_flight: Option<String>,
+    timeline_json: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -108,6 +119,7 @@ fn parse_cli() -> Cli {
         transport: TransportKind::default(),
         json: false,
         dump_flight: None,
+        timeline_json: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -149,6 +161,11 @@ fn parse_cli() -> Cli {
                 let Some(path) = argv.get(i) else { usage() };
                 cli.dump_flight = Some(path.clone());
             }
+            "--timeline-json" => {
+                i += 1;
+                let Some(path) = argv.get(i) else { usage() };
+                cli.timeline_json = Some(path.clone());
+            }
             "--transport" => {
                 i += 1;
                 let Some(kind) = argv.get(i).and_then(|s| s.parse().ok()) else {
@@ -178,6 +195,7 @@ fn serve_main(argv: &[String]) -> ExitCode {
     let mut seed = 42u64;
     let mut metrics = false;
     let mut dump_flight: Option<String> = None;
+    let mut timeline_json: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         let take = |i: &mut usize| -> String {
@@ -207,6 +225,7 @@ fn serve_main(argv: &[String]) -> ExitCode {
             }
             "--metrics" => metrics = true,
             "--dump-flight" => dump_flight = Some(take(&mut i)),
+            "--timeline-json" => timeline_json = Some(take(&mut i)),
             other => {
                 eprintln!("unknown serve flag {other}");
                 usage();
@@ -235,6 +254,37 @@ fn serve_main(argv: &[String]) -> ExitCode {
         }
     };
 
+    print_serve_report(config, seed, requests, &report);
+    if metrics {
+        print!("{}", corm::render_prometheus(&report.outcome.metrics));
+    }
+    if let Some(path) = &dump_flight {
+        // Prefer the dump taken while the SLO violations were hot.
+        let dump = report.flight_slo.as_ref().unwrap_or(&report.outcome.flight);
+        if let Err(e) = std::fs::write(path, corm::render_flight_json(dump)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("flight recorder dump written to {path}");
+    }
+    if let Some(path) = &timeline_json {
+        if let Err(e) = std::fs::write(path, corm::render_timeline_json(&report.outcome.timeline)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "timeline ({} samples) written to {path}",
+            report.outcome.timeline.total_samples()
+        );
+    }
+    if report.errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The end-of-run serving summary shared by `corm serve` and `corm top`.
+fn print_serve_report(config: OptConfig, seed: u64, requests: usize, report: &ServeReport) {
     eprintln!("--- serving report ({}, {}) ---", config.label(), report.outcome.transport);
     eprintln!("offered         : {:.1} rps (seed {seed}, {requests} requests)", report.offered_rps);
     eprintln!(
@@ -284,17 +334,234 @@ fn serve_main(argv: &[String]) -> ExitCode {
             )
         }
     );
-    if metrics {
-        print!("{}", corm::render_prometheus(m));
+    let health = &report.outcome.timeline.health;
+    if !health.is_empty() {
+        let shown: Vec<String> = health
+            .iter()
+            .take(8)
+            .map(|h| {
+                format!(
+                    "[{:.1}s] m{} {} ({})",
+                    h.t_us as f64 / 1e6,
+                    h.machine,
+                    h.kind.name(),
+                    h.value
+                )
+            })
+            .collect();
+        eprintln!(
+            "health          : {}{}",
+            shown.join(", "),
+            if health.len() > 8 { ", ..." } else { "" }
+        );
     }
-    if let Some(path) = &dump_flight {
-        // Prefer the dump taken while the SLO violations were hot.
-        let dump = report.flight_slo.as_ref().unwrap_or(&report.outcome.flight);
-        if let Err(e) = std::fs::write(path, corm::render_flight_json(dump)) {
+}
+
+/// One redraw of the `corm top` table, rendered from the timeline rings.
+/// Rates are computed over the newest few samples using their `t_us`
+/// span (the final interval may be short — DESIGN §15 honesty notes),
+/// gauges are the latest tick's values.
+fn render_top_frame(
+    obs: &MetricsRegistry,
+    machines: usize,
+    transport: TransportKind,
+    elapsed: std::time::Duration,
+) -> String {
+    use std::fmt::Write;
+    let tl = obs.timeline();
+    let interval = tl.interval_us().max(1);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "corm top — {machines} machines, transport {transport}, sampler {:.0} ms, elapsed {:.1} s",
+        interval as f64 / 1e3,
+        elapsed.as_secs_f64()
+    );
+    let _ = writeln!(
+        s,
+        "{:>3} {:>9} {:>9} {:>9} {:>6} {:>6} {:>10} {:>6} {:>7}",
+        "m", "call/s", "srv/s", "p99(µs)", "infl", "queue", "pool(KiB)", "outst", "batch"
+    );
+    for m in 0..machines {
+        let w = tl.recent(m as u16, 8);
+        // Each sample's deltas cover the interval ending at its t_us, so
+        // the window spans one extra interval before the first sample.
+        let span_us =
+            w.last().map_or(0, |l| l.t_us).saturating_sub(w.first().map_or(0, |f| f.t_us))
+                + interval;
+        let secs = span_us as f64 / 1e6;
+        let calls: u64 = w.iter().map(|p| p.started).sum();
+        let served: u64 = w.iter().map(|p| p.handled).sum();
+        let frames: u64 = w.iter().map(|p| p.frames_enqueued).sum();
+        let flushes: u64 = w.iter().map(|p| p.flush_batches).sum();
+        let batch = if flushes > 0 {
+            format!("{:.1}x", frames as f64 / flushes as f64)
+        } else {
+            "-".to_string()
+        };
+        // Newest interval that actually saw round trips.
+        let p99 = w.iter().rev().map(|p| p.rtt_p99_us).find(|&v| v > 0).unwrap_or(0);
+        let last: TimelineSample = w.last().copied().unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "{:>3} {:>9.1} {:>9.1} {:>9} {:>6} {:>6} {:>10.1} {:>6} {:>7}",
+            m,
+            calls as f64 / secs,
+            served as f64 / secs,
+            p99,
+            last.in_flight,
+            last.queue_depth,
+            last.pool_resident_bytes as f64 / 1024.0,
+            last.pool_outstanding,
+            batch
+        );
+    }
+    let health = tl.health_events();
+    if health.is_empty() {
+        let _ = writeln!(s, "health: ok");
+    } else {
+        let _ = writeln!(s, "health ({} finding(s), newest first):", health.len());
+        for h in health.iter().rev().take(5) {
+            let _ = writeln!(
+                s,
+                "  [{:.1} s] m{} {} (value {})",
+                h.t_us as f64 / 1e6,
+                h.machine,
+                h.kind.name(),
+                h.value
+            );
+        }
+    }
+    s
+}
+
+/// `corm top`: drive the embedded webserver open-loop (like `corm
+/// serve`) while redrawing a live plain-ANSI per-machine table from the
+/// timeline rings, then print the usual serving report.
+fn top_main(argv: &[String]) -> ExitCode {
+    let mut config = OptConfig::ALL;
+    let mut opts = ServeOptions::default();
+    opts.run.machines = 3;
+    let mut rate = 500.0f64;
+    let mut seconds = 10.0f64;
+    let mut seed = 42u64;
+    let mut refresh_ms = 250u64;
+    let mut timeline_json: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--config" => {
+                config = parse_config(&take(&mut i)).unwrap_or_else(|| usage());
+            }
+            "--machines" => opts.run.machines = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--transport" => {
+                opts.run.transport = take(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--rate" => rate = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seconds" => seconds = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--clients" => opts.clients = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--refresh-ms" => refresh_ms = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--stall" => {
+                let spec = take(&mut i);
+                let Some((every, stall_us)) = spec.split_once(':') else { usage() };
+                opts.run.stall = Some(StallSpec {
+                    every: every.parse().unwrap_or_else(|_| usage()),
+                    stall_us: stall_us.parse().unwrap_or_else(|_| usage()),
+                });
+            }
+            "--timeline-json" => timeline_json = Some(take(&mut i)),
+            other => {
+                eprintln!("unknown top flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if opts.run.machines < 2 || rate <= 0.0 || seconds <= 0.0 || refresh_ms == 0 {
+        eprintln!("top needs --machines >= 2, --rate > 0, --seconds > 0 and --refresh-ms > 0");
+        return ExitCode::from(2);
+    }
+    let requests = (rate * seconds).ceil().max(1.0) as usize;
+
+    let compiled = match compile(WEBSERVER_MP, config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("webserver: compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schedule = ArrivalSchedule::generate(seed, rate, requests, opts.npages.max(1) as u32);
+    let machines = opts.run.machines;
+    let transport = opts.run.transport;
+
+    // The benchmark drives on a background thread; the hook hands the
+    // live registry back so this thread can redraw from the rings.
+    let (tx, rx) = std::sync::mpsc::channel::<std::sync::Arc<MetricsRegistry>>();
+    let worker = {
+        let module = compiled.module.clone();
+        let plans = compiled.plans.clone();
+        let opts = opts.clone();
+        let schedule = schedule.clone();
+        std::thread::spawn(move || {
+            corm::serve_with(module, plans, &corm::ServeSpec::default(), &schedule, &opts, |c| {
+                let _ = tx.send(c.rt.obs.clone());
+            })
+        })
+    };
+    let obs = match rx.recv_timeout(std::time::Duration::from_secs(30)) {
+        Ok(o) => o,
+        Err(_) => {
+            // The cluster never came up; surface the serve error.
+            return match worker.join() {
+                Ok(Err(e)) => {
+                    eprintln!("serve failed: {e}");
+                    ExitCode::FAILURE
+                }
+                _ => {
+                    eprintln!("cluster did not start");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+    };
+    let epoch = std::time::Instant::now();
+    while !worker.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(refresh_ms));
+        let frame = render_top_frame(&obs, machines, transport, epoch.elapsed());
+        // Plain ANSI: cursor home + clear screen, then the fresh frame.
+        print!("\x1b[H\x1b[2J{frame}");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+    }
+    let report = match worker.join() {
+        Ok(Ok(r)) => r,
+        Ok(Err(e)) => {
+            eprintln!("serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(_) => {
+            eprintln!("serve thread panicked");
+            return ExitCode::FAILURE;
+        }
+    };
+    // One last frame from the finished timeline, then the summary.
+    let frame = render_top_frame(&obs, machines, transport, epoch.elapsed());
+    print!("\x1b[H\x1b[2J{frame}");
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    print_serve_report(config, seed, requests, &report);
+    if let Some(path) = &timeline_json {
+        if let Err(e) = std::fs::write(path, corm::render_timeline_json(&report.outcome.timeline)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::from(2);
         }
-        eprintln!("flight recorder dump written to {path}");
+        eprintln!(
+            "timeline ({} samples) written to {path}",
+            report.outcome.timeline.total_samples()
+        );
     }
     if report.errors > 0 {
         return ExitCode::FAILURE;
@@ -303,14 +570,17 @@ fn serve_main(argv: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    // `fuzz` and `serve` take no <file.mp> operand — intercept them
-    // before the positional parser.
+    // `fuzz`, `serve` and `top` take no <file.mp> operand — intercept
+    // them before the positional parser.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("fuzz") {
         return ExitCode::from(corm_fuzz::cli::fuzz_main(&argv[1..]) as u8);
     }
     if argv.first().map(String::as_str) == Some("serve") {
         return serve_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("top") {
+        return top_main(&argv[1..]);
     }
     let cli = parse_cli();
     let src = match std::fs::read_to_string(&cli.file) {
@@ -378,6 +648,19 @@ fn main() -> ExitCode {
                     eprintln!(
                         "flight recorder dump ({} events) written to {path}",
                         dump.total_events()
+                    );
+                }
+            }
+            if let Some(path) = &cli.timeline_json {
+                let json = corm::render_timeline_json(&outcome.timeline);
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                if !cli.quiet {
+                    eprintln!(
+                        "timeline ({} samples) written to {path}",
+                        outcome.timeline.total_samples()
                     );
                 }
             }

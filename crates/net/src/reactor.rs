@@ -50,6 +50,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, Thread};
 use std::time::{Duration, Instant};
 
+use corm_obs::MetricsRegistry;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
 use crate::packet::Packet;
@@ -172,6 +173,25 @@ struct Core {
     /// many frames leave per batch, so this stays well below
     /// `frames_enqueued`).
     flush_batches: AtomicU64,
+    /// Metrics registry for the deep gauges the timeline sampler reads
+    /// (per-machine frames/batches/flush reasons, append-buffer
+    /// occupancy, loop latency). `None` for transports built outside a
+    /// cluster (unit tests): the internal counters above still work.
+    obs: Option<Arc<MetricsRegistry>>,
+}
+
+/// Why a batch left the wire — the per-reason counters split the
+/// flush_batches total three ways (size/deadline/idle).
+#[derive(Debug, Clone, Copy)]
+enum FlushReason {
+    /// The batch crossed `flush_bytes`.
+    Size,
+    /// The oldest queued frame hit `flush_deadline` (includes the
+    /// reactor's idle-tail sweep — both are deadline-driven).
+    Deadline,
+    /// Inline flush on a connection not under load (cold path: latency
+    /// over coalescing).
+    Idle,
 }
 
 impl Core {
@@ -189,16 +209,40 @@ impl Core {
         }
     }
 
+    /// Bookkeep a `has_queued` false→true transition (connection gained
+    /// queued work). Call with `o` locked; returns the prior value.
+    fn mark_queued(&self, conn: &Conn) -> bool {
+        let was = conn.has_queued.swap(true, Ordering::AcqRel);
+        if !was {
+            if let Some(obs) = &self.obs {
+                obs.machine(conn.from).reactor_conns_queued.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        was
+    }
+
+    /// Bookkeep a `has_queued` true→false transition (buffer drained or
+    /// dropped). Call with `o` locked.
+    fn mark_drained(&self, conn: &Conn) {
+        if conn.has_queued.swap(false, Ordering::AcqRel) {
+            if let Some(obs) = &self.obs {
+                obs.machine(conn.from).reactor_conns_queued.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Write as much of the batch as the socket accepts right now.
     /// Returns true if any bytes moved. Call with `o` locked.
-    fn flush(&self, conn: &Conn, o: &mut Outbound) -> bool {
+    fn flush(&self, conn: &Conn, o: &mut Outbound, reason: FlushReason) -> bool {
         if o.dead || o.pending() == 0 {
             return false;
         }
+        let start_before = o.start;
         let mut wrote = false;
         while o.start < o.buf.len() {
             match (&conn.stream).write(&o.buf[o.start..]) {
                 Ok(0) => {
+                    self.account_drained(conn, o.start - start_before);
                     self.retire(conn, o);
                     return wrote;
                 }
@@ -209,24 +253,38 @@ impl Core {
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => {
+                    self.account_drained(conn, o.start - start_before);
                     self.retire(conn, o);
                     return wrote;
                 }
             }
         }
+        self.account_drained(conn, o.start - start_before);
         if o.pending() == 0 {
+            let batch_bytes = o.buf.len();
             o.buf.clear();
             o.start = 0;
             o.queued_since = None;
-            conn.has_queued.store(false, Ordering::Release);
+            self.mark_drained(conn);
             self.flush_batches.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                let m = obs.machine(conn.from);
+                m.reactor_flush_batches.fetch_add(1, Ordering::Relaxed);
+                m.reactor_batch_bytes.record(batch_bytes as u64);
+                let by_reason = match reason {
+                    FlushReason::Size => &m.reactor_flush_size,
+                    FlushReason::Deadline => &m.reactor_flush_deadline,
+                    FlushReason::Idle => &m.reactor_flush_idle,
+                };
+                by_reason.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             // Socket backpressure: the remainder stays queued for the
             // reactor, deadline unchanged (it tracks the oldest frame).
             if o.queued_since.is_none() {
                 o.queued_since = Some(Instant::now());
             }
-            if !conn.has_queued.swap(true, Ordering::AcqRel) {
+            if !self.mark_queued(conn) {
                 self.unpark(conn.owner);
             }
         }
@@ -236,15 +294,28 @@ impl Core {
         wrote
     }
 
+    /// Shrink the sender's append-buffer occupancy gauge by the bytes a
+    /// flush (or retirement) removed from the queue.
+    fn account_drained(&self, conn: &Conn, bytes: usize) {
+        if bytes > 0 {
+            if let Some(obs) = &self.obs {
+                obs.machine(conn.from)
+                    .reactor_queued_bytes
+                    .fetch_sub(bytes as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// A write failed (or the stream was cut): drop the batch, kill the
     /// connection, and tell the *sender's* drain loop so pending calls
     /// toward this peer fail as orderly PeerGone instead of hanging.
     fn retire(&self, conn: &Conn, o: &mut Outbound) {
         o.dead = true;
+        self.account_drained(conn, o.pending());
         o.buf.clear();
         o.start = 0;
         o.queued_since = None;
-        conn.has_queued.store(false, Ordering::Release);
+        self.mark_drained(conn);
         if !self.shutting_down.load(Ordering::SeqCst) {
             let _ = self.local_txs[conn.from as usize].send(Packet::PeerGone { peer: conn.to });
         }
@@ -272,7 +343,7 @@ fn pool_size(n: usize) -> usize {
 
 impl ReactorTransport {
     pub fn new(n: usize) -> io::Result<(Mailboxes, Arc<ReactorTransport>)> {
-        Self::with_config(n, BatchConfig::default())
+        Self::with_config_obs(n, BatchConfig::default(), None)
     }
 
     /// Build the mesh with explicit batching knobs (tests pin the
@@ -280,6 +351,25 @@ impl ReactorTransport {
     pub fn with_config(
         n: usize,
         cfg: BatchConfig,
+    ) -> io::Result<(Mailboxes, Arc<ReactorTransport>)> {
+        Self::with_config_obs(n, cfg, None)
+    }
+
+    /// Build the mesh wired to a metrics registry: the deep gauges
+    /// (per-machine coalescing counters, flush reasons, append-buffer
+    /// occupancy, loop latency) land in its shards for the timeline
+    /// sampler and Prometheus exposition.
+    pub fn with_obs(
+        n: usize,
+        obs: Arc<MetricsRegistry>,
+    ) -> io::Result<(Mailboxes, Arc<ReactorTransport>)> {
+        Self::with_config_obs(n, BatchConfig::default(), Some(obs))
+    }
+
+    fn with_config_obs(
+        n: usize,
+        cfg: BatchConfig,
+        obs: Option<Arc<MetricsRegistry>>,
     ) -> io::Result<(Mailboxes, Arc<ReactorTransport>)> {
         let epoch = Instant::now();
         let nthreads = pool_size(n);
@@ -413,6 +503,7 @@ impl ReactorTransport {
             reactor_threads: OnceLock::new(),
             frames_enqueued: AtomicU64::new(0),
             flush_batches: AtomicU64::new(0),
+            obs,
         });
 
         let transport =
@@ -438,7 +529,7 @@ impl ReactorTransport {
             handles.push(
                 thread::Builder::new()
                     .name(format!("corm-reactor-{r}"))
-                    .spawn(move || reactor_loop(core, bucket, owned))?,
+                    .spawn(move || reactor_loop(core, r, bucket, owned))?,
             );
         }
         let threads = handles.iter().map(|h| h.thread().clone()).collect();
@@ -516,8 +607,14 @@ impl Transport for ReactorTransport {
         // Stamp at enqueue: time a frame waits in the batch buffer is
         // charged to measured wire time, not silently dropped.
         let ts_ns = core.epoch.elapsed().as_nanos() as u64;
+        let len_before = o.buf.len();
         packet.encode_frame_append(ts_ns, &mut o.buf);
         core.frames_enqueued.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &core.obs {
+            let m = obs.machine(from);
+            m.reactor_frames_enqueued.fetch_add(1, Ordering::Relaxed);
+            m.reactor_queued_bytes.fetch_add((o.buf.len() - len_before) as u64, Ordering::Relaxed);
+        }
 
         let now = Instant::now();
         match o.window_start {
@@ -529,13 +626,18 @@ impl Transport for ReactorTransport {
         }
         let under_load = o.window_sends > core.cfg.batch_after;
         if !under_load || o.pending() >= core.cfg.flush_bytes {
-            core.flush(conn, &mut o);
+            let reason = if o.pending() >= core.cfg.flush_bytes {
+                FlushReason::Size
+            } else {
+                FlushReason::Idle
+            };
+            core.flush(conn, &mut o, reason);
         }
         if !o.dead && o.pending() > 0 {
             if o.queued_since.is_none() {
                 o.queued_since = Some(now);
             }
-            if !conn.has_queued.swap(true, Ordering::AcqRel) {
+            if !core.mark_queued(conn) {
                 core.unpark(conn.owner);
             }
         }
@@ -579,7 +681,7 @@ impl Drop for ReactorTransport {
 /// One pool thread: flush owned outbound batches whose deadline (or
 /// size threshold) is due, pump owned inbound streams that were hinted
 /// dirty, full-sweep every [`SWEEP`] as a safety net, park in between.
-fn reactor_loop(core: Arc<Core>, mut inbound: Vec<Inbound>, conns: Vec<Arc<Conn>>) {
+fn reactor_loop(core: Arc<Core>, r: usize, mut inbound: Vec<Inbound>, conns: Vec<Arc<Conn>>) {
     let mut last_sweep = Instant::now();
     loop {
         if core.shutting_down.load(Ordering::SeqCst) {
@@ -600,12 +702,17 @@ fn reactor_loop(core: Arc<Core>, mut inbound: Vec<Inbound>, conns: Vec<Arc<Conn>
                 continue;
             }
             if o.pending() == 0 {
-                conn.has_queued.store(false, Ordering::Release);
+                core.mark_drained(conn);
                 continue;
             }
             let due = o.queued_since.map_or(now, |t| t + core.cfg.flush_deadline);
             if due <= now || o.pending() >= core.cfg.flush_bytes {
-                progress |= core.flush(conn, &mut o);
+                let reason = if o.pending() >= core.cfg.flush_bytes {
+                    FlushReason::Size
+                } else {
+                    FlushReason::Deadline
+                };
+                progress |= core.flush(conn, &mut o, reason);
                 if !o.dead && o.pending() > 0 {
                     track(now + BACKPRESSURE_RETRY, &mut next_due);
                 }
@@ -625,6 +732,14 @@ fn reactor_loop(core: Arc<Core>, mut inbound: Vec<Inbound>, conns: Vec<Arc<Conn>
             if ib.dirty.swap(false, Ordering::AcqRel) || full {
                 progress |= pump(&core, ib);
             }
+        }
+
+        // Iteration latency (wake → this decision point): reactor r
+        // records into machine shard r — an attribution approximation
+        // (DESIGN §15), valid because the pool never outnumbers the
+        // machines.
+        if let Some(obs) = &core.obs {
+            obs.machine(r as u16).reactor_loop_us.record(now.elapsed().as_micros() as u64);
         }
 
         if progress {
@@ -979,6 +1094,53 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         t.shutdown();
+    }
+
+    #[test]
+    fn registry_mirrors_coalescing_stats_and_buffer_gauges() {
+        // The obs-wired constructor lands the same coalescing counters
+        // in the sender's registry shard, splits flushes by reason, and
+        // returns the append-buffer occupancy gauge to zero once
+        // everything drains.
+        let obs = Arc::new(MetricsRegistry::new(2));
+        let (mailboxes, t) = ReactorTransport::with_obs(2, obs.clone()).unwrap();
+        for i in 0..20u64 {
+            t.deliver(0, 1, reply(i, 8));
+        }
+        for _ in 0..20u64 {
+            mailboxes[1].recv().unwrap();
+        }
+        // Drain fully: wait for the deadline sweep to flush any tail.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while t.core.obs.as_ref().unwrap().machine(0).reactor_queued_bytes.load(Ordering::Relaxed)
+            > 0
+            && Instant::now() < deadline
+        {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let m = obs.machine_snapshot(0);
+        assert_eq!(m.reactor_frames_enqueued, t.frames_enqueued());
+        assert_eq!(m.reactor_frames_enqueued, 20);
+        assert_eq!(m.reactor_flush_batches, t.flush_batches());
+        assert_eq!(
+            m.reactor_flush_size + m.reactor_flush_deadline + m.reactor_flush_idle,
+            m.reactor_flush_batches,
+            "reasons partition the flush count"
+        );
+        assert_eq!(m.reactor_batch_bytes.count, m.reactor_flush_batches);
+        assert!(m.reactor_batch_bytes.sum > 0);
+        assert_eq!(m.reactor_queued_bytes, 0, "gauge returns to zero once drained");
+        assert_eq!(m.reactor_conns_queued, 0);
+        // The receiving machine sent nothing: its shard stays clean.
+        let m1 = obs.machine_snapshot(1);
+        assert_eq!(m1.reactor_frames_enqueued, 0);
+        t.shutdown();
+        assert!(
+            obs.machine_snapshot(0).reactor_loop_us.count
+                + obs.machine_snapshot(1).reactor_loop_us.count
+                > 0,
+            "reactor loop latency was recorded"
+        );
     }
 
     #[test]

@@ -248,7 +248,10 @@ impl NetHandle {
                 (mb, t)
             }
             TransportKind::Reactor => {
-                let (mb, t) = ReactorTransport::new(n)?;
+                // The reactor feeds its deep gauges (coalescing counters,
+                // flush reasons, buffer occupancy, loop latency) into the
+                // registry shards for the timeline sampler.
+                let (mb, t) = ReactorTransport::with_obs(n, obs.clone())?;
                 (mb, t)
             }
         };

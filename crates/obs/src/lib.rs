@@ -20,7 +20,11 @@
 //!   per-machine ring of the last N RMI events, dumped as a JSON
 //!   artifact on panic, peer loss, audit mismatch, or on request;
 //! * [`report`] — per-phase time attribution splitting real
-//!   (measured) from modeled (cost-model) time.
+//!   (measured) from modeled (cost-model) time;
+//! * [`timeline`] — the telemetry timeline plane: a background
+//!   sampler that snapshots every machine's metrics at a fixed
+//!   cadence into bounded rings, plus the health assessor that scans
+//!   those rings for stall/backpressure/pool-leak signatures.
 //!
 //! [`RmiStats`]: corm_wire::RmiStats
 //! [`StatsSnapshot`]: corm_wire::StatsSnapshot
@@ -31,6 +35,7 @@ pub mod metrics;
 pub mod prometheus;
 pub mod recorder;
 pub mod report;
+pub mod timeline;
 pub mod trace;
 
 pub use chrome::to_chrome_trace;
@@ -44,4 +49,9 @@ pub use recorder::{
     DEFAULT_FLIGHT_CAPACITY,
 };
 pub use report::{attach_measured_wire, phase_report, render_phase_report, PhaseTotals};
+pub use timeline::{
+    render_timeline_json, spawn_sampler, HealthAssessor, HealthConfig, HealthEvent, HealthKind,
+    SamplerConfig, SamplerHandle, TimelineDoc, TimelineSample, TimelineState,
+    DEFAULT_TIMELINE_INTERVAL_US, TIMELINE_SCHEMA_VERSION,
+};
 pub use trace::{render_timeline, to_json, Phase, TraceEvent, TraceKind};

@@ -16,6 +16,7 @@ use corm_wire::{RmiStats, StatsSnapshot};
 use parking_lot::Mutex;
 
 use crate::hist::{HistSnapshot, Log2Histogram};
+use crate::timeline::TimelineState;
 
 /// One machine's metrics shard: the Tables 4/6/8 counters plus the
 /// phase-latency and payload-size distributions observed on it.
@@ -66,6 +67,37 @@ pub struct MachineMetrics {
     /// Bytes of buffer capacity currently parked in this machine's pool
     /// shard (a gauge: grows on put, shrinks on checkout).
     pub pool_resident_bytes: AtomicU64,
+    /// Pool-ledger entries currently outstanding: buffers checked out
+    /// under a request id and not yet returned or abandoned (a gauge —
+    /// monotone growth is the pool-leak health signature).
+    pub pool_outstanding: AtomicU64,
+    /// Requests parked in this machine's serve queue: enqueued by the
+    /// drain loop, not yet picked up by a worker (a gauge).
+    pub serve_queue_depth: AtomicU64,
+    /// Reactor frames appended to this machine's append-buffers.
+    /// Mirrors the reactor core's internal counter so the sampler and
+    /// Prometheus exposition see it without reaching into corm-net.
+    pub reactor_frames_enqueued: AtomicU64,
+    /// Coalesced reactor batches fully flushed from this machine.
+    pub reactor_flush_batches: AtomicU64,
+    /// Flushes triggered by the size threshold (`flush_bytes`).
+    pub reactor_flush_size: AtomicU64,
+    /// Flushes triggered by the deadline sweep (`flush_deadline`).
+    pub reactor_flush_deadline: AtomicU64,
+    /// Inline flushes on an idle/cold connection (not under load).
+    pub reactor_flush_idle: AtomicU64,
+    /// Bytes sitting in this machine's reactor append-buffers awaiting
+    /// flush (a gauge: append-buffer occupancy).
+    pub reactor_queued_bytes: AtomicU64,
+    /// Connections from this machine with frames queued (a gauge:
+    /// per-connection outstanding-work population).
+    pub reactor_conns_queued: AtomicU64,
+    /// Per-flush batch size, bytes (recorded when a batch fully drains).
+    pub reactor_batch_bytes: Log2Histogram,
+    /// Reactor event-loop iteration latency, µs (wake to park). Shard
+    /// index is the reactor thread index, which is always a valid
+    /// machine index (the pool never outnumbers the machines).
+    pub reactor_loop_us: Log2Histogram,
 }
 
 /// Per-call-site metrics (cluster-wide scope: a site's calls may
@@ -83,6 +115,7 @@ pub struct SiteMetrics {
 pub struct MetricsRegistry {
     machines: Vec<MachineMetrics>,
     sites: Mutex<HashMap<u32, Arc<SiteMetrics>>>,
+    timeline: TimelineState,
 }
 
 impl MetricsRegistry {
@@ -90,7 +123,14 @@ impl MetricsRegistry {
         MetricsRegistry {
             machines: (0..machines).map(|_| MachineMetrics::default()).collect(),
             sites: Mutex::new(HashMap::new()),
+            timeline: TimelineState::new(machines),
         }
+    }
+
+    /// The registry's timeline plane: per-machine sample rings filled by
+    /// the background sampler plus the run's health findings (DESIGN §15).
+    pub fn timeline(&self) -> &TimelineState {
+        &self.timeline
     }
 
     pub fn num_machines(&self) -> usize {
@@ -138,34 +178,61 @@ impl MetricsRegistry {
             m.pool_misses.store(0, Ordering::Relaxed);
             m.pool_cold_misses.store(0, Ordering::Relaxed);
             m.pool_resident_bytes.store(0, Ordering::Relaxed);
+            m.pool_outstanding.store(0, Ordering::Relaxed);
+            m.serve_queue_depth.store(0, Ordering::Relaxed);
+            m.reactor_frames_enqueued.store(0, Ordering::Relaxed);
+            m.reactor_flush_batches.store(0, Ordering::Relaxed);
+            m.reactor_flush_size.store(0, Ordering::Relaxed);
+            m.reactor_flush_deadline.store(0, Ordering::Relaxed);
+            m.reactor_flush_idle.store(0, Ordering::Relaxed);
+            m.reactor_queued_bytes.store(0, Ordering::Relaxed);
+            m.reactor_conns_queued.store(0, Ordering::Relaxed);
+            m.reactor_batch_bytes.reset();
+            m.reactor_loop_us.reset();
         }
         self.sites.lock().clear();
+        self.timeline.clear();
+    }
+
+    /// Plain-value copy of one machine shard, lock-free. The sampler
+    /// calls this every tick, so it deliberately skips the site table
+    /// (which would take the `sites` mutex).
+    pub fn machine_snapshot(&self, machine: u16) -> MachineSnapshot {
+        let m = &self.machines[machine as usize];
+        MachineSnapshot {
+            stats: m.stats.snapshot(),
+            rtt_us: m.rtt_us.snapshot(),
+            marshal_us: m.marshal_us.snapshot(),
+            unmarshal_us: m.unmarshal_us.snapshot(),
+            invoke_us: m.invoke_us.snapshot(),
+            queue_us: m.queue_us.snapshot(),
+            payload_bytes: m.payload_bytes.snapshot(),
+            requests_started: m.requests_started.load(Ordering::Relaxed),
+            requests_completed: m.requests_completed.load(Ordering::Relaxed),
+            in_flight: m.in_flight.load(Ordering::Relaxed),
+            audit_checks: m.audit_checks.load(Ordering::Relaxed),
+            audit_poisons: m.audit_poisons.load(Ordering::Relaxed),
+            pool_hits: m.pool_hits.load(Ordering::Relaxed),
+            pool_misses: m.pool_misses.load(Ordering::Relaxed),
+            pool_cold_misses: m.pool_cold_misses.load(Ordering::Relaxed),
+            pool_resident_bytes: m.pool_resident_bytes.load(Ordering::Relaxed),
+            pool_outstanding: m.pool_outstanding.load(Ordering::Relaxed),
+            serve_queue_depth: m.serve_queue_depth.load(Ordering::Relaxed),
+            reactor_frames_enqueued: m.reactor_frames_enqueued.load(Ordering::Relaxed),
+            reactor_flush_batches: m.reactor_flush_batches.load(Ordering::Relaxed),
+            reactor_flush_size: m.reactor_flush_size.load(Ordering::Relaxed),
+            reactor_flush_deadline: m.reactor_flush_deadline.load(Ordering::Relaxed),
+            reactor_flush_idle: m.reactor_flush_idle.load(Ordering::Relaxed),
+            reactor_queued_bytes: m.reactor_queued_bytes.load(Ordering::Relaxed),
+            reactor_conns_queued: m.reactor_conns_queued.load(Ordering::Relaxed),
+            reactor_batch_bytes: m.reactor_batch_bytes.snapshot(),
+            reactor_loop_us: m.reactor_loop_us.snapshot(),
+        }
     }
 
     /// Plain-value copy of every scope, for rendering after a run.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let machines = self
-            .machines
-            .iter()
-            .map(|m| MachineSnapshot {
-                stats: m.stats.snapshot(),
-                rtt_us: m.rtt_us.snapshot(),
-                marshal_us: m.marshal_us.snapshot(),
-                unmarshal_us: m.unmarshal_us.snapshot(),
-                invoke_us: m.invoke_us.snapshot(),
-                queue_us: m.queue_us.snapshot(),
-                payload_bytes: m.payload_bytes.snapshot(),
-                requests_started: m.requests_started.load(Ordering::Relaxed),
-                requests_completed: m.requests_completed.load(Ordering::Relaxed),
-                in_flight: m.in_flight.load(Ordering::Relaxed),
-                audit_checks: m.audit_checks.load(Ordering::Relaxed),
-                audit_poisons: m.audit_poisons.load(Ordering::Relaxed),
-                pool_hits: m.pool_hits.load(Ordering::Relaxed),
-                pool_misses: m.pool_misses.load(Ordering::Relaxed),
-                pool_cold_misses: m.pool_cold_misses.load(Ordering::Relaxed),
-                pool_resident_bytes: m.pool_resident_bytes.load(Ordering::Relaxed),
-            })
-            .collect();
+        let machines = (0..self.machines.len()).map(|m| self.machine_snapshot(m as u16)).collect();
         let mut sites: Vec<SiteSnapshot> = self
             .sites
             .lock()
@@ -201,6 +268,17 @@ pub struct MachineSnapshot {
     pub pool_misses: u64,
     pub pool_cold_misses: u64,
     pub pool_resident_bytes: u64,
+    pub pool_outstanding: u64,
+    pub serve_queue_depth: u64,
+    pub reactor_frames_enqueued: u64,
+    pub reactor_flush_batches: u64,
+    pub reactor_flush_size: u64,
+    pub reactor_flush_deadline: u64,
+    pub reactor_flush_idle: u64,
+    pub reactor_queued_bytes: u64,
+    pub reactor_conns_queued: u64,
+    pub reactor_batch_bytes: HistSnapshot,
+    pub reactor_loop_us: HistSnapshot,
 }
 
 impl MachineSnapshot {
@@ -342,6 +420,59 @@ mod tests {
         for m in &snap.machines {
             assert_eq!(m.pool_hits + m.pool_misses + m.pool_resident_bytes, 0);
         }
+    }
+
+    #[test]
+    fn reactor_and_queue_scopes_snapshot_and_reset() {
+        let reg = MetricsRegistry::new(2);
+        reg.machine(0).serve_queue_depth.fetch_add(3, Ordering::Relaxed);
+        reg.machine(0).pool_outstanding.fetch_add(2, Ordering::Relaxed);
+        reg.machine(1).reactor_frames_enqueued.fetch_add(10, Ordering::Relaxed);
+        reg.machine(1).reactor_flush_batches.fetch_add(4, Ordering::Relaxed);
+        reg.machine(1).reactor_flush_size.fetch_add(1, Ordering::Relaxed);
+        reg.machine(1).reactor_flush_deadline.fetch_add(2, Ordering::Relaxed);
+        reg.machine(1).reactor_flush_idle.fetch_add(1, Ordering::Relaxed);
+        reg.machine(1).reactor_queued_bytes.fetch_add(512, Ordering::Relaxed);
+        reg.machine(1).reactor_conns_queued.fetch_add(1, Ordering::Relaxed);
+        reg.machine(1).reactor_batch_bytes.record(512);
+        reg.machine(1).reactor_loop_us.record(40);
+        reg.timeline().push(0, crate::timeline::TimelineSample::default());
+        let snap = reg.snapshot();
+        assert_eq!(snap.machines[0].serve_queue_depth, 3);
+        assert_eq!(snap.machines[0].pool_outstanding, 2);
+        assert_eq!(snap.machines[1].reactor_frames_enqueued, 10);
+        assert_eq!(snap.machines[1].reactor_flush_batches, 4);
+        assert_eq!(
+            snap.machines[1].reactor_flush_size
+                + snap.machines[1].reactor_flush_deadline
+                + snap.machines[1].reactor_flush_idle,
+            snap.machines[1].reactor_flush_batches,
+            "flush reasons partition the batch count"
+        );
+        assert_eq!(snap.machines[1].reactor_queued_bytes, 512);
+        assert_eq!(snap.machines[1].reactor_conns_queued, 1);
+        assert_eq!(snap.machines[1].reactor_batch_bytes.count, 1);
+        assert_eq!(snap.machines[1].reactor_loop_us.count, 1);
+        assert_eq!(reg.timeline().len(0), 1);
+        reg.reset();
+        let snap = reg.snapshot();
+        for m in &snap.machines {
+            assert_eq!(
+                m.serve_queue_depth
+                    + m.pool_outstanding
+                    + m.reactor_frames_enqueued
+                    + m.reactor_flush_batches
+                    + m.reactor_flush_size
+                    + m.reactor_flush_deadline
+                    + m.reactor_flush_idle
+                    + m.reactor_queued_bytes
+                    + m.reactor_conns_queued,
+                0
+            );
+            assert_eq!(m.reactor_batch_bytes.count, 0);
+            assert_eq!(m.reactor_loop_us.count, 0);
+        }
+        assert!(reg.timeline().is_empty(0), "reset drops the timeline rings");
     }
 
     #[test]

@@ -264,6 +264,77 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
         &per_machine_pool(&|ms| ms.in_flight),
     );
 
+    // Reactor coalescing and queue-depth series (DESIGN §14/§15): the
+    // per-flush batch histogram plus flush-reason counters expose how
+    // adaptive batching behaves under load, and the occupancy gauges
+    // feed the timeline sampler and `corm top`.
+    counter(
+        &mut out,
+        "corm_reactor_frames_enqueued_total",
+        "Frames appended to reactor per-connection output buffers",
+        &per_machine_pool(&|ms| ms.reactor_frames_enqueued),
+    );
+    counter(
+        &mut out,
+        "corm_reactor_flush_batches_total",
+        "Coalesced writev flushes issued by the reactor",
+        &per_machine_pool(&|ms| ms.reactor_flush_batches),
+    );
+    counter(
+        &mut out,
+        "corm_reactor_flush_size_total",
+        "Reactor flushes triggered by the batch-size threshold",
+        &per_machine_pool(&|ms| ms.reactor_flush_size),
+    );
+    counter(
+        &mut out,
+        "corm_reactor_flush_deadline_total",
+        "Reactor flushes triggered by the coalescing deadline",
+        &per_machine_pool(&|ms| ms.reactor_flush_deadline),
+    );
+    counter(
+        &mut out,
+        "corm_reactor_flush_idle_total",
+        "Reactor flushes issued inline on an otherwise idle connection",
+        &per_machine_pool(&|ms| ms.reactor_flush_idle),
+    );
+    gauge(
+        &mut out,
+        "corm_reactor_queued_bytes",
+        "Bytes currently buffered in reactor output queues",
+        &per_machine_pool(&|ms| ms.reactor_queued_bytes),
+    );
+    gauge(
+        &mut out,
+        "corm_reactor_conns_queued",
+        "Connections with a non-empty reactor output buffer",
+        &per_machine_pool(&|ms| ms.reactor_conns_queued),
+    );
+    gauge(
+        &mut out,
+        "corm_serve_queue_depth",
+        "Requests accepted by the drain loop awaiting a worker",
+        &per_machine_pool(&|ms| ms.serve_queue_depth),
+    );
+    gauge(
+        &mut out,
+        "corm_pool_outstanding",
+        "Marshal buffers checked out and not yet returned",
+        &per_machine_pool(&|ms| ms.pool_outstanding),
+    );
+    histogram(
+        &mut out,
+        "corm_reactor_batch_bytes",
+        "Bytes written per fully drained reactor flush",
+        &per_machine_hist(&|ms| ms.reactor_batch_bytes),
+    );
+    histogram(
+        &mut out,
+        "corm_reactor_loop_microseconds",
+        "Reactor event-loop iteration latency",
+        &per_machine_hist(&|ms| ms.reactor_loop_us),
+    );
+
     let site_calls: Vec<(String, u64)> =
         m.sites.iter().map(|s| (format!("site=\"{}\"", s.site), s.calls)).collect();
     counter(&mut out, "corm_site_calls_total", "RMIs issued per remote call site", &site_calls);
@@ -371,6 +442,46 @@ mod tests {
             assert!(text.contains(&format!("# TYPE {fam}_p99 gauge")), "{fam}");
             assert!(text.contains(&format!("# TYPE {fam}_p999 gauge")), "{fam}");
         }
+    }
+
+    #[test]
+    fn reactor_and_queue_series_are_exposed() {
+        let reg = MetricsRegistry::new(2);
+        let m0 = reg.machine(0);
+        m0.reactor_frames_enqueued.fetch_add(20, std::sync::atomic::Ordering::Relaxed);
+        m0.reactor_flush_batches.fetch_add(5, std::sync::atomic::Ordering::Relaxed);
+        m0.reactor_flush_size.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        m0.reactor_flush_deadline.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        m0.reactor_flush_idle.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        m0.reactor_queued_bytes.fetch_add(4096, std::sync::atomic::Ordering::Relaxed);
+        m0.reactor_conns_queued.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        m0.serve_queue_depth.fetch_add(11, std::sync::atomic::Ordering::Relaxed);
+        m0.pool_outstanding.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        m0.reactor_batch_bytes.record(8192);
+        m0.reactor_loop_us.record(250);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE corm_reactor_frames_enqueued_total counter"));
+        assert!(text.contains(r#"corm_reactor_frames_enqueued_total{machine="0"} 20"#));
+        assert!(text.contains(r#"corm_reactor_frames_enqueued_total{machine="1"} 0"#));
+        assert!(text.contains(r#"corm_reactor_flush_batches_total{machine="0"} 5"#));
+        // the three reason counters partition flush_batches
+        assert!(text.contains(r#"corm_reactor_flush_size_total{machine="0"} 2"#));
+        assert!(text.contains(r#"corm_reactor_flush_deadline_total{machine="0"} 1"#));
+        assert!(text.contains(r#"corm_reactor_flush_idle_total{machine="0"} 2"#));
+        // occupancy can shrink: gauges, not counters
+        assert!(text.contains("# TYPE corm_reactor_queued_bytes gauge"));
+        assert!(text.contains(r#"corm_reactor_queued_bytes{machine="0"} 4096"#));
+        assert!(text.contains("# TYPE corm_reactor_conns_queued gauge"));
+        assert!(text.contains(r#"corm_reactor_conns_queued{machine="0"} 3"#));
+        assert!(text.contains("# TYPE corm_serve_queue_depth gauge"));
+        assert!(text.contains(r#"corm_serve_queue_depth{machine="0"} 11"#));
+        assert!(text.contains("# TYPE corm_pool_outstanding gauge"));
+        assert!(text.contains(r#"corm_pool_outstanding{machine="0"} 2"#));
+        assert!(text.contains("# TYPE corm_reactor_batch_bytes histogram"));
+        assert!(text.contains(r#"corm_reactor_batch_bytes_count{machine="0"} 1"#));
+        assert!(text.contains(r#"corm_reactor_batch_bytes_sum{machine="0"} 8192"#));
+        assert!(text.contains("# TYPE corm_reactor_loop_microseconds histogram"));
+        assert!(text.contains(r#"corm_reactor_loop_microseconds_count{machine="0"} 1"#));
     }
 
     #[test]

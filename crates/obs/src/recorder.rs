@@ -44,6 +44,11 @@ pub enum FlightKind {
     /// measured latency in µs, clamped to u32). Recorded by the serving
     /// benchmark so a failed slo-gate dumps the exact offending req ids.
     Slo,
+    /// The timeline health assessor flagged this machine (`peer` names
+    /// it, `site` carries the `HealthKind` code, `bytes` the magnitude,
+    /// `req` the sampler tick). A dump containing one of these points
+    /// straight at the stalled/backpressured/leaking machine.
+    Health,
 }
 
 impl FlightKind {
@@ -55,6 +60,7 @@ impl FlightKind {
             FlightKind::Local => 4,
             FlightKind::Fail => 5,
             FlightKind::Slo => 6,
+            FlightKind::Health => 7,
         }
     }
 
@@ -66,6 +72,7 @@ impl FlightKind {
             4 => FlightKind::Local,
             5 => FlightKind::Fail,
             6 => FlightKind::Slo,
+            7 => FlightKind::Health,
             _ => return None,
         })
     }
@@ -78,6 +85,7 @@ impl FlightKind {
             FlightKind::Local => "local",
             FlightKind::Fail => "fail",
             FlightKind::Slo => "slo",
+            FlightKind::Health => "health",
         }
     }
 }
@@ -470,6 +478,32 @@ mod tests {
             assert_eq!(e.peer as u64, t);
         }
         assert_eq!(ring.recorded(), 4000);
+    }
+
+    #[test]
+    fn health_kind_roundtrips_through_the_ring() {
+        let ring = FlightRing::new(4);
+        ring.record(FlightEvent {
+            t_us: 0,
+            req: 12, // sampler tick
+            site: 1, // HealthKind::Stall code
+            bytes: 3,
+            kind: FlightKind::Health,
+            peer: 2,
+            flags: 0,
+            transport: TRANSPORT_REACTOR,
+        });
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].kind, FlightKind::Health);
+        assert_eq!(snap[0].kind.name(), "health");
+        assert_eq!(snap[0].peer, 2, "names the offending machine");
+        let dump = FlightDump {
+            reason: "requested".into(),
+            failing_reqs: vec![],
+            machines: vec![(0, snap)],
+        };
+        assert!(render_flight_json(&dump).contains("\"kind\": \"health\""));
     }
 
     #[test]

@@ -149,7 +149,9 @@ impl BufferPool {
         metrics: &MachineMetrics,
     ) -> (Vec<u8>, bool) {
         let out = self.checkout(machine, site, lane, hint, metrics);
-        self.shards[machine as usize].ledger.lock().insert(req_id, (site, lane));
+        if self.shards[machine as usize].ledger.lock().insert(req_id, (site, lane)).is_none() {
+            metrics.pool_outstanding.fetch_add(1, Relaxed);
+        }
         out
     }
 
@@ -161,14 +163,17 @@ impl BufferPool {
     pub fn put_for(&self, machine: u16, req_id: u64, buf: Vec<u8>, metrics: &MachineMetrics) {
         let key = self.shards[machine as usize].ledger.lock().remove(&req_id);
         if let Some((site, lane)) = key {
+            metrics.pool_outstanding.fetch_sub(1, Relaxed);
             self.put(machine, site, lane, buf, metrics);
         }
     }
 
     /// Forget request `req_id`'s outstanding checkout: its buffer is
     /// lost (failed call, severed peer) and will never be checked in.
-    pub fn abandon(&self, machine: u16, req_id: u64) {
-        self.shards[machine as usize].ledger.lock().remove(&req_id);
+    pub fn abandon(&self, machine: u16, req_id: u64, metrics: &MachineMetrics) {
+        if self.shards[machine as usize].ledger.lock().remove(&req_id).is_some() {
+            metrics.pool_outstanding.fetch_sub(1, Relaxed);
+        }
     }
 
     /// Outstanding request-keyed checkouts on `machine` (test hook: the
@@ -280,9 +285,11 @@ mod tests {
         let (big, _) = pool.checkout_for(0, 101, 1, Lane::Args, 1024, m);
         let (small, _) = pool.checkout_for(0, 102, 2, Lane::Args, 16, m);
         assert_eq!(pool.outstanding(0), 2);
+        assert_eq!(reg.snapshot().machines[0].pool_outstanding, 2, "gauge mirrors the ledger");
         pool.put_for(0, 102, small, m); // reply for req 102 arrives first
         pool.put_for(0, 101, big, m);
         assert_eq!(pool.outstanding(0), 0, "ledger drains as replies land");
+        assert_eq!(reg.snapshot().machines[0].pool_outstanding, 0);
         // Each site gets *its own* buffer back: the ledger, not the
         // completion order, decides the slot.
         let (b1, hit1) = pool.checkout(0, 1, Lane::Args, 1024, m);
@@ -304,10 +311,15 @@ mod tests {
         // An abandoned checkout (failed call) consumes the entry; a
         // later stray put for the same id is likewise a drop.
         let (buf, _) = pool.checkout_for(0, 7, 3, Lane::Args, 32, m);
-        pool.abandon(0, 7);
+        pool.abandon(0, 7, m);
         assert_eq!(pool.outstanding(0), 0);
         pool.put_for(0, 7, buf, m);
         assert_eq!(reg.snapshot().machines[0].pool_resident_bytes, 0);
+        assert_eq!(
+            reg.snapshot().machines[0].pool_outstanding,
+            0,
+            "abandon retires the gauge; the stray put must not underflow it"
+        );
     }
 
     #[test]

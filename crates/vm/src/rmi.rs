@@ -216,7 +216,7 @@ pub fn remote_call_with_req(
             // The buffer died with the failed call; retire its ledger
             // entry so the id can't alias a future check-in. (No-op when
             // the call already consumed the entry before failing.)
-            rt.pool.abandon(my, req);
+            rt.pool.abandon(my, req, shard);
         }
     }
     result.map(|v| (v, req))

@@ -11,6 +11,10 @@ use corm_obs::recorder::{
     FlightEvent, FlightKind, DEFAULT_FLIGHT_CAPACITY, TRANSPORT_CHANNEL, TRANSPORT_REACTOR,
     TRANSPORT_TCP,
 };
+use corm_obs::timeline::{
+    spawn_sampler, HealthConfig, SamplerConfig, SamplerHandle, TimelineDoc,
+    DEFAULT_TIMELINE_INTERVAL_US,
+};
 use corm_obs::{render_flight_json, FlightDump, FlightRecorder, MetricsRegistry, MetricsSnapshot};
 use corm_wire::{RmiStats, StatsSnapshot};
 use parking_lot::Mutex;
@@ -60,6 +64,12 @@ pub struct RunOptions {
     /// operation; the SLO gate uses it to prove a degraded server
     /// actually fails the gate.
     pub stall: Option<StallSpec>,
+    /// Timeline sampler cadence, µs (DESIGN §15). A background thread
+    /// snapshots every machine's metrics at this interval into the
+    /// registry's bounded rings and runs the health assessor over them.
+    /// On by default; `0` disables sampling — that switch exists for the
+    /// timeline-overhead bench gate, not for production use.
+    pub timeline_interval_us: u64,
 }
 
 /// Deterministic fault injection for failure-path tests: the
@@ -101,6 +111,7 @@ impl Default for RunOptions {
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             fault: None,
             stall: None,
+            timeline_interval_us: DEFAULT_TIMELINE_INTERVAL_US,
         }
     }
 }
@@ -186,6 +197,10 @@ pub struct Runtime {
     /// circulate caller → server → reply → caller, so steady-state
     /// marshals allocate nothing. Canary mode rides on `audit`.
     pub pool: crate::pool::BufferPool,
+    /// Background timeline sampler (DESIGN §15), when enabled by
+    /// [`RunOptions::timeline_interval_us`]. Stopped (final forced tick
+    /// included) by [`Cluster::finish`] before the metrics snapshot.
+    pub sampler: Option<SamplerHandle>,
 }
 
 impl Runtime {
@@ -337,6 +352,10 @@ pub struct RunOutcome {
     /// events and failed request ids. Render with
     /// `corm_obs::render_flight_json`.
     pub flight: FlightDump,
+    /// Timeline of the run: per-machine sampled metrics plus health
+    /// findings (empty when [`RunOptions::timeline_interval_us`] is 0).
+    /// Render with `corm_obs::render_timeline_json`.
+    pub timeline: TimelineDoc,
 }
 
 impl RunOutcome {
@@ -376,6 +395,26 @@ impl Cluster {
             .map(|i| Arc::new(MachineShared::with_statics(i as u16, static_defaults.clone())))
             .collect();
 
+        let transport_code = match opts.transport {
+            TransportKind::Channel => TRANSPORT_CHANNEL,
+            TransportKind::Tcp => TRANSPORT_TCP,
+            TransportKind::Reactor => TRANSPORT_REACTOR,
+        };
+        let flight = Arc::new(FlightRecorder::new(opts.machines, opts.flight_capacity));
+        // The sampler starts before any work is issued, so the first
+        // tick is the run's baseline and the rings cover the whole run.
+        let sampler = (opts.timeline_interval_us > 0).then(|| {
+            spawn_sampler(
+                obs.clone(),
+                flight.clone(),
+                SamplerConfig {
+                    interval: Duration::from_micros(opts.timeline_interval_us),
+                    health: HealthConfig::default(),
+                    transport_code,
+                },
+            )
+        });
+
         let rt = Arc::new(Runtime {
             module,
             plans,
@@ -392,18 +431,15 @@ impl Cluster {
             trace: if opts.trace { Some(Mutex::new(Vec::new())) } else { None },
             audit: opts.audit,
             audit_counters: AuditCounters::default(),
-            flight: Arc::new(FlightRecorder::new(opts.machines, opts.flight_capacity)),
+            flight,
             flight_failed: Mutex::new(Vec::new()),
-            transport_code: match opts.transport {
-                TransportKind::Channel => TRANSPORT_CHANNEL,
-                TransportKind::Tcp => TRANSPORT_TCP,
-                TransportKind::Reactor => TRANSPORT_REACTOR,
-            },
+            transport_code,
             fault: opts.fault,
             fault_sends: std::sync::atomic::AtomicU64::new(0),
             stall: opts.stall,
             stall_count: std::sync::atomic::AtomicU64::new(0),
             pool: crate::pool::BufferPool::new(opts.machines, opts.audit),
+            sampler,
         });
         let _panic_guard = PanicFlightGuard { rt: rt.clone() };
 
@@ -420,6 +456,12 @@ impl Cluster {
                     while let Ok((req_id, from, site, target_obj, payload, oneway, enq_us)) =
                         rx.recv()
                     {
+                        // Close the queue-depth gauge the drain loop
+                        // opened when it parked this request.
+                        rt2.obs
+                            .machine(mid)
+                            .serve_queue_depth
+                            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
                         rmi::handle_request(
                             &rt2, mid, req_id, from, site, target_obj, payload, oneway, enq_us,
                         );
@@ -471,6 +513,12 @@ impl Cluster {
         // channel) so measured wire time is final and nothing outlives
         // the run.
         rt.net.shutdown();
+        // Stop the timeline sampler once the cluster is quiet: its final
+        // forced tick lands here, so the rings' delta totals equal the
+        // final counters and the snapshot below sees a finished timeline.
+        if let Some(s) = &rt.sampler {
+            s.stop_and_join();
+        }
         let measured_wire_ns = rt.net.measured_wire_ns_per_machine();
         let measured_wire = Duration::from_nanos(measured_wire_ns.iter().sum());
 
@@ -537,6 +585,11 @@ impl Cluster {
             measured_wire_ns,
             audit: rt.audit_counters.snapshot(rt.audit),
             flight,
+            timeline: if rt.sampler.is_some() {
+                rt.obs.timeline().doc()
+            } else {
+                TimelineDoc::default()
+            },
         }
     }
 }
@@ -702,6 +755,10 @@ fn drain_loop(
                     });
                     rt.spawned.lock().push(handle);
                 } else {
+                    rt.obs
+                        .machine(my)
+                        .serve_queue_depth
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let _ = work_tx.send((req_id, from, site, target_obj, payload, oneway, enq_us));
                 }
             }

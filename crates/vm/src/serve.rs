@@ -230,12 +230,28 @@ pub fn serve(
     schedule: &ArrivalSchedule,
     opts: &ServeOptions,
 ) -> Result<ServeReport, VmError> {
+    serve_with(module, plans, spec, schedule, opts, |_| {})
+}
+
+/// [`serve`] with an observer hook invoked once the cluster is up
+/// (statics run, load not yet started). `corm top` uses it to grab the
+/// live metrics registry and redraw from the timeline rings while the
+/// benchmark drives.
+pub fn serve_with(
+    module: Arc<Module>,
+    plans: Arc<Plans>,
+    spec: &ServeSpec,
+    schedule: &ArrivalSchedule,
+    opts: &ServeOptions,
+    on_start: impl FnOnce(&Cluster),
+) -> Result<ServeReport, VmError> {
     assert!(opts.run.machines >= 2, "serving needs at least one slave machine besides the clients");
     let cluster = Cluster::start(module, plans, &opts.run);
     if let Some(e) = cluster.run_clinits() {
         cluster.finish(Some(e.clone()));
         return Err(e);
     }
+    on_start(&cluster);
     match drive(&cluster, spec, schedule, opts) {
         Ok(partial) => Ok(partial.into_report(cluster, schedule, opts)),
         Err(e) => {

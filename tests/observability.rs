@@ -205,6 +205,26 @@ fn metrics_are_scoped_per_run_with_no_bleed_through() {
     reg.machine(1).requests_completed.fetch_add(2, Relaxed);
     reg.machine(1).in_flight.fetch_add(1, Relaxed);
     reg.site(1).calls.fetch_add(1, Relaxed);
+    // ... and the timeline plane (DESIGN §15): reactor/queue/pool
+    // gauges, sample rings and health findings must all clear too.
+    reg.machine(0).reactor_frames_enqueued.fetch_add(5, Relaxed);
+    reg.machine(0).reactor_flush_batches.fetch_add(2, Relaxed);
+    reg.machine(0).reactor_flush_size.fetch_add(1, Relaxed);
+    reg.machine(0).reactor_flush_deadline.fetch_add(1, Relaxed);
+    reg.machine(0).reactor_queued_bytes.fetch_add(512, Relaxed);
+    reg.machine(0).reactor_conns_queued.fetch_add(1, Relaxed);
+    reg.machine(0).reactor_batch_bytes.record(256);
+    reg.machine(0).reactor_loop_us.record(40);
+    reg.machine(1).pool_outstanding.fetch_add(2, Relaxed);
+    reg.machine(1).serve_queue_depth.fetch_add(4, Relaxed);
+    reg.timeline().push(0, corm::TimelineSample { t_us: 10, started: 3, ..Default::default() });
+    reg.timeline().record_health(corm::HealthEvent {
+        t_us: 10,
+        machine: 1,
+        kind: corm::HealthKind::Stall,
+        value: 3,
+    });
+    assert!(!reg.timeline().is_empty(0));
     reg.reset();
     assert_eq!(reg.cluster_snapshot(), corm::StatsSnapshot::default());
     assert!(reg.snapshot().sites.is_empty());
@@ -213,7 +233,19 @@ fn metrics_are_scoped_per_run_with_no_bleed_through() {
         assert_eq!(m.requests_started, 0);
         assert_eq!(m.requests_completed, 0);
         assert_eq!(m.in_flight, 0, "in-flight gauge leaked across reset");
+        assert_eq!(m.reactor_frames_enqueued, 0, "reactor counter leaked across reset");
+        assert_eq!(m.reactor_flush_batches, 0);
+        assert_eq!(m.reactor_flush_size + m.reactor_flush_deadline + m.reactor_flush_idle, 0);
+        assert_eq!(m.reactor_queued_bytes, 0, "reactor gauge leaked across reset");
+        assert_eq!(m.reactor_conns_queued, 0);
+        assert_eq!(m.reactor_batch_bytes.count, 0, "reactor histogram leaked across reset");
+        assert_eq!(m.reactor_loop_us.count, 0);
+        assert_eq!(m.pool_outstanding, 0, "pool ledger gauge leaked across reset");
+        assert_eq!(m.serve_queue_depth, 0, "serve queue gauge leaked across reset");
     }
+    assert!(reg.timeline().is_empty(0), "timeline rings leaked across reset");
+    assert!(reg.timeline().health_events().is_empty(), "health findings leaked across reset");
+    assert_eq!(reg.timeline().doc().total_samples(), 0);
 }
 
 #[test]
