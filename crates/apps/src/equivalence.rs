@@ -25,6 +25,15 @@
 //! must still be exact, while the poll-affected ones get a relative
 //! tolerance. This mirrors the carve-out already used by
 //! `tests/config_equivalence.rs`.
+//!
+//! The lossy backend adds one more carve-out: its fault plan models
+//! delay, jitter and retransmission timeouts, which *deliberately*
+//! inflate wall-clock latency — and with it the number of completion
+//! polls a polling app issues (observed 2–3x, far past any sensible
+//! tolerance). Poll counts are pure timing artifacts, so when either
+//! side of a comparison is lossy the poll-affected counters are
+//! skipped for polling apps; output, errors and the timing-free
+//! counters remain exact.
 
 use corm::{OptConfig, RunOptions, RunOutcome, StatsSnapshot, TransportKind};
 
@@ -151,10 +160,16 @@ pub fn diff_runs(app: &str, config: &str, a: &TransportRun, b: &TransportRun) ->
                 }
             }
         }
-        for (name, get) in POLL_AFFECTED {
-            let (va, vb) = (get(&a.cluster), get(&b.cluster));
-            if !rel_close(va, vb, POLL_TOLERANCE) {
-                bad.push(format!("{ctx}: cluster {name} {va} vs {vb} (tol {POLL_TOLERANCE})"));
+        // Lossy latency modeling inflates poll counts past any fixed
+        // tolerance (see module docs): poll-affected counters are only
+        // comparable between latency-comparable backends.
+        let lossy = a.transport == TransportKind::Lossy || b.transport == TransportKind::Lossy;
+        if !lossy {
+            for (name, get) in POLL_AFFECTED {
+                let (va, vb) = (get(&a.cluster), get(&b.cluster));
+                if !rel_close(va, vb, POLL_TOLERANCE) {
+                    bad.push(format!("{ctx}: cluster {name} {va} vs {vb} (tol {POLL_TOLERANCE})"));
+                }
             }
         }
     }

@@ -2,14 +2,14 @@
 //!
 //! Runs every app under every table configuration on the in-process
 //! channel fabric and on each requested wire backend (loopback TCP,
-//! reactor), diffs program output and the shard-folded counters with
-//! the rules from `corm_apps::equivalence`, and exits nonzero on any
-//! divergence.
+//! reactor, or the seeded-fault lossy fabric), diffs program output and
+//! the shard-folded counters with the rules from
+//! `corm_apps::equivalence`, and exits nonzero on any divergence.
 //!
 //! Usage:
-//!   cargo run --release -p corm-bench --bin equivalence [--transport tcp|reactor]
+//!   cargo run --release -p corm-bench --bin equivalence [--transport tcp|reactor|lossy]
 //!
-//! With no `--transport`, both wire backends are swept.
+//! With no `--transport`, every wire backend is swept.
 
 use corm::{OptConfig, TransportKind};
 use corm_apps::equivalence::{diff_runs, run_under};
@@ -18,18 +18,18 @@ use corm_apps::ALL_APPS;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let wires: Vec<TransportKind> = match args.get(1).map(String::as_str) {
-        None => vec![TransportKind::Tcp, TransportKind::Reactor],
+        None => vec![TransportKind::Tcp, TransportKind::Reactor, TransportKind::Lossy],
         Some("--transport") => {
             let kind =
                 args.get(2).and_then(|s| s.parse().ok()).filter(|k| *k != TransportKind::Channel);
             let Some(kind) = kind else {
-                eprintln!("usage: equivalence [--transport tcp|reactor]");
+                eprintln!("usage: equivalence [--transport tcp|reactor|lossy]");
                 std::process::exit(2);
             };
             vec![kind]
         }
         Some(other) => {
-            eprintln!("unknown flag {other}\nusage: equivalence [--transport tcp|reactor]");
+            eprintln!("unknown flag {other}\nusage: equivalence [--transport tcp|reactor|lossy]");
             std::process::exit(2);
         }
     };

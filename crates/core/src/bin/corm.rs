@@ -46,8 +46,8 @@
 use std::process::ExitCode;
 
 use corm::{
-    compile, run, ArrivalSchedule, MetricsRegistry, OptConfig, RunOptions, ServeOptions,
-    ServeReport, StallSpec, TimelineSample, TransportKind,
+    compile, run, ArrivalSchedule, LossSpec, MetricsRegistry, OptConfig, RunOptions, Semantics,
+    ServeOptions, ServeReport, StallSpec, TimelineSample, TransportKind,
 };
 
 /// The webserver program `corm serve` drives (the app crate sits above
@@ -56,7 +56,7 @@ const WEBSERVER_MP: &str = include_str!("../../../apps/src/programs/webserver.mp
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet] [--dump-flight PATH] [--timeline-json PATH]\n  corm explain <file.mp> [--config CFG] [--json]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n  corm serve [--config CFG] [--machines N] [--transport T] [--rate RPS] [--requests N]\n             [--seed N] [--clients N] [--slo-us N] [--stall EVERY:US] [--metrics] [--dump-flight PATH]\n             [--timeline-json PATH]\n  corm top   [--config CFG] [--machines N] [--transport T] [--rate RPS] [--seconds S]\n             [--seed N] [--clients N] [--refresh-ms MS] [--stall EVERY:US] [--timeline-json PATH]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default), tcp\n                     (one socket+thread per peer pair), or reactor (shared\n                     event loops, pipelined + batched); tcp and reactor\n                     also measure wire time\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing\n  --dump-flight PATH write the flight-recorder events as JSON after the run\n  --timeline-json PATH\n                     write the sampled telemetry timeline as JSON (per-machine\n                     deltas at the 10ms sampler cadence + health findings)\n\ntop flags:\n  --seconds S        drive the webserver for ~S seconds (default 10)\n  --refresh-ms MS    redraw cadence for the live table (default 250)\n\nexplain flags:\n  --config CFG       explain only this configuration (default: all 5 rows)\n  --json             machine-readable provenance instead of the text report"
+        "usage:\n  corm run <file.mp> [--config CFG] [--machines N] [--args a,b,c] [--transport T] [--loss-seed N] [--loss-rate R] [--loss-semantics S] [--stats] [--trace] [--trace-json PATH] [--metrics] [--quiet] [--dump-flight PATH] [--timeline-json PATH]\n  corm explain <file.mp> [--config CFG] [--json]\n  corm analyze <file.mp> [--config CFG]\n  corm ir <file.mp>\n  corm graph <file.mp>\n  corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--emit-corpus DIR]\n  corm serve [--config CFG] [--machines N] [--transport T] [--rate RPS] [--requests N]\n             [--seed N] [--clients N] [--slo-us N] [--stall EVERY:US] [--metrics] [--dump-flight PATH]\n             [--timeline-json PATH]\n  corm top   [--config CFG] [--machines N] [--transport T] [--rate RPS] [--seconds S]\n             [--seed N] [--clients N] [--refresh-ms MS] [--stall EVERY:US] [--timeline-json PATH]\n\nCFG: class | site | site-cycle | site-reuse | all | introspect [+list-ext]\n\nrun flags:\n  --transport T      packet carrier: channel (in-process, default), tcp\n                     (one socket+thread per peer pair), reactor (shared\n                     event loops, pipelined + batched), or lossy (seeded\n                     drop/duplicate/reorder shim with retransmission and\n                     selectable invocation semantics); tcp, reactor and\n                     lossy also measure wire time\n  --loss-seed N      lossy: seed for the deterministic fault hash\n  --loss-rate R      lossy: drop AND duplicate each datagram copy with\n                     probability R (default 0.05 each, reorder 0.25)\n  --loss-semantics S lossy: maybe | at-least-once | at-most-once (default)\n                     (serve and top accept the same three --loss-* flags)\n  --stats            print run statistics (counters, modeled time) to stderr\n  --trace            print the RMI timeline and phase attribution to stderr\n                     (suppressed by --quiet; trace is still recorded)\n  --trace-json PATH  write a Chrome trace-event JSON file (open in Perfetto)\n  --metrics          print Prometheus text-format metrics to stdout\n  --quiet            suppress program output echo and trace printing\n  --dump-flight PATH write the flight-recorder events as JSON after the run\n  --timeline-json PATH\n                     write the sampled telemetry timeline as JSON (per-machine\n                     deltas at the 10ms sampler cadence + health findings)\n\ntop flags:\n  --seconds S        drive the webserver for ~S seconds (default 10)\n  --refresh-ms MS    redraw cadence for the live table (default 250)\n\nexplain flags:\n  --config CFG       explain only this configuration (default: all 5 rows)\n  --json             machine-readable provenance instead of the text report"
     );
     std::process::exit(2);
 }
@@ -94,9 +94,43 @@ struct Cli {
     trace_json: Option<String>,
     metrics: bool,
     transport: TransportKind,
+    loss_seed: Option<u64>,
+    loss_rate: Option<f64>,
+    loss_semantics: Option<Semantics>,
     json: bool,
     dump_flight: Option<String>,
     timeline_json: Option<String>,
+}
+
+/// Fold the `--loss-*` flags into one [`LossSpec`]. `None` when no flag
+/// was given (the lossy backend then uses its seeded default model).
+fn loss_spec(
+    seed: Option<u64>,
+    rate: Option<f64>,
+    semantics: Option<Semantics>,
+) -> Option<LossSpec> {
+    if seed.is_none() && rate.is_none() && semantics.is_none() {
+        return None;
+    }
+    let mut spec = match rate {
+        Some(r) => LossSpec::seeded(seed.unwrap_or(LossSpec::default().seed), r),
+        None => LossSpec::default(),
+    };
+    if let Some(s) = seed {
+        spec.seed = s;
+    }
+    if let Some(sem) = semantics {
+        spec.semantics = sem;
+    }
+    Some(spec)
+}
+
+/// Seeds read naturally in hex (`0xFA11`) or decimal.
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
 }
 
 fn parse_cli() -> Cli {
@@ -117,6 +151,9 @@ fn parse_cli() -> Cli {
         trace_json: None,
         metrics: false,
         transport: TransportKind::default(),
+        loss_seed: None,
+        loss_rate: None,
+        loss_semantics: None,
         json: false,
         dump_flight: None,
         timeline_json: None,
@@ -169,10 +206,30 @@ fn parse_cli() -> Cli {
             "--transport" => {
                 i += 1;
                 let Some(kind) = argv.get(i).and_then(|s| s.parse().ok()) else {
-                    eprintln!("bad --transport value (expected channel|tcp|reactor)");
+                    eprintln!("bad --transport value (expected channel|tcp|reactor|lossy)");
                     usage();
                 };
                 cli.transport = kind;
+            }
+            "--loss-seed" => {
+                i += 1;
+                cli.loss_seed =
+                    Some(argv.get(i).and_then(|s| parse_seed(s)).unwrap_or_else(|| usage()));
+            }
+            "--loss-rate" => {
+                i += 1;
+                cli.loss_rate =
+                    Some(argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--loss-semantics" => {
+                i += 1;
+                let Some(sem) = argv.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!(
+                        "bad --loss-semantics value (expected maybe|at-least-once|at-most-once)"
+                    );
+                    usage();
+                };
+                cli.loss_semantics = Some(sem);
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -196,6 +253,9 @@ fn serve_main(argv: &[String]) -> ExitCode {
     let mut metrics = false;
     let mut dump_flight: Option<String> = None;
     let mut timeline_json: Option<String> = None;
+    let mut loss_seed: Option<u64> = None;
+    let mut loss_rate: Option<f64> = None;
+    let mut loss_semantics: Option<Semantics> = None;
     let mut i = 0;
     while i < argv.len() {
         let take = |i: &mut usize| -> String {
@@ -223,6 +283,11 @@ fn serve_main(argv: &[String]) -> ExitCode {
                     stall_us: stall_us.parse().unwrap_or_else(|_| usage()),
                 });
             }
+            "--loss-seed" => loss_seed = Some(parse_seed(&take(&mut i)).unwrap_or_else(|| usage())),
+            "--loss-rate" => loss_rate = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--loss-semantics" => {
+                loss_semantics = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--metrics" => metrics = true,
             "--dump-flight" => dump_flight = Some(take(&mut i)),
             "--timeline-json" => timeline_json = Some(take(&mut i)),
@@ -233,6 +298,7 @@ fn serve_main(argv: &[String]) -> ExitCode {
         }
         i += 1;
     }
+    opts.run.loss = loss_spec(loss_seed, loss_rate, loss_semantics);
     if opts.run.machines < 2 || rate <= 0.0 || requests == 0 {
         eprintln!("serve needs --machines >= 2, --rate > 0 and --requests > 0");
         return ExitCode::from(2);
@@ -447,6 +513,9 @@ fn top_main(argv: &[String]) -> ExitCode {
     let mut seed = 42u64;
     let mut refresh_ms = 250u64;
     let mut timeline_json: Option<String> = None;
+    let mut loss_seed: Option<u64> = None;
+    let mut loss_rate: Option<f64> = None;
+    let mut loss_semantics: Option<Semantics> = None;
     let mut i = 0;
     while i < argv.len() {
         let take = |i: &mut usize| -> String {
@@ -474,6 +543,11 @@ fn top_main(argv: &[String]) -> ExitCode {
                     stall_us: stall_us.parse().unwrap_or_else(|_| usage()),
                 });
             }
+            "--loss-seed" => loss_seed = Some(parse_seed(&take(&mut i)).unwrap_or_else(|| usage())),
+            "--loss-rate" => loss_rate = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--loss-semantics" => {
+                loss_semantics = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--timeline-json" => timeline_json = Some(take(&mut i)),
             other => {
                 eprintln!("unknown top flag {other}");
@@ -482,6 +556,7 @@ fn top_main(argv: &[String]) -> ExitCode {
         }
         i += 1;
     }
+    opts.run.loss = loss_spec(loss_seed, loss_rate, loss_semantics);
     if opts.run.machines < 2 || rate <= 0.0 || seconds <= 0.0 || refresh_ms == 0 {
         eprintln!("top needs --machines >= 2, --rate > 0, --seconds > 0 and --refresh-ms > 0");
         return ExitCode::from(2);
@@ -608,6 +683,7 @@ fn main() -> ExitCode {
                 // textual timeline is off.
                 trace: cli.trace || cli.trace_json.is_some(),
                 transport: cli.transport,
+                loss: loss_spec(cli.loss_seed, cli.loss_rate, cli.loss_semantics),
                 ..Default::default()
             };
             let cost = opts.cost;

@@ -49,7 +49,7 @@ pub use corm_codegen::AUDIT_ERROR_PREFIX;
 pub use corm_codegen::{describe_plan, EngineMode, MarshalPlan, OptConfig, Plans};
 pub use corm_heap::{deep_equal_across, structure_digest, HeapStats, Value};
 pub use corm_ir::{CompileError, Module};
-pub use corm_net::{CostModel, TransportKind};
+pub use corm_net::{CostModel, LossSpec, Semantics, TransportKind};
 pub use corm_obs::{
     attach_measured_wire, phase_report, render_phase_report, render_prometheus,
     render_timeline_json, HealthConfig, HealthEvent, HealthKind, HistSnapshot, MachineSnapshot,

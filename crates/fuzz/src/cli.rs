@@ -1,7 +1,7 @@
 //! `corm fuzz` — the CLI entry point (invoked from the `corm` binary).
 //!
 //! ```text
-//! corm fuzz [--seed 0xC0DE] [--iters 200] [--shrink] [--out DIR]
+//! corm fuzz [--seed 0xC0DE] [--iters 200] [--shrink] [--out DIR] [--loss-rate 0.25]
 //! corm fuzz --emit-corpus DIR
 //! ```
 //!
@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 use crate::corpus::corpus;
 use crate::gen::{gen_spec, iter_rng};
-use crate::oracle::{check_spec, OracleOutcome};
+use crate::oracle::{check_spec_with_loss, OracleOutcome};
 use crate::shrink::shrink;
 use crate::spec::ProgramSpec;
 
@@ -23,6 +23,10 @@ struct Cli {
     do_shrink: bool,
     out: PathBuf,
     emit_corpus: Option<PathBuf>,
+    /// Drop/duplicate rate for the oracle's lossy-transport rows; the
+    /// fault plan is seeded from `--seed` so a failing iteration is
+    /// replayable. `None` keeps the backend's default plan.
+    loss_rate: Option<f64>,
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -41,6 +45,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         do_shrink: false,
         out: PathBuf::from("fuzz-artifacts"),
         emit_corpus: None,
+        loss_rate: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -51,6 +56,14 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--shrink" => cli.do_shrink = true,
             "--out" => cli.out = PathBuf::from(val()?),
             "--emit-corpus" => cli.emit_corpus = Some(PathBuf::from(val()?)),
+            "--loss-rate" => {
+                let v = val()?;
+                let rate: f64 = v.parse().map_err(|_| format!("invalid rate: {v}"))?;
+                if !(0.0..=0.9).contains(&rate) {
+                    return Err(format!("--loss-rate must be in [0, 0.9], got {rate}"));
+                }
+                cli.loss_rate = Some(rate);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -58,7 +71,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-const USAGE: &str = "usage: corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR]\n       corm fuzz --emit-corpus DIR";
+const USAGE: &str = "usage: corm fuzz [--seed N|0xHEX] [--iters N] [--shrink] [--out DIR] [--loss-rate F]\n       corm fuzz --emit-corpus DIR";
 
 fn write_artifact(dir: &PathBuf, name: &str, contents: &str) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
@@ -106,10 +119,17 @@ pub fn fuzz_main(args: &[String]) -> i32 {
         return emit_corpus(dir);
     }
 
+    let loss = cli.loss_rate.map(|rate| corm_net::LossSpec::seeded(cli.seed, rate));
+    if let Some(spec) = &loss {
+        println!(
+            "[corm fuzz] lossy rows use seeded fault plan: rate {}, seed {:#x}",
+            spec.drop_rate, spec.seed
+        );
+    }
     let mut totals = OracleOutcome::default();
     for i in 0..cli.iters {
         let spec = gen_spec(&mut iter_rng(cli.seed, i));
-        match check_spec(&spec) {
+        match check_spec_with_loss(&spec, loss) {
             Ok(report) => {
                 totals.runs += report.runs;
                 totals.shadow_tables += report.shadow_tables;
@@ -123,7 +143,9 @@ pub fn fuzz_main(args: &[String]) -> i32 {
                 eprintln!("[corm fuzz] FAILURE at seed {:#x} iteration {i}: {failure}", cli.seed);
                 let final_spec: ProgramSpec = if cli.do_shrink {
                     eprintln!("[corm fuzz] shrinking...");
-                    let min = shrink(&spec, &mut |candidate| check_spec(candidate).is_err());
+                    let min = shrink(&spec, &mut |candidate| {
+                        check_spec_with_loss(candidate, loss).is_err()
+                    });
                     eprintln!(
                         "[corm fuzz] shrunk {} -> {} shapes, {} -> {} calls",
                         spec.shapes.len(),
@@ -137,7 +159,7 @@ pub fn fuzz_main(args: &[String]) -> i32 {
                 };
                 // Re-run the final spec so the recorded failure matches
                 // the recorded program (shrinking may change the detail).
-                let detail = match check_spec(&final_spec) {
+                let detail = match check_spec_with_loss(&final_spec, loss) {
                     Err(f) => f.to_string(),
                     Ok(_) => failure.to_string(),
                 };
@@ -184,5 +206,8 @@ mod tests {
         assert_eq!(cli.out, PathBuf::from("art"));
         assert!(parse(&["--bogus".to_string()]).is_err());
         assert!(parse(&["--seed".to_string()]).is_err());
+        let lossy = parse(&["--loss-rate".to_string(), "0.25".to_string()]).unwrap();
+        assert_eq!(lossy.loss_rate, Some(0.25));
+        assert!(parse(&["--loss-rate".to_string(), "1.5".to_string()]).is_err());
     }
 }

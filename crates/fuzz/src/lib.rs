@@ -33,7 +33,10 @@ pub mod shrink;
 pub mod spec;
 
 pub use gen::gen_spec;
-pub use oracle::{check_source, check_spec, FailureKind, OracleFailure, OracleOutcome};
+pub use oracle::{
+    check_source, check_source_with_loss, check_spec, check_spec_with_loss, FailureKind,
+    OracleFailure, OracleOutcome,
+};
 pub use rng::SplitMix;
 pub use shrink::{candidates, shrink};
 pub use spec::{CallSpec, ProgramSpec, RootTy, ShapeSpec, Variant};

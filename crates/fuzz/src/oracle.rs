@@ -1,11 +1,16 @@
-//! The differential oracle: one program, ten runs, one verdict.
+//! The differential oracle: one program, fifteen runs, one verdict.
 //!
 //! Every check compiles the program once per paper configuration and
-//! runs each compilation under both transport backends with the
-//! analysis-verdict auditor enabled ([`corm_vm::RunOptions::audit`]).
-//! A disagreement anywhere — output, per-machine counters, audit — is a
-//! bug in exactly one of serializer codegen, the heap analyses, or the
-//! transport layer, which is what makes the oracle a useful fuzz target.
+//! runs each compilation under three transport backends — channel, TCP
+//! and the seeded-fault lossy fabric — with the analysis-verdict
+//! auditor enabled ([`corm_vm::RunOptions::audit`]). A disagreement
+//! anywhere — output, per-machine counters, audit — is a bug in exactly
+//! one of serializer codegen, the heap analyses, or the transport
+//! layer, which is what makes the oracle a useful fuzz target. The
+//! lossy rows double as an end-to-end proof of at-most-once semantics:
+//! all accounting happens above the retransmission machinery, so even
+//! under injected drop/duplicate/reorder faults the counters must be
+//! bit-identical to the reliable backends.
 
 use std::fmt;
 use std::sync::Arc;
@@ -13,7 +18,7 @@ use std::sync::Arc;
 use corm_analysis::AnalysisOptions;
 use corm_codegen::{OptConfig, Plans, AUDIT_ERROR_PREFIX};
 use corm_ir::Module;
-use corm_net::TransportKind;
+use corm_net::{LossSpec, TransportKind};
 use corm_vm::{run_program, RunOptions, RunOutcome};
 use corm_wire::StatsSnapshot;
 
@@ -114,11 +119,16 @@ pub fn site_provenance_digests(src: &str) -> Vec<String> {
     }
 }
 
-fn audited_run(module: Arc<Module>, plans: Arc<Plans>, transport: TransportKind) -> RunOutcome {
+fn audited_run(
+    module: Arc<Module>,
+    plans: Arc<Plans>,
+    transport: TransportKind,
+    loss: Option<LossSpec>,
+) -> RunOutcome {
     run_program(
         module,
         plans,
-        RunOptions { machines: 2, transport, audit: true, ..Default::default() },
+        RunOptions { machines: 2, transport, audit: true, loss, ..Default::default() },
     )
 }
 
@@ -126,8 +136,20 @@ fn machine_stats(out: &RunOutcome) -> Vec<StatsSnapshot> {
     out.metrics.machines.iter().map(|m| m.stats).collect()
 }
 
-/// Run the full differential check on MiniParty source.
+/// Run the full differential check on MiniParty source with the
+/// default fault plan (`LossSpec::default`) on the lossy rows.
 pub fn check_source(src: &str) -> Result<OracleOutcome, OracleFailure> {
+    check_source_with_loss(src, None)
+}
+
+/// [`check_source`] with an explicit fault plan for the lossy transport
+/// rows — the nightly high-loss sweep passes aggressive rates here.
+/// `None` selects the backend's default plan; reliable backends ignore
+/// the spec either way.
+pub fn check_source_with_loss(
+    src: &str,
+    loss: Option<LossSpec>,
+) -> Result<OracleOutcome, OracleFailure> {
     let mut outcome = OracleOutcome::default();
     let mut first: Option<(String, String)> = None; // (label, output)
     let mut per_config: Vec<(&'static str, StatsSnapshot)> = Vec::new();
@@ -142,9 +164,9 @@ pub fn check_source(src: &str) -> Result<OracleOutcome, OracleFailure> {
         };
 
         let mut transport_runs: Vec<(TransportKind, RunOutcome)> = Vec::new();
-        for transport in [TransportKind::Channel, TransportKind::Tcp] {
+        for transport in [TransportKind::Channel, TransportKind::Tcp, TransportKind::Lossy] {
             let ctx = format!("{label} / {transport:?}");
-            let out = audited_run(module.clone(), plans.clone(), transport);
+            let out = audited_run(module.clone(), plans.clone(), transport, loss);
             if let Some(err) = &out.error {
                 let kind = if err.message.contains(AUDIT_ERROR_PREFIX) {
                     FailureKind::AuditViolation
@@ -174,8 +196,10 @@ pub fn check_source(src: &str) -> Result<OracleOutcome, OracleFailure> {
                     FailureKind::OutputDivergence,
                     ctx,
                     with_prov(format!(
-                        "channel output:\n{}\ntcp output:\n{}",
-                        base.output, out.output
+                        "channel output:\n{}\n{} output:\n{}",
+                        base.output,
+                        transport.label(),
+                        out.output
                     )),
                 ));
             }
@@ -282,6 +306,15 @@ pub fn check_spec(spec: &ProgramSpec) -> Result<OracleOutcome, OracleFailure> {
     check_source(&spec.render())
 }
 
+/// Render a spec and run the differential check with an explicit fault
+/// plan for the lossy rows.
+pub fn check_spec_with_loss(
+    spec: &ProgramSpec,
+    loss: Option<LossSpec>,
+) -> Result<OracleOutcome, OracleFailure> {
+    check_source_with_loss(&spec.render(), loss)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,7 +347,7 @@ mod tests {
             }],
         };
         let report = check_spec(&spec).unwrap_or_else(|f| panic!("oracle failed: {f}"));
-        assert_eq!(report.runs, 10, "5 configs x 2 transports");
+        assert_eq!(report.runs, 15, "5 configs x 3 transports");
     }
 
     #[test]

@@ -14,12 +14,14 @@
 //! required by our communication software") — the VM runs that loop.
 
 pub mod cost;
+pub mod lossy;
 pub mod packet;
 pub mod reactor;
 pub mod tcp;
 pub mod transport;
 
 pub use cost::CostModel;
+pub use lossy::{LossSpec, LossyTransport, Semantics};
 pub use packet::Packet;
 pub use reactor::{BatchConfig, ReactorTransport};
 pub use tcp::TcpTransport;

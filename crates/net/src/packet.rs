@@ -52,6 +52,24 @@ const TAG_NEW_REMOTE: u8 = 2;
 const TAG_SHUTDOWN: u8 = 3;
 const TAG_PEER_GONE: u8 = 4;
 
+/// Upper bound on an encoded frame body. Receivers reject anything
+/// larger as a corrupt stream, so the encoder refuses to produce such a
+/// frame in the first place — otherwise an oversized payload would be
+/// reported at the *peer* as a torn connection instead of at the sender
+/// as a clean [`WireError`].
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// Checked length-field narrowing: every variable-length field in the
+/// frame header is a `u32`, and a silent `as u32` on a larger length
+/// would truncate the header and desynchronize the stream. `offset` is
+/// the byte position the field would occupy in the frame body, matching
+/// the decoder's underflow diagnostics.
+fn len_u32(len: usize, what: &str, offset: usize) -> Result<u32, WireError> {
+    u32::try_from(len).map_err(|_| {
+        WireError(format!("{what} length {len} overflows the u32 length field at byte {offset}"))
+    })
+}
+
 impl Packet {
     /// Payload bytes that count toward wire statistics.
     pub fn wire_bytes(&self) -> u64 {
@@ -75,7 +93,15 @@ impl Packet {
     /// payload-free packets), so the transport can send header and
     /// payload with one vectored write and never copy the body.
     /// `scratch` is cleared first and keeps its capacity across sends.
-    pub fn encode_frame_into<'a>(&'a self, ts_ns: u64, scratch: &mut Vec<u8>) -> &'a [u8] {
+    ///
+    /// Fails with a [`WireError`] naming the offending field and its
+    /// frame offset when a length does not fit its `u32` header field
+    /// or the body would exceed [`MAX_FRAME`].
+    pub fn encode_frame_into<'a>(
+        &'a self,
+        ts_ns: u64,
+        scratch: &mut Vec<u8>,
+    ) -> Result<&'a [u8], WireError> {
         scratch.clear();
         self.encode_prefixed_header(ts_ns, scratch)
     }
@@ -86,19 +112,37 @@ impl Packet {
     /// outbound buffer and flushes them with a single write. The payload
     /// is copied here (unlike [`Packet::encode_frame_into`], which keeps
     /// it zero-copy for an immediate vectored write) because batched
-    /// bytes must outlive the packet.
-    pub fn encode_frame_append(&self, ts_ns: u64, out: &mut Vec<u8>) {
-        let payload = self.encode_prefixed_header(ts_ns, out);
-        out.extend_from_slice(payload);
+    /// bytes must outlive the packet. On an encoding error `out` is left
+    /// exactly as it was — no partial frame leaks into the batch.
+    pub fn encode_frame_append(&self, ts_ns: u64, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let start = out.len();
+        match self.encode_prefixed_header(ts_ns, out) {
+            Ok(payload) => {
+                out.extend_from_slice(payload);
+                Ok(())
+            }
+            Err(e) => {
+                out.truncate(start);
+                Err(e)
+            }
+        }
     }
 
     /// Append the length prefix and header (everything but the payload
     /// bytes) at `out`'s current end and return the payload slice. The
     /// prefix counts the payload even though it is not appended here.
-    fn encode_prefixed_header<'a>(&'a self, ts_ns: u64, scratch: &mut Vec<u8>) -> &'a [u8] {
+    /// Length fields are narrowed with [`len_u32`]; offsets in the
+    /// diagnostics are relative to the frame body, like the decoder's.
+    fn encode_prefixed_header<'a>(
+        &'a self,
+        ts_ns: u64,
+        scratch: &mut Vec<u8>,
+    ) -> Result<&'a [u8], WireError> {
         let start = scratch.len();
         scratch.extend_from_slice(&[0u8; 4]); // length prefix, backpatched below
         scratch.extend_from_slice(&ts_ns.to_le_bytes());
+        // Offset of the next byte within the frame body (prefix excluded).
+        let body_at = |scratch: &Vec<u8>| scratch.len() - start - 4;
         let payload: &[u8] = match self {
             Packet::Request { req_id, from, site, target_obj, payload, oneway } => {
                 scratch.push(TAG_REQUEST);
@@ -107,7 +151,8 @@ impl Packet {
                 scratch.extend_from_slice(&site.to_le_bytes());
                 scratch.extend_from_slice(&target_obj.to_le_bytes());
                 scratch.push(*oneway as u8);
-                scratch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                let len = len_u32(payload.len(), "request payload", body_at(scratch))?;
+                scratch.extend_from_slice(&len.to_le_bytes());
                 payload
             }
             Packet::Reply { req_id, payload, err } => {
@@ -116,12 +161,14 @@ impl Packet {
                 match err {
                     Some(e) => {
                         scratch.push(1);
-                        scratch.extend_from_slice(&(e.len() as u32).to_le_bytes());
+                        let len = len_u32(e.len(), "reply error text", body_at(scratch))?;
+                        scratch.extend_from_slice(&len.to_le_bytes());
                         scratch.extend_from_slice(e.as_bytes());
                     }
                     None => scratch.push(0),
                 }
-                scratch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                let len = len_u32(payload.len(), "reply payload", body_at(scratch))?;
+                scratch.extend_from_slice(&len.to_le_bytes());
                 payload
             }
             Packet::NewRemote { req_id, from, class } => {
@@ -141,20 +188,27 @@ impl Packet {
                 &[]
             }
         };
-        let body_len = (scratch.len() - start - 4 + payload.len()) as u32;
+        let body_len = body_at(scratch) + payload.len();
+        if body_len > MAX_FRAME {
+            return Err(WireError(format!(
+                "frame body of {body_len} bytes exceeds MAX_FRAME ({MAX_FRAME}); \
+                 receivers would reject it as a corrupt stream"
+            )));
+        }
+        let body_len = len_u32(body_len, "frame body", 0)?;
         scratch[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
-        payload
+        Ok(payload)
     }
 
     /// Encode as an unprefixed frame body (timestamp, tag, fields,
     /// payload) in one contiguous buffer. Built on
     /// [`Packet::encode_frame_into`] so the two encodings cannot drift.
-    pub fn encode_body(&self, ts_ns: u64) -> Vec<u8> {
+    pub fn encode_body(&self, ts_ns: u64) -> Result<Vec<u8>, WireError> {
         let mut scratch = Vec::with_capacity(32 + self.wire_bytes() as usize);
-        let payload = self.encode_frame_into(ts_ns, &mut scratch);
+        let payload = self.encode_frame_into(ts_ns, &mut scratch)?;
         let mut out = scratch.split_off(4);
         out.extend_from_slice(payload);
-        out
+        Ok(out)
     }
 
     /// Decode a frame body produced by [`Packet::encode_body`]. Returns
@@ -260,7 +314,7 @@ mod tests {
             Packet::PeerGone { peer: 3 },
         ];
         for p in packets {
-            let body = p.encode_body(123_456_789);
+            let body = p.encode_body(123_456_789).unwrap();
             let (q, ts) = Packet::decode_body(&body).unwrap();
             assert_eq!(p, q);
             assert_eq!(ts, 123_456_789);
@@ -287,12 +341,12 @@ mod tests {
         // stale contents from the previous frame must not leak through.
         let mut scratch = Vec::new();
         for p in packets {
-            let payload = p.encode_frame_into(99, &mut scratch).to_vec();
+            let payload = p.encode_frame_into(99, &mut scratch).unwrap().to_vec();
             let len = u32::from_le_bytes(scratch[..4].try_into().unwrap()) as usize;
             assert_eq!(len, scratch.len() - 4 + payload.len());
             let mut joined = scratch[4..].to_vec();
             joined.extend_from_slice(&payload);
-            assert_eq!(joined, p.encode_body(99), "split frame reassembles to the body");
+            assert_eq!(joined, p.encode_body(99).unwrap(), "split frame reassembles to the body");
             let (q, ts) = Packet::decode_body(&joined).unwrap();
             assert_eq!(q, p);
             assert_eq!(ts, 99);
@@ -317,13 +371,17 @@ mod tests {
         // queue does, then walk the length prefixes back out.
         let mut batch = Vec::new();
         for p in &packets {
-            p.encode_frame_append(42, &mut batch);
+            p.encode_frame_append(42, &mut batch).unwrap();
         }
         let mut pos = 0;
         for p in &packets {
             let len = u32::from_le_bytes(batch[pos..pos + 4].try_into().unwrap()) as usize;
             let body = &batch[pos + 4..pos + 4 + len];
-            assert_eq!(body, p.encode_body(42), "appended frame matches the canonical body");
+            assert_eq!(
+                body,
+                p.encode_body(42).unwrap(),
+                "appended frame matches the canonical body"
+            );
             let (q, ts) = Packet::decode_body(body).unwrap();
             assert_eq!(&q, p);
             assert_eq!(ts, 42);
@@ -336,12 +394,45 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(Packet::decode_body(&[]).is_err());
         assert!(Packet::decode_body(&[0; 9]).is_err()); // truncated request
-        let mut body = Packet::Shutdown.encode_body(0);
+        let mut body = Packet::Shutdown.encode_body(0).unwrap();
         body[8] = 99; // unknown tag
         assert!(Packet::decode_body(&body).is_err());
-        let mut body = Packet::PeerGone { peer: 1 }.encode_body(0);
+        let mut body = Packet::PeerGone { peer: 1 }.encode_body(0).unwrap();
         body.push(0); // trailing byte
         assert!(Packet::decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_fails_cleanly_instead_of_truncating_the_header() {
+        // A payload over MAX_FRAME used to be narrowed with a silent
+        // `as u32`, producing a frame whose length prefix lied about the
+        // bytes that followed — the *peer* then saw a corrupt stream.
+        // The encoder now refuses at the sender with the field named.
+        let p = Packet::Request {
+            req_id: 1,
+            from: 0,
+            site: 0,
+            target_obj: 0,
+            payload: vec![0; MAX_FRAME + 1],
+            oneway: false,
+        };
+        let err = p.encode_body(0).unwrap_err();
+        assert!(err.0.contains("MAX_FRAME"), "names the bound: {err}");
+        let mut scratch = Vec::new();
+        assert!(p.encode_frame_into(0, &mut scratch).is_err());
+
+        // A batch buffer stays byte-identical on failure: no partial
+        // frame desynchronizes the frames already coalesced before it.
+        let mut batch = Vec::new();
+        Packet::Shutdown.encode_frame_append(7, &mut batch).unwrap();
+        let before = batch.clone();
+        assert!(p.encode_frame_append(7, &mut batch).is_err());
+        assert_eq!(batch, before, "failed append must not leak partial bytes");
+
+        // Exactly at the boundary the frame still encodes: the limit is
+        // on the body (header + payload), not the payload alone.
+        let at_edge = Packet::Reply { req_id: 2, payload: vec![0; 4096], err: None };
+        assert!(at_edge.encode_body(0).is_ok());
     }
 
     #[test]

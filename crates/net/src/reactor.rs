@@ -608,7 +608,18 @@ impl Transport for ReactorTransport {
         // charged to measured wire time, not silently dropped.
         let ts_ns = core.epoch.elapsed().as_nanos() as u64;
         let len_before = o.buf.len();
-        packet.encode_frame_append(ts_ns, &mut o.buf);
+        if packet.encode_frame_append(ts_ns, &mut o.buf).is_err() {
+            // Unencodable packet (oversized length field): the append
+            // left the batch buffer untouched, so the already-coalesced
+            // frames stay intact. Kill the connection like a failed
+            // flush — the sender's drain loop sees an orderly PeerGone.
+            drop(o);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            if !core.shutting_down.load(Ordering::SeqCst) {
+                let _ = core.local_txs[from as usize].send(Packet::PeerGone { peer: to });
+            }
+            return;
+        }
         core.frames_enqueued.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = &core.obs {
             let m = obs.machine(from);
@@ -857,6 +868,18 @@ mod tests {
 
     fn reply(req_id: u64, bytes: usize) -> Packet {
         Packet::Reply { req_id, payload: vec![7; bytes], err: None }
+    }
+
+    /// Bounded spin-wait that panics by name on timeout. Tests must
+    /// never time out *silently* and fall through to their asserts:
+    /// the resulting failure blames whatever counter happens to be
+    /// checked next instead of the wait that actually gave up.
+    fn spin_until(what: &str, limit: Duration, mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + limit;
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out after {limit:?} waiting for {what}");
+            thread::sleep(Duration::from_millis(1));
+        }
     }
 
     /// Batch every send, with a deadline long enough for a test to
@@ -1110,14 +1133,18 @@ mod tests {
         for _ in 0..20u64 {
             mailboxes[1].recv().unwrap();
         }
-        // Drain fully: wait for the deadline sweep to flush any tail.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while t.core.obs.as_ref().unwrap().machine(0).reactor_queued_bytes.load(Ordering::Relaxed)
-            > 0
-            && Instant::now() < deadline
-        {
-            thread::sleep(Duration::from_millis(1));
-        }
+        // Drain fully: wait for the deadline sweep to flush any tail. A
+        // timed-out wait panics here by name instead of silently falling
+        // through to the gauge asserts below, which would otherwise
+        // report a confusing "queued_bytes != 0" counter mismatch.
+        spin_until(
+            "the deadline sweep to drain reactor_queued_bytes",
+            Duration::from_secs(5),
+            || {
+                t.core.obs.as_ref().unwrap().machine(0).reactor_queued_bytes.load(Ordering::Relaxed)
+                    == 0
+            },
+        );
         let m = obs.machine_snapshot(0);
         assert_eq!(m.reactor_frames_enqueued, t.frames_enqueued());
         assert_eq!(m.reactor_frames_enqueued, 20);

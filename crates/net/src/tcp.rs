@@ -36,8 +36,9 @@ pub(crate) const HELLO_MAGIC: [u8; 2] = [0xC0, 0x4A];
 
 /// Upper bound on a single frame; anything larger is treated as a
 /// corrupt stream (the biggest real payloads are array messages well
-/// under this).
-pub(crate) const MAX_FRAME: usize = 1 << 30;
+/// under this). The bound is owned by the codec so the encoder refuses
+/// to produce what the receivers here would reject.
+pub(crate) use crate::packet::MAX_FRAME;
 
 /// Blocked readers wake at least this often to check the shutdown flag
 /// (the FIN from an orderly shutdown wakes them immediately anyway).
@@ -236,8 +237,15 @@ impl Transport for TcpTransport {
             // per-peer scratch (reused every send), the payload is sent
             // straight from the packet via one vectored write.
             let ts_ns = self.epoch.elapsed().as_nanos() as u64;
-            let payload = packet.encode_frame_into(ts_ns, &mut w.scratch);
-            if write_all_vectored(&mut w.stream, &w.scratch, payload).is_err() {
+            // An unencodable packet (oversized length field) is treated
+            // like a failed write: the VM's packets are all well under
+            // MAX_FRAME, so this only fires on a corrupted payload, and
+            // dropping the stream surfaces it as an orderly PeerGone.
+            let sent = match packet.encode_frame_into(ts_ns, &mut w.scratch) {
+                Ok(payload) => write_all_vectored(&mut w.stream, &w.scratch, payload).is_ok(),
+                Err(_) => false,
+            };
+            if !sent {
                 // The peer is gone (or stalled past the write timeout):
                 // retire the stream and tell the *sender's* drain loop,
                 // so its pending calls fail as orderly remote errors

@@ -98,6 +98,21 @@ pub struct MachineMetrics {
     /// index is the reactor thread index, which is always a valid
     /// machine index (the pool never outnumbers the machines).
     pub reactor_loop_us: Log2Histogram,
+    /// Lossy backend: datagram copies this machine re-sent because no
+    /// ack arrived before the retransmission timer fired. Charged to the
+    /// *sending* machine's shard; zero on the reliable backends.
+    pub lossy_retransmits: AtomicU64,
+    /// Lossy backend: received datagram copies discarded as duplicates
+    /// (sequence number already delivered or already buffered). Charged
+    /// to the *receiving* machine's shard.
+    pub lossy_dups_suppressed: AtomicU64,
+    /// Server-side reply cache: requests answered from the cache instead
+    /// of being re-executed — each hit is a duplicate invocation that
+    /// at-most-once semantics suppressed above the transport.
+    pub reply_cache_hits: AtomicU64,
+    /// Reply-cache entries evicted by the capacity bound before any
+    /// duplicate consulted them.
+    pub reply_cache_evictions: AtomicU64,
 }
 
 /// Per-call-site metrics (cluster-wide scope: a site's calls may
@@ -189,6 +204,10 @@ impl MetricsRegistry {
             m.reactor_conns_queued.store(0, Ordering::Relaxed);
             m.reactor_batch_bytes.reset();
             m.reactor_loop_us.reset();
+            m.lossy_retransmits.store(0, Ordering::Relaxed);
+            m.lossy_dups_suppressed.store(0, Ordering::Relaxed);
+            m.reply_cache_hits.store(0, Ordering::Relaxed);
+            m.reply_cache_evictions.store(0, Ordering::Relaxed);
         }
         self.sites.lock().clear();
         self.timeline.clear();
@@ -227,6 +246,10 @@ impl MetricsRegistry {
             reactor_conns_queued: m.reactor_conns_queued.load(Ordering::Relaxed),
             reactor_batch_bytes: m.reactor_batch_bytes.snapshot(),
             reactor_loop_us: m.reactor_loop_us.snapshot(),
+            lossy_retransmits: m.lossy_retransmits.load(Ordering::Relaxed),
+            lossy_dups_suppressed: m.lossy_dups_suppressed.load(Ordering::Relaxed),
+            reply_cache_hits: m.reply_cache_hits.load(Ordering::Relaxed),
+            reply_cache_evictions: m.reply_cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -279,6 +302,10 @@ pub struct MachineSnapshot {
     pub reactor_conns_queued: u64,
     pub reactor_batch_bytes: HistSnapshot,
     pub reactor_loop_us: HistSnapshot,
+    pub lossy_retransmits: u64,
+    pub lossy_dups_suppressed: u64,
+    pub reply_cache_hits: u64,
+    pub reply_cache_evictions: u64,
 }
 
 impl MachineSnapshot {
@@ -473,6 +500,31 @@ mod tests {
             assert_eq!(m.reactor_loop_us.count, 0);
         }
         assert!(reg.timeline().is_empty(0), "reset drops the timeline rings");
+    }
+
+    #[test]
+    fn lossy_and_reply_cache_counters_snapshot_and_reset() {
+        let reg = MetricsRegistry::new(2);
+        reg.machine(0).lossy_retransmits.fetch_add(4, Ordering::Relaxed);
+        reg.machine(1).lossy_dups_suppressed.fetch_add(3, Ordering::Relaxed);
+        reg.machine(1).reply_cache_hits.fetch_add(2, Ordering::Relaxed);
+        reg.machine(1).reply_cache_evictions.fetch_add(1, Ordering::Relaxed);
+        let snap = reg.snapshot();
+        assert_eq!(snap.machines[0].lossy_retransmits, 4);
+        assert_eq!(snap.machines[1].lossy_dups_suppressed, 3);
+        assert_eq!(snap.machines[1].reply_cache_hits, 2);
+        assert_eq!(snap.machines[1].reply_cache_evictions, 1);
+        reg.reset();
+        let snap = reg.snapshot();
+        for m in &snap.machines {
+            assert_eq!(
+                m.lossy_retransmits
+                    + m.lossy_dups_suppressed
+                    + m.reply_cache_hits
+                    + m.reply_cache_evictions,
+                0
+            );
+        }
     }
 
     #[test]

@@ -264,6 +264,35 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
         &per_machine_pool(&|ms| ms.in_flight),
     );
 
+    // Lossy-transport protocol counters and the VM's reply cache
+    // (DESIGN §16): retransmissions land on the sender, suppressed
+    // duplicates on the receiver; the reply cache deduplicates
+    // re-executed invocations above the transport.
+    counter(
+        &mut out,
+        "corm_lossy_retransmits_total",
+        "Datagram copies re-sent by the lossy transport's retransmission timers",
+        &per_machine_pool(&|ms| ms.lossy_retransmits),
+    );
+    counter(
+        &mut out,
+        "corm_lossy_dups_suppressed_total",
+        "Duplicate datagram copies discarded (or flagged) by the receiver",
+        &per_machine_pool(&|ms| ms.lossy_dups_suppressed),
+    );
+    counter(
+        &mut out,
+        "corm_reply_cache_hits_total",
+        "Duplicate invocations answered from the server-side reply cache",
+        &per_machine_pool(&|ms| ms.reply_cache_hits),
+    );
+    counter(
+        &mut out,
+        "corm_reply_cache_evictions_total",
+        "Reply-cache entries evicted by the FIFO bound",
+        &per_machine_pool(&|ms| ms.reply_cache_evictions),
+    );
+
     // Reactor coalescing and queue-depth series (DESIGN §14/§15): the
     // per-flush batch histogram plus flush-reason counters expose how
     // adaptive batching behaves under load, and the occupancy gauges
@@ -501,6 +530,25 @@ mod tests {
         assert!(text.contains("# TYPE corm_in_flight_requests gauge"));
         assert!(text.contains(r#"corm_in_flight_requests{machine="0"} 1"#));
         assert!(text.contains(r#"corm_in_flight_requests{machine="1"} 0"#));
+    }
+
+    #[test]
+    fn lossy_and_reply_cache_series_are_exposed() {
+        let reg = MetricsRegistry::new(2);
+        reg.machine(0).lossy_retransmits.fetch_add(5, std::sync::atomic::Ordering::Relaxed);
+        reg.machine(1).lossy_dups_suppressed.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        reg.machine(1).reply_cache_hits.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        reg.machine(1).reply_cache_evictions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE corm_lossy_retransmits_total counter"));
+        assert!(text.contains(r#"corm_lossy_retransmits_total{machine="0"} 5"#));
+        assert!(text.contains(r#"corm_lossy_retransmits_total{machine="1"} 0"#));
+        assert!(text.contains("# TYPE corm_lossy_dups_suppressed_total counter"));
+        assert!(text.contains(r#"corm_lossy_dups_suppressed_total{machine="1"} 3"#));
+        assert!(text.contains("# TYPE corm_reply_cache_hits_total counter"));
+        assert!(text.contains(r#"corm_reply_cache_hits_total{machine="1"} 2"#));
+        assert!(text.contains("# TYPE corm_reply_cache_evictions_total counter"));
+        assert!(text.contains(r#"corm_reply_cache_evictions_total{machine="1"} 1"#));
     }
 
     #[test]

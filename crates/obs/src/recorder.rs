@@ -49,6 +49,16 @@ pub enum FlightKind {
     /// `req` the sampler tick). A dump containing one of these points
     /// straight at the stalled/backpressured/leaking machine.
     Health,
+    /// The lossy transport re-sent a datagram after its retransmission
+    /// timer fired (`peer` is the destination, `bytes` the frame size,
+    /// `req` the request id when the frame carried one). Recorded on the
+    /// sending machine's ring.
+    Retransmit,
+    /// The lossy transport (or the server-side reply cache) discarded a
+    /// duplicate delivery (`peer` is the sender). Recorded on the
+    /// receiving machine's ring — a dump full of these under seeded loss
+    /// is the at-most-once machinery visibly doing its job.
+    DupSuppressed,
 }
 
 impl FlightKind {
@@ -61,6 +71,8 @@ impl FlightKind {
             FlightKind::Fail => 5,
             FlightKind::Slo => 6,
             FlightKind::Health => 7,
+            FlightKind::Retransmit => 8,
+            FlightKind::DupSuppressed => 9,
         }
     }
 
@@ -73,6 +85,8 @@ impl FlightKind {
             5 => FlightKind::Fail,
             6 => FlightKind::Slo,
             7 => FlightKind::Health,
+            8 => FlightKind::Retransmit,
+            9 => FlightKind::DupSuppressed,
             _ => return None,
         })
     }
@@ -86,6 +100,8 @@ impl FlightKind {
             FlightKind::Fail => "fail",
             FlightKind::Slo => "slo",
             FlightKind::Health => "health",
+            FlightKind::Retransmit => "retransmit",
+            FlightKind::DupSuppressed => "dup-suppressed",
         }
     }
 }
@@ -105,6 +121,7 @@ pub const FLAG_POOL_HIT: u8 = 1 << 5;
 pub const TRANSPORT_CHANNEL: u8 = 0;
 pub const TRANSPORT_TCP: u8 = 1;
 pub const TRANSPORT_REACTOR: u8 = 2;
+pub const TRANSPORT_LOSSY: u8 = 3;
 
 /// Human name for a transport code.
 pub fn transport_name(code: u8) -> &'static str {
@@ -112,6 +129,7 @@ pub fn transport_name(code: u8) -> &'static str {
         TRANSPORT_CHANNEL => "channel",
         TRANSPORT_TCP => "tcp",
         TRANSPORT_REACTOR => "reactor",
+        TRANSPORT_LOSSY => "lossy",
         _ => "unknown",
     }
 }
@@ -504,6 +522,45 @@ mod tests {
             machines: vec![(0, snap)],
         };
         assert!(render_flight_json(&dump).contains("\"kind\": \"health\""));
+    }
+
+    #[test]
+    fn lossy_kinds_and_transport_roundtrip_through_the_ring() {
+        let ring = FlightRing::new(4);
+        ring.record(FlightEvent {
+            t_us: 0,
+            req: 31,
+            site: 2,
+            bytes: 64,
+            kind: FlightKind::Retransmit,
+            peer: 1,
+            flags: 0,
+            transport: TRANSPORT_LOSSY,
+        });
+        ring.record(FlightEvent {
+            t_us: 0,
+            req: 31,
+            site: 2,
+            bytes: 64,
+            kind: FlightKind::DupSuppressed,
+            peer: 0,
+            flags: 0,
+            transport: TRANSPORT_LOSSY,
+        });
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].kind, FlightKind::Retransmit);
+        assert_eq!(snap[1].kind, FlightKind::DupSuppressed);
+        assert_eq!(transport_name(snap[0].transport), "lossy");
+        let dump = FlightDump {
+            reason: "requested".into(),
+            failing_reqs: vec![],
+            machines: vec![(0, snap)],
+        };
+        let json = render_flight_json(&dump);
+        assert!(json.contains("\"kind\": \"retransmit\""));
+        assert!(json.contains("\"kind\": \"dup-suppressed\""));
+        assert!(json.contains("\"transport\": \"lossy\""));
     }
 
     #[test]

@@ -8,14 +8,14 @@ use corm_ir::{CallSiteId, ClassId, MethodId};
 use corm_net::Packet;
 use corm_obs::recorder::{
     FlightKind, FLAG_ARGS_CYCLE_TABLE, FLAG_ARG_REUSE, FLAG_ONEWAY, FLAG_POOL_HIT,
-    FLAG_RET_CYCLE_TABLE, FLAG_RET_REUSE,
+    FLAG_RET_CYCLE_TABLE, FLAG_RET_REUSE, TRANSPORT_LOSSY,
 };
 use corm_wire::{DeserTable, Message, MessageReader, RmiStats, SerCycleTable};
 use parking_lot::MutexGuard;
 
 use crate::error::{VmError, VmResult};
 use crate::interp::Interp;
-use crate::machine::{MachineState, ReplySlot};
+use crate::machine::{CachedReply, MachineState, ReplySlot};
 use crate::pool::Lane;
 use crate::runtime::Runtime;
 use crate::trace::{Phase, TraceKind};
@@ -597,6 +597,23 @@ pub fn handle_request(
         shard.queue_us.record(now_us.saturating_sub(enq_us));
         rt.trace_event(my, TraceKind::PhaseEnd { phase: Phase::Queue, req: req_id, site: site.0 });
     }
+    // Reply-cache consult (DESIGN §16). Only the lossy transport can
+    // deliver the same request twice (its at-least-once mode passes
+    // duplicates up), so the reliable backends skip the cache entirely —
+    // no per-RPC clone, no map traffic. A hit means this (caller,
+    // request id) already executed or is executing: re-send the cached
+    // reply if there is one, and never re-execute.
+    let dedup = rt.transport_code == TRANSPORT_LOSSY;
+    if dedup {
+        let cached = machine.state.lock().reply_cache_claim(from, req_id);
+        if let Some(cached) = cached {
+            shard.reply_cache_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if let CachedReply::Sent(payload, err) = cached {
+                rt.net.send(my, from, Packet::Reply { req_id, payload, err });
+            }
+            return;
+        }
+    }
     let t0 = rt.start.elapsed();
     // Stall injection (RunOptions::stall): model a slow server by putting
     // the configured requests to sleep before any processing.
@@ -700,6 +717,11 @@ pub fn handle_request(
     let flags = plans.plan(site).map(|p| plan_flags(p, oneway)).unwrap_or(0);
     rt.flight_event(my, FlightKind::Handle, req_id, site.0, request_bytes, from, flags);
     if oneway {
+        if dedup {
+            let evicted =
+                machine.state.lock().reply_cache_complete(from, req_id, CachedReply::OneWay);
+            shard.reply_cache_evictions.fetch_add(evicted, std::sync::atomic::Ordering::Relaxed);
+        }
         if let Err(e) = result {
             rt.print(&format!("[machine {my}] one-way request failed: {e}\n"));
         }
@@ -709,5 +731,17 @@ pub fn handle_request(
         Ok(payload) => Packet::Reply { req_id, payload, err: None },
         Err(e) => Packet::Reply { req_id, payload: Vec::new(), err: Some(e.message) },
     };
+    if dedup {
+        if let Packet::Reply { payload, err, .. } = &packet {
+            // Completed: replace the in-progress marker with the exact
+            // reply so a later duplicate re-sends these bytes verbatim.
+            let evicted = machine.state.lock().reply_cache_complete(
+                from,
+                req_id,
+                CachedReply::Sent(payload.clone(), err.clone()),
+            );
+            shard.reply_cache_evictions.fetch_add(evicted, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
     rt.net.send(my, from, packet);
 }

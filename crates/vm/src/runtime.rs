@@ -6,10 +6,12 @@ use std::time::{Duration, Instant};
 use corm_codegen::Plans;
 use corm_heap::HeapStats;
 use corm_ir::Module;
-use corm_net::{ClusterBarrier, CostModel, Mailbox, NetHandle, Packet, RecvError, TransportKind};
+use corm_net::{
+    ClusterBarrier, CostModel, LossSpec, Mailbox, NetHandle, Packet, RecvError, TransportKind,
+};
 use corm_obs::recorder::{
-    FlightEvent, FlightKind, DEFAULT_FLIGHT_CAPACITY, TRANSPORT_CHANNEL, TRANSPORT_REACTOR,
-    TRANSPORT_TCP,
+    FlightEvent, FlightKind, DEFAULT_FLIGHT_CAPACITY, TRANSPORT_CHANNEL, TRANSPORT_LOSSY,
+    TRANSPORT_REACTOR, TRANSPORT_TCP,
 };
 use corm_obs::timeline::{
     spawn_sampler, HealthConfig, SamplerConfig, SamplerHandle, TimelineDoc,
@@ -70,6 +72,11 @@ pub struct RunOptions {
     /// On by default; `0` disables sampling — that switch exists for the
     /// timeline-overhead bench gate, not for production use.
     pub timeline_interval_us: u64,
+    /// Loss model for the lossy transport (DESIGN §16): seeded
+    /// drop/duplicate/reorder rates, retransmission timing and the
+    /// invocation semantics. Ignored by the reliable backends; `None`
+    /// with `transport: lossy` selects [`LossSpec::default`].
+    pub loss: Option<LossSpec>,
 }
 
 /// Deterministic fault injection for failure-path tests: the
@@ -112,6 +119,7 @@ impl Default for RunOptions {
             fault: None,
             stall: None,
             timeline_interval_us: DEFAULT_TIMELINE_INTERVAL_US,
+            loss: None,
         }
     }
 }
@@ -387,9 +395,19 @@ impl Cluster {
     /// run yet — call [`Cluster::run_clinits`] before issuing work.
     pub fn start(module: Arc<Module>, plans: Arc<Plans>, opts: &RunOptions) -> Cluster {
         let obs = Arc::new(MetricsRegistry::new(opts.machines));
-        let (mailboxes, net) =
-            NetHandle::with_kind(opts.transport, opts.machines, opts.cost, obs.clone())
-                .unwrap_or_else(|e| panic!("cannot bring up {} transport: {e}", opts.transport));
+        // The flight recorder exists before the fabric so the lossy
+        // backend can land its retransmit / dup-suppression events in
+        // the same rings the VM dumps on failure.
+        let flight = Arc::new(FlightRecorder::new(opts.machines, opts.flight_capacity));
+        let (mailboxes, net) = NetHandle::with_kind_config(
+            opts.transport,
+            opts.machines,
+            opts.cost,
+            obs.clone(),
+            opts.loss,
+            Some(flight.clone()),
+        )
+        .unwrap_or_else(|e| panic!("cannot bring up {} transport: {e}", opts.transport));
         let static_defaults = crate::machine::MachineState::static_defaults(&module.table);
         let machines: Vec<Arc<MachineShared>> = (0..opts.machines)
             .map(|i| Arc::new(MachineShared::with_statics(i as u16, static_defaults.clone())))
@@ -399,8 +417,8 @@ impl Cluster {
             TransportKind::Channel => TRANSPORT_CHANNEL,
             TransportKind::Tcp => TRANSPORT_TCP,
             TransportKind::Reactor => TRANSPORT_REACTOR,
+            TransportKind::Lossy => TRANSPORT_LOSSY,
         };
-        let flight = Arc::new(FlightRecorder::new(opts.machines, opts.flight_capacity));
         // The sampler starts before any work is issued, so the first
         // tick is the run's baseline and the rings cover the whole run.
         let sampler = (opts.timeline_interval_us > 0).then(|| {
@@ -715,12 +733,38 @@ fn drain_loop(
                     Some(e) => Err(e),
                     None => Ok(payload),
                 };
-                st.replies.insert(req_id, crate::machine::ReplySlot::Ready(result));
-                machine.cv.notify_all();
+                // Only a call still waiting may complete: a reply whose
+                // slot is gone (caller already completed via an earlier
+                // copy) or already Ready (failed by PeerGone) is stale —
+                // under at-least-once semantics the server's reply cache
+                // re-sends replies, and inserting one here would leak a
+                // Ready entry no caller will ever consume.
+                match st.replies.get_mut(&req_id) {
+                    Some(slot @ crate::machine::ReplySlot::Waiting { .. }) => {
+                        *slot = crate::machine::ReplySlot::Ready(result);
+                        machine.cv.notify_all();
+                    }
+                    _ => drop(st),
+                }
             }
             Packet::NewRemote { req_id, from, class } => {
                 rt.trace_event(my, crate::trace::TraceKind::NewRemote { class, from });
                 let machine = rt.machine(my);
+                // Allocations are deduped like calls (DESIGN §16): a
+                // redelivered NewRemote must re-send the original
+                // object id, not pin a second zombie object.
+                let dedup = rt.transport_code == TRANSPORT_LOSSY;
+                if dedup {
+                    let cached = machine.state.lock().reply_cache_claim(from, req_id);
+                    if let Some(cached) = cached {
+                        let shard = rt.obs.machine(my);
+                        shard.reply_cache_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if let crate::machine::CachedReply::Sent(payload, err) = cached {
+                            rt.net.send(my, from, Packet::Reply { req_id, payload, err });
+                        }
+                        continue;
+                    }
+                }
                 let obj = {
                     let mut st = machine.state.lock();
                     let obj = st.alloc_zeroed(&rt.module.table, corm_ir::ClassId(class));
@@ -729,6 +773,17 @@ fn drain_loop(
                 };
                 let mut payload = Vec::with_capacity(4);
                 payload.extend_from_slice(&obj.0.to_le_bytes());
+                if dedup {
+                    let evicted = machine.state.lock().reply_cache_complete(
+                        from,
+                        req_id,
+                        crate::machine::CachedReply::Sent(payload.clone(), None),
+                    );
+                    rt.obs
+                        .machine(my)
+                        .reply_cache_evictions
+                        .fetch_add(evicted, std::sync::atomic::Ordering::Relaxed);
+                }
                 rt.net.send(my, from, Packet::Reply { req_id, payload, err: None });
             }
             Packet::Request { req_id, from, site, target_obj, payload, oneway } => {

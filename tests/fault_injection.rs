@@ -677,6 +677,229 @@ fn reactor_fault_injection_dumps_flight_recorder_with_failing_req() {
     assert_eq!(json.matches('{').count(), json.matches('}').count());
 }
 
+// ---------------------------------------------------------------------
+// Lossy-transport faults. The datagram fabric already injects drops,
+// duplicates and reordering by design (DESIGN §16); these tests cover
+// the faults it must still surface *through* that machinery: remote
+// exceptions crossing a lossy wire, killed peers, and the
+// duplicate-PeerGone injection hook (a peer-death notice is itself a
+// packet a flaky fabric can deliver twice — the VM must treat it
+// idempotently).
+// ---------------------------------------------------------------------
+
+#[test]
+fn lossy_remote_exception_propagates() {
+    expect_error_on(
+        r#"
+        remote class R { int div(int a, int b) { return a / b; } }
+        class M { static void main() { R r = new R() @ 1; System.println(Str.fromLong(r.div(1, 0))); } }
+        "#,
+        2,
+        "division by zero",
+        TransportKind::Lossy,
+    );
+}
+
+#[test]
+fn lossy_nested_rmi_error_propagates_to_origin() {
+    expect_error_on(
+        r#"
+        remote class C { int boom() { int[] a = new int[1]; return a[5]; } }
+        remote class B {
+            C c;
+            void wire(C c) { this.c = c; }
+            int relay() { return this.c.boom(); }
+        }
+        class M {
+            static void main() {
+                C c = new C() @ 0;
+                B b = new B() @ 1;
+                b.wire(c);
+                System.println(Str.fromLong(b.relay()));
+            }
+        }
+        "#,
+        2,
+        "out of bounds",
+        TransportKind::Lossy,
+    );
+}
+
+#[test]
+fn lossy_runs_shut_down_cleanly_under_heavy_loss() {
+    // The teardown hammer at a 20% seeded fault rate: every drop has to
+    // be healed by retransmission before the loop can finish, and the
+    // fabric thread (with its pending retransmit timers) must wind down
+    // without hanging the test.
+    use corm::LossSpec;
+
+    let src = r#"
+        remote class R { int echo(int x) { return x; } }
+        class M {
+            static void main() {
+                R r = new R() @ 1;
+                int s = 0;
+                int i = 0;
+                while (i < 200) { s = s + r.echo(i); i = i + 1; }
+                System.println(Str.fromLong(s));
+            }
+        }
+    "#;
+    let out = compile_and_run(
+        src,
+        OptConfig::ALL,
+        RunOptions {
+            machines: 3,
+            transport: TransportKind::Lossy,
+            loss: Some(LossSpec::seeded(0xBEEF, 0.20)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.output, "19900\n");
+    let retransmits: u64 = out.metrics.machines.iter().map(|m| m.lossy_retransmits).sum();
+    assert!(retransmits > 0, "a 20% drop rate must force retransmissions");
+}
+
+#[test]
+fn lossy_killed_peer_surfaces_as_orderly_remote_error() {
+    // Power-cord pull on the lossy fabric: PeerGone rides the exempt
+    // control path (never dropped, duplicated or delayed), so survivors
+    // learn about the death exactly like they do on a reliable backend.
+    use corm_net::{LossSpec, LossyTransport, Packet, Transport};
+
+    let (mailboxes, transport) = LossyTransport::new(3, LossSpec::default());
+    transport.deliver(1, 0, Packet::Reply { req_id: 9, payload: vec![1], err: None });
+    match mailboxes[0].recv().unwrap() {
+        Packet::Reply { req_id, .. } => assert_eq!(req_id, 9),
+        other => panic!("unexpected {other:?}"),
+    }
+    transport.sever(1);
+    for mb in [&mailboxes[0], &mailboxes[2]] {
+        match mb.recv().unwrap() {
+            Packet::PeerGone { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // Sends toward the dead peer are dropped, not hung (and spawn no
+    // retransmit timers that would wedge shutdown).
+    transport.deliver(0, 1, Packet::Reply { req_id: 10, payload: vec![], err: None });
+    transport.shutdown();
+}
+
+#[test]
+fn lossy_fault_injection_dumps_flight_recorder_with_failing_req() {
+    // End-to-end power-cord pull across the lossy fabric: orderly error
+    // plus a parseable flight dump naming the failing request and the
+    // lossy transport.
+    use corm::FaultSpec;
+
+    let src = r#"
+        remote class R { int echo(int x) { return x; } }
+        class M {
+            static void main() {
+                R r = new R() @ 1;
+                int s = 0;
+                int i = 0;
+                while (i < 50) { s = s + r.echo(i); i = i + 1; }
+                System.println(Str.fromLong(s));
+            }
+        }
+    "#;
+    let out = compile_and_run(
+        src,
+        OptConfig::ALL,
+        RunOptions {
+            machines: 2,
+            transport: TransportKind::Lossy,
+            fault: Some(FaultSpec { victim: 1, after_sends: 3 }),
+            ..Default::default()
+        },
+    )
+    .expect("compile failed");
+    let err = out.error.expect("severed peer must fail the pending RMI");
+    assert!(
+        err.message.contains("peer machine 1 disconnected"),
+        "expected an orderly peer-gone error, got: {}",
+        err.message
+    );
+    assert_eq!(out.flight.reason, "peer-gone");
+    assert!(!out.flight.failing_reqs.is_empty(), "dump must name the failing request");
+    let json = corm::render_flight_json(&out.flight);
+    assert!(json.contains("\"transport\": \"lossy\""));
+    assert!(json.contains("\"kind\": \"fail\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn lossy_duplicate_peer_gone_notice_is_idempotent_at_the_vm() {
+    // Regression for the PeerGone-injection sweep: `duplicate_peer_gone`
+    // makes the fabric deliver every death notice twice. The second copy
+    // finds no pending waiters (only `Waiting` slots are failable), so a
+    // run with duplication enabled must look exactly like the baseline:
+    // same orderly error, each failing request listed once in the dump,
+    // and the same number of per-request Fail events (the drain loop's
+    // plus the caller's own — never a third from the duplicate notice).
+    use corm::{FaultSpec, LossSpec};
+
+    let src = r#"
+        remote class R { int echo(int x) { return x; } }
+        class M {
+            static void main() {
+                R r = new R() @ 1;
+                int s = 0;
+                int i = 0;
+                while (i < 50) { s = s + r.echo(i); i = i + 1; }
+                System.println(Str.fromLong(s));
+            }
+        }
+    "#;
+    let run = |duplicate_peer_gone| {
+        compile_and_run(
+            src,
+            OptConfig::ALL,
+            RunOptions {
+                machines: 2,
+                transport: TransportKind::Lossy,
+                loss: Some(LossSpec { duplicate_peer_gone, ..LossSpec::default() }),
+                fault: Some(FaultSpec { victim: 1, after_sends: 3 }),
+                ..Default::default()
+            },
+        )
+        .expect("compile failed")
+    };
+    let fail_counts = |out: &corm::RunOutcome| {
+        let mut reqs = out.flight.failing_reqs.clone();
+        let listed = reqs.len();
+        reqs.sort_unstable();
+        reqs.dedup();
+        assert_eq!(reqs.len(), listed, "a request is listed twice: {:?}", out.flight.failing_reqs);
+        reqs.into_iter()
+            .map(|req| {
+                let fails = out.flight.machines[0]
+                    .1
+                    .iter()
+                    .filter(|e| e.req == req && e.kind == corm::FlightKind::Fail)
+                    .count();
+                (req, fails)
+            })
+            .collect::<Vec<_>>()
+    };
+    let baseline = run(false);
+    let doubled = run(true);
+    for out in [&baseline, &doubled] {
+        let err = out.error.as_ref().expect("severed peer must fail the pending RMI");
+        assert!(err.message.contains("peer machine 1 disconnected"), "{}", err.message);
+        assert_eq!(out.flight.reason, "peer-gone");
+    }
+    assert_eq!(
+        fail_counts(&baseline),
+        fail_counts(&doubled),
+        "a duplicated PeerGone notice changed the failure record"
+    );
+}
+
 #[test]
 fn errors_do_not_poison_subsequent_runs() {
     // A failing run followed by a succeeding one on fresh state.

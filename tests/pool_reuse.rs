@@ -123,6 +123,66 @@ fn pooling_works_over_reactor_too() {
     assert_eq!(m0.pool_steady_misses(), 0);
 }
 
+#[test]
+fn pooling_works_over_lossy_too() {
+    // Default at-most-once semantics: drops and duplicates are healed
+    // below the VM, so the pool ledger sees exactly the channel-backend
+    // traffic pattern.
+    let out = compile_and_run(
+        ECHO_LOOP,
+        OptConfig::ALL,
+        RunOptions { machines: 2, transport: TransportKind::Lossy, ..Default::default() },
+    )
+    .unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.output, "300\n");
+    let m0 = &out.metrics.machines[0];
+    assert!(m0.pool_hits >= 24, "expected a hot loop over lossy, got {} hits", m0.pool_hits);
+    assert_eq!(m0.pool_steady_misses(), 0);
+}
+
+#[test]
+fn lossy_at_least_once_duplicate_replies_do_not_corrupt_the_pool() {
+    // At-least-once delivery passes duplicates up to the VM: the server
+    // re-sends cached replies, so the caller can receive the same reply
+    // twice. The first copy checks the marshal buffer back into the
+    // pool; the second must be dropped by the drain loop — if it were
+    // delivered, the same buffer would be checked in twice and the
+    // ledger would corrupt (double check-in shows up as misses or a
+    // wrong-slot swap). Duplication only, no drops/reordering: per-link
+    // FIFO stays intact, which is the only ordering the VM relies on.
+    use corm::{LossSpec, Semantics};
+
+    let spec = LossSpec {
+        drop_rate: 0.0,
+        dup_rate: 0.4,
+        reorder_rate: 0.0,
+        jitter_us: 0,
+        semantics: Semantics::AtLeastOnce,
+        ..LossSpec::default()
+    };
+    let out = compile_and_run(
+        ECHO_LOOP,
+        OptConfig::ALL,
+        RunOptions {
+            machines: 2,
+            transport: TransportKind::Lossy,
+            loss: Some(spec),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.output, "300\n");
+    let m0 = &out.metrics.machines[0];
+    assert!(m0.pool_hits >= 24, "expected a hot loop, got {} hits", m0.pool_hits);
+    assert_eq!(m0.pool_steady_misses(), 0, "duplicate replies corrupted the pool ledger");
+    // The duplicates really happened and were absorbed by the server's
+    // reply cache, not by luck.
+    let hits: u64 = out.metrics.machines.iter().map(|m| m.reply_cache_hits).sum();
+    assert!(hits > 0, "a 40% duplication rate must exercise the reply cache");
+}
+
 const INTERLEAVED_SITES: &str = r#"
     remote class Small { int tag(int x) { return x; } }
     remote class Big {
@@ -157,7 +217,9 @@ const INTERLEAVED_SITES: &str = r#"
 fn interleaved_sites_never_swap_buffers_across_slots() {
     // 0+1+..+19 = 190; sum(0..255) = 32640 per call, 20 calls.
     let want = format!("{}\n", 190 + 20 * 32640);
-    for transport in [TransportKind::Channel, TransportKind::Tcp, TransportKind::Reactor] {
+    for transport in
+        [TransportKind::Channel, TransportKind::Tcp, TransportKind::Reactor, TransportKind::Lossy]
+    {
         let out = compile_and_run(
             INTERLEAVED_SITES,
             OptConfig::ALL,

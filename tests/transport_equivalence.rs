@@ -1,7 +1,9 @@
 //! Cross-transport equivalence: every app under every configuration
 //! must behave identically whether packets move over the in-process
-//! channel fabric, the real loopback-TCP mesh, or the reactor fabric
-//! (shared event loops with pipelining + adaptive batching).
+//! channel fabric, the real loopback-TCP mesh, the reactor fabric
+//! (shared event loops with pipelining + adaptive batching), or the
+//! lossy datagram fabric (seeded drop/duplicate/reorder faults healed
+//! by at-most-once retransmission, DESIGN §16).
 //!
 //! All counter accounting happens in `NetHandle::send` before the
 //! backend carries the packet, so for the poll-free apps
@@ -10,10 +12,10 @@
 //! exact timing-free counters and tolerance-checked poll-affected ones
 //! — see `corm_apps::equivalence` for the full classification.
 //!
-//! Tests are prefixed `tcp_` / `reactor_` so CI can shard the sweep
-//! across a backend matrix with a plain name filter.
+//! Tests are prefixed `tcp_` / `reactor_` / `lossy_` so CI can shard
+//! the sweep across a backend matrix with a plain name filter.
 
-use corm::{OptConfig, RunOptions, TransportKind};
+use corm::{LossSpec, OptConfig, RunOptions, Semantics, TransportKind};
 use corm_apps::equivalence::{assert_equivalent, run_under};
 use corm_apps::{AppSpec, ALL_APPS, ARRAY2D, LINKED_LIST, LU, SUPEROPT, WEBSERVER};
 
@@ -45,6 +47,11 @@ invariance_tests! {
     reactor_lu_is_transport_invariant => LU, TransportKind::Reactor;
     reactor_superopt_is_transport_invariant => SUPEROPT, TransportKind::Reactor;
     reactor_webserver_is_transport_invariant => WEBSERVER, TransportKind::Reactor;
+    lossy_linked_list_is_transport_invariant => LINKED_LIST, TransportKind::Lossy;
+    lossy_array2d_is_transport_invariant => ARRAY2D, TransportKind::Lossy;
+    lossy_lu_is_transport_invariant => LU, TransportKind::Lossy;
+    lossy_superopt_is_transport_invariant => SUPEROPT, TransportKind::Lossy;
+    lossy_webserver_is_transport_invariant => WEBSERVER, TransportKind::Lossy;
 }
 
 fn output_matches_the_oracle(wire: TransportKind) {
@@ -70,6 +77,85 @@ fn tcp_output_matches_the_oracle() {
 #[test]
 fn reactor_output_matches_the_oracle() {
     output_matches_the_oracle(TransportKind::Reactor);
+}
+
+#[test]
+fn lossy_output_matches_the_oracle() {
+    output_matches_the_oracle(TransportKind::Lossy);
+}
+
+#[test]
+fn lossy_at_most_once_is_exactly_once_under_seeded_faults() {
+    // The acceptance gate in one test: under aggressive seeded loss the
+    // at-most-once protocol must heal every fault below the VM, so a
+    // poll-free app's output AND per-machine counters are bit-identical
+    // to a channel run — zero double-executions, zero lost calls. The
+    // lossy-plane counters prove the faults actually happened, and
+    // `reply_cache_hits == 0` proves the transport (not the VM dedup
+    // net) absorbed every duplicate: holdback delivery is already
+    // exactly-once in order.
+    let compiled = LINKED_LIST.compile(OptConfig::ALL);
+    let mk = |transport, loss| {
+        corm::run(
+            &compiled,
+            RunOptions {
+                machines: LINKED_LIST.machines,
+                args: LINKED_LIST.quick_args.to_vec(),
+                transport,
+                loss,
+                ..Default::default()
+            },
+        )
+    };
+    let chan = mk(TransportKind::Channel, None);
+    for rate in [0.05, 0.20] {
+        let lossy = mk(TransportKind::Lossy, Some(LossSpec::seeded(0xFA11, rate)));
+        assert!(lossy.error.is_none(), "rate {rate}: {:?}", lossy.error);
+        assert_eq!(lossy.output, chan.output, "rate {rate}: output diverged");
+        let mut faults = 0;
+        for (m, (a, b)) in chan.metrics.machines.iter().zip(&lossy.metrics.machines).enumerate() {
+            assert_eq!(a.stats, b.stats, "rate {rate}: machine {m} counters diverged");
+            assert_eq!(b.reply_cache_hits, 0, "rate {rate}: at-most-once must dedup below the VM");
+            faults += b.lossy_retransmits + b.lossy_dups_suppressed;
+        }
+        assert!(faults > 0, "rate {rate}: the seeded fault plan injected nothing");
+    }
+}
+
+#[test]
+fn lossy_at_least_once_dedups_in_the_vm_with_identical_output() {
+    // Drop the transport-level holdback (at-least-once): duplicates now
+    // reach the VM and the server-side reply cache must absorb them —
+    // same output, `reply_cache_hits > 0`. Duplication only (no drops,
+    // no reordering) keeps per-link FIFO intact, which is the only
+    // ordering the VM relies on.
+    let spec = LossSpec {
+        dup_rate: 0.4,
+        drop_rate: 0.0,
+        reorder_rate: 0.0,
+        jitter_us: 0,
+        semantics: Semantics::AtLeastOnce,
+        ..LossSpec::default()
+    };
+    let compiled = LINKED_LIST.compile(OptConfig::ALL);
+    let out = corm::run(
+        &compiled,
+        RunOptions {
+            machines: LINKED_LIST.machines,
+            args: LINKED_LIST.quick_args.to_vec(),
+            transport: TransportKind::Lossy,
+            loss: Some(spec),
+            ..Default::default()
+        },
+    );
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(
+        out.output,
+        LINKED_LIST.expected_output(LINKED_LIST.quick_args, LINKED_LIST.machines),
+        "duplicated requests must not change the program's output"
+    );
+    let hits: u64 = out.metrics.machines.iter().map(|m| m.reply_cache_hits).sum();
+    assert!(hits > 0, "a 40% duplication rate must exercise the reply cache");
 }
 
 #[test]
@@ -151,12 +237,19 @@ fn reactor_pool_checkouts_match_across_backends_for_poll_free_apps() {
 }
 
 #[test]
+fn lossy_pool_checkouts_match_across_backends_for_poll_free_apps() {
+    pool_checkouts_match(TransportKind::Lossy);
+}
+
+#[test]
 fn modeled_time_is_backend_independent_for_poll_free_apps() {
     // Modeled wire time is a pure function of the (deterministic)
     // counters, so it cannot depend on the carrier.
     let compiled = ARRAY2D.compile(OptConfig::ALL);
     let mut modeled = Vec::new();
-    for transport in [TransportKind::Channel, TransportKind::Tcp, TransportKind::Reactor] {
+    for transport in
+        [TransportKind::Channel, TransportKind::Tcp, TransportKind::Reactor, TransportKind::Lossy]
+    {
         let out = corm::run(
             &compiled,
             RunOptions {
@@ -171,4 +264,5 @@ fn modeled_time_is_backend_independent_for_poll_free_apps() {
     }
     assert_eq!(modeled[0], modeled[1], "tcp modeled time diverged");
     assert_eq!(modeled[0], modeled[2], "reactor modeled time diverged");
+    assert_eq!(modeled[0], modeled[3], "lossy modeled time diverged");
 }
